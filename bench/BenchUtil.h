@@ -1,0 +1,59 @@
+//===- bench/BenchUtil.h - Shared helpers for the bench binaries -*- C++ -*-===//
+///
+/// \file
+/// Small shared pieces for the reproduction benches: flag parsing (--csv
+/// for machine-readable output), ratio formatting, and the experiment-grid
+/// helpers every figure/table binary uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_BENCH_BENCHUTIL_H
+#define CCRA_BENCH_BENCHUTIL_H
+
+#include "harness/Experiment.h"
+#include "support/Table.h"
+#include "workloads/SpecProxies.h"
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace ccra {
+
+struct BenchArgs {
+  bool Csv = false;
+  bool Orderings = false; ///< fig10: also compare the §9.1 orderings.
+};
+
+inline BenchArgs parseBenchArgs(int Argc, char **Argv) {
+  BenchArgs Args;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--csv") == 0)
+      Args.Csv = true;
+    else if (std::strcmp(Argv[I], "--orderings") == 0)
+      Args.Orderings = true;
+  }
+  return Args;
+}
+
+inline void emitTable(const TextTable &Table, const BenchArgs &Args) {
+  if (Args.Csv)
+    Table.printCsv(std::cout);
+  else
+    Table.print(std::cout);
+}
+
+/// Overhead ratio "Base / Other" with the paper's convention: bigger than
+/// 1.00 means Other removes overhead relative to base Chaitin coloring.
+inline double overheadRatio(const ExperimentResult &Base,
+                            const ExperimentResult &Other) {
+  double Denominator = Other.Costs.total();
+  double Numerator = Base.Costs.total();
+  if (Denominator == 0.0)
+    return Numerator == 0.0 ? 1.0 : 999.0;
+  return Numerator / Denominator;
+}
+
+} // namespace ccra
+
+#endif // CCRA_BENCH_BENCHUTIL_H

@@ -1,0 +1,47 @@
+//===- bench/OptimisticTable.h - Shared Table 2/3 driver --------*- C++ -*-===//
+///
+/// \file
+/// Tables 2 and 3 are the same experiment under the two frequency sources:
+/// base-Chaitin / optimistic overhead ratio per (program, configuration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_BENCH_OPTIMISTICTABLE_H
+#define CCRA_BENCH_OPTIMISTICTABLE_H
+
+#include "BenchUtil.h"
+
+namespace ccra {
+
+inline void runOptimisticTable(FrequencyMode Mode, const BenchArgs &Args) {
+  // A compact config subset keeps the table readable.
+  const std::vector<RegisterConfig> Configs = {
+      RegisterConfig(6, 4, 0, 0),  RegisterConfig(8, 6, 0, 0),
+      RegisterConfig(7, 5, 1, 1),  RegisterConfig(8, 6, 2, 2),
+      RegisterConfig(9, 7, 3, 3),  RegisterConfig(10, 8, 4, 4),
+      RegisterConfig(12, 9, 5, 5), RegisterConfig(18, 10, 8, 6),
+  };
+  TextTable Table;
+  std::vector<std::string> Header = {"program"};
+  for (const RegisterConfig &Config : Configs)
+    Header.push_back(Config.label());
+  Table.setHeader(Header);
+
+  for (const std::string &Program : specProxyNames()) {
+    std::unique_ptr<Module> M = buildSpecProxy(Program);
+    std::vector<std::string> Row = {Program};
+    for (const RegisterConfig &Config : Configs) {
+      ExperimentResult Base =
+          runExperiment(*M, Config, baseChaitinOptions(), Mode);
+      ExperimentResult Optimistic =
+          runExperiment(*M, Config, optimisticOptions(), Mode);
+      Row.push_back(TextTable::formatDouble(overheadRatio(Base, Optimistic)));
+    }
+    Table.addRow(Row);
+  }
+  emitTable(Table, Args);
+}
+
+} // namespace ccra
+
+#endif // CCRA_BENCH_OPTIMISTICTABLE_H

@@ -1,0 +1,79 @@
+//===- bench/ablation_models.cpp - Design-choice ablations ----------------===//
+//
+// Ablations for the design choices DESIGN.md calls out, beyond the paper's
+// own figures:
+//
+//  1. Callee-save cost model (§4): "first user pays" vs "shared". The paper
+//     states the shared model is better for some SPEC92 programs and equal
+//     for the rest — never worse.
+//  2. Benefit-driven simplification key (§5): strategy 1 (max) vs strategy
+//     2 (delta). The paper picked the delta key after strategy 1 *increased*
+//     overhead for some programs.
+//  3. Coalescing aggressiveness: Briggs-conservative (default) vs
+//     aggressive (ignore the degree test). Aggressive coalescing can merge
+//     itself into spills.
+//
+// Each table reports total overhead (dynamic frequencies) per program at a
+// representative configuration, for both variants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Statistics.h"
+
+using namespace ccra;
+
+namespace {
+
+void runAblation(const std::string &Title, const AllocatorOptions &VariantA,
+                 const std::string &NameA, const AllocatorOptions &VariantB,
+                 const std::string &NameB, const RegisterConfig &Config,
+                 const BenchArgs &Args) {
+  TextTable Table;
+  Table.setHeader({"program", NameA, NameB, NameA + "/" + NameB});
+  for (const std::string &Program : specProxyNames()) {
+    std::unique_ptr<Module> M = buildSpecProxy(Program);
+    ExperimentResult A =
+        runExperiment(*M, Config, VariantA, FrequencyMode::Profile);
+    ExperimentResult B =
+        runExperiment(*M, Config, VariantB, FrequencyMode::Profile);
+    Table.addRow({Program, TextTable::formatCount(A.Costs.total()),
+                  TextTable::formatCount(B.Costs.total()),
+                  TextTable::formatDouble(
+                      safeRatio(A.Costs.total(), B.Costs.total()))});
+  }
+  std::cout << "== Ablation: " << Title << " at " << Config.label()
+            << " ==\n";
+  emitTable(Table, Args);
+  std::cout << '\n';
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+  RegisterConfig Config(9, 7, 3, 3);
+
+  AllocatorOptions FirstUser = improvedOptions();
+  FirstUser.CalleeModel = CalleeCostModel::FirstUserPays;
+  AllocatorOptions Shared = improvedOptions();
+  Shared.CalleeModel = CalleeCostModel::Shared;
+  runAblation("callee-save cost model (§4)", FirstUser, "first_user",
+              Shared, "shared", Config, Args);
+
+  AllocatorOptions MaxKey = improvedOptions();
+  MaxKey.BSKey = BenefitKeyStrategy::MaxBenefit;
+  AllocatorOptions DeltaKey = improvedOptions();
+  DeltaKey.BSKey = BenefitKeyStrategy::Delta;
+  runAblation("benefit-simplification key (§5)", MaxKey, "max_key",
+              DeltaKey, "delta_key", Config, Args);
+
+  AllocatorOptions Conservative = improvedOptions();
+  AllocatorOptions Aggressive = improvedOptions();
+  Aggressive.AggressiveCoalescing = true;
+  runAblation("coalescing aggressiveness", Aggressive, "aggressive",
+              Conservative, "conservative", Config, Args);
+
+  return 0;
+}

@@ -1,0 +1,41 @@
+//===- bench/fig2_cost_components.cpp - Paper Figure 2 --------------------===//
+//
+// Figure 2: register-allocation cost of the base Chaitin-style allocator
+// for eqntott and ear across register configurations (Ri,Rf,Ei,Ef). The
+// paper's observations this bench reproduces:
+//  - spill cost collapses once enough registers are available
+//    (eqntott by (10,8,4,4), ear by (9,7,3,3)),
+//  - call cost (caller-save + callee-save) then dominates, and
+//  - adding registers can *increase* total cost, because live ranges move
+//    into callee-save registers whose save/restore traffic exceeds their
+//    spill cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace ccra;
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+
+  for (const std::string &Program : {std::string("eqntott"),
+                                     std::string("ear")}) {
+    std::unique_ptr<Module> M = buildSpecProxy(Program);
+    TextTable Table;
+    Table.setHeader({"config", "spill", "caller_sv", "callee_sv", "total"});
+    for (const RegisterConfig &Config : standardConfigSweep()) {
+      ExperimentResult R = runExperiment(*M, Config, baseChaitinOptions(),
+                                         FrequencyMode::Profile);
+      Table.addRow({Config.label(), TextTable::formatCount(R.Costs.Spill),
+                    TextTable::formatCount(R.Costs.CallerSave),
+                    TextTable::formatCount(R.Costs.CalleeSave),
+                    TextTable::formatCount(R.Costs.total())});
+    }
+    std::cout << "== Figure 2: base Chaitin register-allocation cost, "
+              << Program << " (dynamic overhead operations) ==\n";
+    emitTable(Table, Args);
+    std::cout << '\n';
+  }
+  return 0;
+}

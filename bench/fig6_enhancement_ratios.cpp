@@ -1,0 +1,55 @@
+//===- bench/fig6_enhancement_ratios.cpp - Paper Figure 6 -----------------===//
+//
+// Figure 6: overhead of base Chaitin-style coloring divided by the
+// overhead of improved Chaitin-style coloring with enhancement combinations
+// (SC, SC+PR, SC+BS, SC+BS+PR), per register configuration, for all
+// fourteen programs, using profile ("dynamic") frequencies. Ratios above
+// 1.0 mean the enhancement removes overhead. The paper's four program
+// classes:
+//   1. every enhancement contributes (nasa7, ear),
+//   2. only storage-class analysis matters (li, sc, matrix300),
+//   3. the preference decision changes nothing (eqntott, espresso,
+//      compress, spice, fpppp, doduc),
+//   4. nothing matters — no calls (tomcatv).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace ccra;
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+
+  for (const std::string &Program : specProxyNames()) {
+    std::unique_ptr<Module> M = buildSpecProxy(Program);
+    TextTable Table;
+    Table.setHeader({"config", "SC", "SC+PR", "SC+BS", "SC+BS+PR"});
+    for (const RegisterConfig &Config : standardConfigSweep()) {
+      ExperimentResult Base = runExperiment(*M, Config, baseChaitinOptions(),
+                                            FrequencyMode::Profile);
+      ExperimentResult Sc = runExperiment(
+          *M, Config, improvedOptions(true, false, false),
+          FrequencyMode::Profile);
+      ExperimentResult ScPr = runExperiment(
+          *M, Config, improvedOptions(true, false, true),
+          FrequencyMode::Profile);
+      ExperimentResult ScBs = runExperiment(
+          *M, Config, improvedOptions(true, true, false),
+          FrequencyMode::Profile);
+      ExperimentResult ScBsPr = runExperiment(
+          *M, Config, improvedOptions(true, true, true),
+          FrequencyMode::Profile);
+      Table.addRow({Config.label(),
+                    TextTable::formatDouble(overheadRatio(Base, Sc)),
+                    TextTable::formatDouble(overheadRatio(Base, ScPr)),
+                    TextTable::formatDouble(overheadRatio(Base, ScBs)),
+                    TextTable::formatDouble(overheadRatio(Base, ScBsPr))});
+    }
+    std::cout << "== Figure 6: base/improved overhead ratio, " << Program
+              << " (dynamic) ==\n";
+    emitTable(Table, Args);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+//===- bench/perf_allocators.cpp - Compile-time microbenchmarks -----------===//
+//
+// google-benchmark timings of the framework phases (liveness, live-range
+// construction, graph construction, coalescing) and of whole-module
+// allocation per allocator, over randomized programs of increasing size.
+// This is the compile-time dimension the paper's framework optimizes with
+// graph reconstruction (rebuilding only what spilling changed).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Frequency.h"
+#include "analysis/Liveness.h"
+#include "core/AllocatorFactory.h"
+#include "ir/Cloner.h"
+#include "regalloc/InterferenceGraph.h"
+#include "regalloc/LiveRange.h"
+#include "regalloc/VRegClasses.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/SpecProxies.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ccra;
+
+namespace {
+
+RandomProgramParams sizedParams(int64_t Scale) {
+  RandomProgramParams Params;
+  Params.Seed = 42;
+  Params.NumFunctions = 2;
+  Params.RegionsPerFunction = static_cast<unsigned>(4 * Scale);
+  Params.IntValues = static_cast<unsigned>(4 * Scale);
+  Params.FloatValues = static_cast<unsigned>(2 * Scale);
+  return Params;
+}
+
+void BM_Liveness(benchmark::State &State) {
+  auto M = generateRandomProgram(sizedParams(State.range(0)));
+  Function *F = M->getEntryFunction();
+  for (auto _ : State) {
+    (void)_;
+    benchmark::DoNotOptimize(Liveness::compute(*F));
+  }
+}
+BENCHMARK(BM_Liveness)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GraphConstruction(benchmark::State &State) {
+  auto M = generateRandomProgram(sizedParams(State.range(0)));
+  Function *F = M->getEntryFunction();
+  FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
+  Liveness LV = Liveness::compute(*F);
+  VRegClasses Classes(F->numVRegs());
+  LiveRangeSet LRS = LiveRangeSet::build(*F, LV, Freq, Classes);
+  for (auto _ : State) {
+    (void)_;
+    benchmark::DoNotOptimize(InterferenceGraph::build(*F, LV, LRS));
+  }
+}
+BENCHMARK(BM_GraphConstruction)->Arg(1)->Arg(2)->Arg(4);
+
+void allocateWith(benchmark::State &State, const AllocatorOptions &Opts) {
+  auto M = generateRandomProgram(sizedParams(2));
+  for (auto _ : State) {
+    (void)_;
+    auto Clone = cloneModule(*M);
+    FrequencyInfo Freq =
+        FrequencyInfo::compute(*Clone, FrequencyMode::Profile);
+    AllocationEngine Engine =
+        makeEngine(MachineDescription(RegisterConfig(8, 6, 2, 2)), Opts);
+    benchmark::DoNotOptimize(Engine.allocateModule(*Clone, Freq));
+  }
+}
+
+void BM_AllocateBase(benchmark::State &State) {
+  allocateWith(State, baseChaitinOptions());
+}
+void BM_AllocateOptimistic(benchmark::State &State) {
+  allocateWith(State, optimisticOptions());
+}
+void BM_AllocateImproved(benchmark::State &State) {
+  allocateWith(State, improvedOptions());
+}
+void BM_AllocatePriority(benchmark::State &State) {
+  allocateWith(State, priorityOptions());
+}
+void BM_AllocateCBH(benchmark::State &State) {
+  allocateWith(State, cbhOptions());
+}
+BENCHMARK(BM_AllocateBase);
+BENCHMARK(BM_AllocateOptimistic);
+BENCHMARK(BM_AllocateImproved);
+BENCHMARK(BM_AllocatePriority);
+BENCHMARK(BM_AllocateCBH);
+
+void BM_ReconstructionOnOff(benchmark::State &State) {
+  // Compile-time value of graph reconstruction (paper §2): same
+  // high-pressure allocation with incremental patching on vs off.
+  RandomProgramParams Params;
+  Params.Seed = 99;
+  Params.UseMoves = false;
+  Params.IntValues = 14;
+  Params.FloatValues = 8;
+  Params.RegionsPerFunction = 8;
+  auto M = generateRandomProgram(Params);
+  AllocatorOptions Opts = improvedOptions();
+  Opts.IncrementalReconstruction = State.range(0) != 0;
+  for (auto _ : State) {
+    (void)_;
+    auto Clone = cloneModule(*M);
+    FrequencyInfo Freq =
+        FrequencyInfo::compute(*Clone, FrequencyMode::Profile);
+    AllocationEngine Engine =
+        makeEngine(MachineDescription(RegisterConfig(6, 4, 1, 1)), Opts);
+    benchmark::DoNotOptimize(Engine.allocateModule(*Clone, Freq));
+  }
+  State.SetLabel(State.range(0) ? "incremental" : "from-scratch");
+}
+BENCHMARK(BM_ReconstructionOnOff)->Arg(0)->Arg(1);
+
+void BM_AllocateSpecProxy(benchmark::State &State) {
+  auto All = buildAllSpecProxies();
+  const Module &M = *All[static_cast<size_t>(State.range(0))].second;
+  for (auto _ : State) {
+    (void)_;
+    auto Clone = cloneModule(M);
+    FrequencyInfo Freq =
+        FrequencyInfo::compute(*Clone, FrequencyMode::Profile);
+    AllocationEngine Engine = makeEngine(
+        MachineDescription(RegisterConfig(9, 7, 3, 3)), improvedOptions());
+    benchmark::DoNotOptimize(Engine.allocateModule(*Clone, Freq));
+  }
+  State.SetLabel(All[static_cast<size_t>(State.range(0))].first);
+}
+BENCHMARK(BM_AllocateSpecProxy)->DenseRange(0, 13);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+//===- bench/tab3_optimistic_dynamic.cpp - Paper Table 3 ------------------===//
+//
+// Table 3: base-Chaitin / optimistic overhead ratio with *dynamic*
+// (profile) frequencies — same experiment as Table 2 under the accurate
+// frequency source. The paper's conclusion holds in both: once call cost
+// is part of the model, optimistic coloring helps rarely and can hurt
+// (cells below 1.00), because squeezing otherwise-spilled live ranges into
+// the wrong kind of register costs more than their spill code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "OptimisticTable.h"
+
+using namespace ccra;
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+  std::cout << "== Table 3: base-Chaitin / optimistic overhead ratio "
+               "(dynamic profiles; <1.00 = optimistic is worse) ==\n";
+  runOptimisticTable(FrequencyMode::Profile, Args);
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- examples/allocator_shootout.cpp - Compare every allocator ----------===//
+//
+// Runs all the register-allocation approaches in the framework — base
+// Chaitin, optimistic (Briggs), improved Chaitin (the paper's SC+BS+PR),
+// the improved+optimistic hybrid, priority-based (Chow) with its three
+// orderings, and CBH — on one workload and configuration, and prints a
+// side-by-side comparison of cost components and allocator statistics.
+//
+// Run:  ./allocator_shootout [program] [Ri Rf Ei Ef]
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/Table.h"
+#include "workloads/SpecProxies.h"
+
+#include <cstdlib>
+#include <iostream>
+
+using namespace ccra;
+
+int main(int Argc, char **Argv) {
+  std::string Program = Argc > 1 ? Argv[1] : "eqntott";
+  RegisterConfig Config(9, 7, 3, 3);
+  if (Argc == 6)
+    Config = RegisterConfig(static_cast<unsigned>(std::atoi(Argv[2])),
+                            static_cast<unsigned>(std::atoi(Argv[3])),
+                            static_cast<unsigned>(std::atoi(Argv[4])),
+                            static_cast<unsigned>(std::atoi(Argv[5])));
+
+  std::unique_ptr<Module> M = buildSpecProxy(Program);
+
+  const std::vector<AllocatorOptions> Contenders = {
+      baseChaitinOptions(),
+      optimisticOptions(),
+      improvedOptions(true, false, false),
+      improvedOptions(),
+      improvedOptimisticOptions(),
+      priorityOptions(PriorityOrdering::FullSort),
+      priorityOptions(PriorityOrdering::RemoveUnconstrained),
+      priorityOptions(PriorityOrdering::SortUnconstrained),
+      cbhOptions(),
+  };
+
+  TextTable Table;
+  Table.setHeader({"allocator", "spill", "caller_sv", "callee_sv", "total",
+                   "spilled", "voluntary", "coalesced", "rounds"});
+  for (const AllocatorOptions &Opts : Contenders) {
+    ExperimentResult R =
+        runExperiment(*M, Config, Opts, FrequencyMode::Profile);
+    Table.addRow({Opts.describe(), TextTable::formatCount(R.Costs.Spill),
+                  TextTable::formatCount(R.Costs.CallerSave),
+                  TextTable::formatCount(R.Costs.CalleeSave),
+                  TextTable::formatCount(R.Costs.total()),
+                  std::to_string(R.SpilledRanges),
+                  std::to_string(R.VoluntarySpills),
+                  std::to_string(R.CoalescedMoves),
+                  std::to_string(R.MaxRounds)});
+  }
+  std::cout << "allocator shootout on " << Program << " at " << Config.label()
+            << " (dynamic frequencies):\n";
+  Table.print(std::cout);
+  return 0;
+}

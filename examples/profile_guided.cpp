@@ -1,0 +1,75 @@
+//===- examples/profile_guided.cpp - Static vs profile frequencies --------===//
+//
+// The benefit functions are only as accurate as the execution-frequency
+// estimates behind them (§4). This example allocates the same workload
+// twice — once with the compiler's static estimates (50/50 branches, loops
+// x10) and once with profile-accurate frequencies — and reports the
+// overhead *measured under the true profile* in both cases, i.e. what the
+// program would actually pay at run time. The gap is the value of
+// profile-guided register allocation.
+//
+// Run:  ./profile_guided [program]
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Frequency.h"
+#include "core/AllocatorFactory.h"
+#include "ir/Cloner.h"
+#include "regalloc/CostAccounting.h"
+#include "support/Table.h"
+#include "workloads/SpecProxies.h"
+
+#include <iostream>
+
+using namespace ccra;
+
+namespace {
+
+/// Allocates a clone of \p M using \p DecisionMode frequencies, then
+/// re-measures the resulting overhead instructions under the *true*
+/// profile.
+CostBreakdown allocateAndMeasure(const Module &M, FrequencyMode DecisionMode) {
+  std::unique_ptr<Module> Clone = cloneModule(M);
+  FrequencyInfo DecisionFreq = FrequencyInfo::compute(*Clone, DecisionMode);
+  AllocationEngine Engine = makeEngine(
+      MachineDescription(RegisterConfig(9, 7, 3, 3)), improvedOptions());
+  Engine.allocateModule(*Clone, DecisionFreq);
+
+  // The allocated clone now contains every overhead instruction (spill,
+  // save/restore); weigh them with the truth.
+  FrequencyInfo TrueFreq =
+      FrequencyInfo::compute(*Clone, FrequencyMode::Profile);
+  CostBreakdown Total;
+  for (const auto &F : Clone->functions())
+    Total += measureCostFromCode(*F, TrueFreq);
+  return Total;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Program = Argc > 1 ? Argv[1] : "espresso";
+  std::unique_ptr<Module> M = buildSpecProxy(Program);
+
+  TextTable Table;
+  Table.setHeader({"decision_info", "spill", "caller_sv", "callee_sv",
+                   "total_at_runtime"});
+  CostBreakdown Static = allocateAndMeasure(*M, FrequencyMode::Static);
+  CostBreakdown Profile = allocateAndMeasure(*M, FrequencyMode::Profile);
+  for (auto &[Name, Costs] :
+       {std::pair<const char *, CostBreakdown &>{"static", Static},
+        std::pair<const char *, CostBreakdown &>{"profile", Profile}})
+    Table.addRow({Name, TextTable::formatCount(Costs.Spill),
+                  TextTable::formatCount(Costs.CallerSave),
+                  TextTable::formatCount(Costs.CalleeSave),
+                  TextTable::formatCount(Costs.total())});
+
+  std::cout << "profile-guided allocation for " << Program
+            << " at (9,7,3,3); overhead measured under the true profile:\n";
+  Table.print(std::cout);
+  double Gain = Static.total() / std::max(Profile.total(), 1.0);
+  std::cout << "\nprofile information removes a factor of "
+            << TextTable::formatDouble(Gain, 2)
+            << " of run-time allocation overhead on this workload\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+//===- analysis/CfgTraversal.cpp ------------------------------------------===//
+
+#include "analysis/CfgTraversal.h"
+
+#include <algorithm>
+
+using namespace ccra;
+
+std::vector<BasicBlock *> ccra::computeReversePostOrder(const Function &F) {
+  std::vector<BasicBlock *> PostOrder;
+  if (!F.getEntryBlock())
+    return PostOrder;
+
+  std::vector<bool> Visited(F.numBlocks(), false);
+  // Iterative DFS with an explicit stack of (block, next-successor-index).
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  BasicBlock *Entry = F.getEntryBlock();
+  Visited[Entry->getId()] = true;
+  Stack.push_back({Entry, 0});
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    if (NextSucc < Block->successors().size()) {
+      BasicBlock *Succ = Block->successors()[NextSucc].Succ;
+      ++NextSucc;
+      if (!Visited[Succ->getId()]) {
+        Visited[Succ->getId()] = true;
+        Stack.push_back({Succ, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(Block);
+    Stack.pop_back();
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+bool ccra::allBlocksReachable(const Function &F) {
+  return computeReversePostOrder(F).size() == F.numBlocks();
+}

@@ -1,0 +1,27 @@
+//===- analysis/CfgTraversal.h - CFG orderings ------------------*- C++ -*-===//
+///
+/// \file
+/// Reverse post-order computation and reachability, the backbone of the
+/// dominator, loop, frequency, and liveness analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_ANALYSIS_CFGTRAVERSAL_H
+#define CCRA_ANALYSIS_CFGTRAVERSAL_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace ccra {
+
+/// Returns the blocks of \p F reachable from the entry in reverse
+/// post-order (entry first).
+std::vector<BasicBlock *> computeReversePostOrder(const Function &F);
+
+/// Returns true if every block of \p F is reachable from the entry.
+bool allBlocksReachable(const Function &F);
+
+} // namespace ccra
+
+#endif // CCRA_ANALYSIS_CFGTRAVERSAL_H

@@ -1,0 +1,78 @@
+//===- analysis/Dominators.cpp --------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "analysis/CfgTraversal.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+DominatorTree DominatorTree::compute(const Function &F) {
+  DominatorTree DT;
+  DT.IDom.assign(F.numBlocks(), nullptr);
+  DT.Reachable.assign(F.numBlocks(), false);
+
+  std::vector<BasicBlock *> Rpo = computeReversePostOrder(F);
+  if (Rpo.empty())
+    return DT;
+
+  std::vector<int> RpoIndex(F.numBlocks(), -1);
+  for (size_t I = 0; I < Rpo.size(); ++I) {
+    RpoIndex[Rpo[I]->getId()] = static_cast<int>(I);
+    DT.Reachable[Rpo[I]->getId()] = true;
+  }
+
+  BasicBlock *Entry = Rpo.front();
+  DT.IDom[Entry->getId()] = Entry; // Temporarily self, fixed up at the end.
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RpoIndex[A->getId()] > RpoIndex[B->getId()])
+        A = DT.IDom[A->getId()];
+      while (RpoIndex[B->getId()] > RpoIndex[A->getId()])
+        B = DT.IDom[B->getId()];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : Rpo) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *Pred : BB->predecessors()) {
+        if (!DT.Reachable[Pred->getId()] || !DT.IDom[Pred->getId()])
+          continue;
+        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
+      }
+      assert(NewIDom && "reachable block with no processed predecessor");
+      if (DT.IDom[BB->getId()] != NewIDom) {
+        DT.IDom[BB->getId()] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  DT.IDom[Entry->getId()] = nullptr; // The entry has no immediate dominator.
+  return DT;
+}
+
+BasicBlock *DominatorTree::immediateDominator(const BasicBlock *BB) const {
+  assert(BB->getId() < IDom.size() && "foreign block");
+  return IDom[BB->getId()];
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  const BasicBlock *Walk = B;
+  while (Walk) {
+    if (Walk == A)
+      return true;
+    Walk = IDom[Walk->getId()];
+  }
+  return false;
+}

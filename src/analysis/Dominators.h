@@ -1,0 +1,42 @@
+//===- analysis/Dominators.h - Dominator tree -------------------*- C++ -*-===//
+///
+/// \file
+/// Iterative dominator computation (Cooper/Harvey/Kennedy "A Simple, Fast
+/// Dominance Algorithm"). Used by natural-loop detection, which in turn
+/// feeds the static execution-frequency estimator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_ANALYSIS_DOMINATORS_H
+#define CCRA_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace ccra {
+
+class DominatorTree {
+public:
+  /// Builds the dominator tree for the reachable blocks of \p F.
+  static DominatorTree compute(const Function &F);
+
+  /// Returns the immediate dominator of \p BB, or null for the entry block
+  /// (and for unreachable blocks).
+  BasicBlock *immediateDominator(const BasicBlock *BB) const;
+
+  /// Returns true if \p A dominates \p B (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  bool isReachable(const BasicBlock *BB) const {
+    return BB->getId() < Reachable.size() && Reachable[BB->getId()];
+  }
+
+private:
+  std::vector<BasicBlock *> IDom; // indexed by block id
+  std::vector<bool> Reachable;    // indexed by block id
+};
+
+} // namespace ccra
+
+#endif // CCRA_ANALYSIS_DOMINATORS_H

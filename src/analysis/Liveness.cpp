@@ -1,0 +1,75 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+Liveness Liveness::compute(const Function &F) {
+  Liveness LV;
+  LV.NumVRegs = F.numVRegs();
+  unsigned NumBlocks = F.numBlocks();
+  LV.In.assign(NumBlocks, BitVector(LV.NumVRegs));
+  LV.Out.assign(NumBlocks, BitVector(LV.NumVRegs));
+
+  // Per-block upward-exposed uses and kills.
+  std::vector<BitVector> UEVar(NumBlocks, BitVector(LV.NumVRegs));
+  std::vector<BitVector> Kill(NumBlocks, BitVector(LV.NumVRegs));
+  for (const auto &BB : F.blocks()) {
+    BitVector &UE = UEVar[BB->getId()];
+    BitVector &KillSet = Kill[BB->getId()];
+    for (const Instruction &I : BB->instructions()) {
+      for (VirtReg R : I.Uses)
+        if (!KillSet.test(R.Id))
+          UE.set(R.Id);
+      for (VirtReg R : I.Defs)
+        KillSet.set(R.Id);
+    }
+  }
+
+  // Iterate to a fixpoint. Sweeping blocks in reverse creation order is a
+  // good approximation of post-order for the structured CFGs we build;
+  // correctness does not depend on the order.
+  bool Changed = true;
+  BitVector Tmp(LV.NumVRegs);
+  while (Changed) {
+    Changed = false;
+    for (auto It = F.blocks().rbegin(); It != F.blocks().rend(); ++It) {
+      const BasicBlock &BB = **It;
+      unsigned Id = BB.getId();
+      // Out[b] = union of In[s] over successors.
+      for (const CfgEdge &E : BB.successors())
+        Changed |= LV.Out[Id].unionWith(LV.In[E.Succ->getId()]);
+      // In[b] = UEVar[b] | (Out[b] - Kill[b]).
+      Tmp = LV.Out[Id];
+      Tmp.subtract(Kill[Id]);
+      Tmp.unionWith(UEVar[Id]);
+      Changed |= LV.In[Id].unionWith(Tmp);
+    }
+  }
+  return LV;
+}
+
+void Liveness::eraseRegister(VirtReg R) {
+  assert(R.Id < NumVRegs && "register outside the liveness universe");
+  for (BitVector &Set : In)
+    Set.reset(R.Id);
+  for (BitVector &Set : Out)
+    Set.reset(R.Id);
+}
+
+void Liveness::growUniverse(unsigned NewNumVRegs) {
+  assert(NewNumVRegs >= NumVRegs && "universe cannot shrink");
+  NumVRegs = NewNumVRegs;
+  for (BitVector &Set : In)
+    Set.resize(NewNumVRegs);
+  for (BitVector &Set : Out)
+    Set.resize(NewNumVRegs);
+}
+
+bool Liveness::liveIntoEntry(const Function &F, VirtReg R) const {
+  const BasicBlock *Entry = F.getEntryBlock();
+  assert(Entry && "function has no body");
+  return In[Entry->getId()].test(R.Id);
+}

@@ -1,0 +1,58 @@
+//===- analysis/Liveness.h - Backward liveness dataflow ---------*- C++ -*-===//
+///
+/// \file
+/// Classic backward live-variable analysis over virtual registers. The
+/// interference-graph builder consumes the per-block live-out sets and
+/// re-derives instruction-level liveness with a local backward scan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_ANALYSIS_LIVENESS_H
+#define CCRA_ANALYSIS_LIVENESS_H
+
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ccra {
+
+class Liveness {
+public:
+  /// Runs the dataflow to a fixpoint for \p F.
+  static Liveness compute(const Function &F);
+
+  const BitVector &liveIn(const BasicBlock &BB) const {
+    return In[BB.getId()];
+  }
+  const BitVector &liveOut(const BasicBlock &BB) const {
+    return Out[BB.getId()];
+  }
+
+  /// Number of virtual registers the sets are defined over.
+  unsigned numVRegs() const { return NumVRegs; }
+
+  /// Returns true if \p R is live at function entry — a well-formed
+  /// function defines everything before use, so this indicates a
+  /// use-before-def bug.
+  bool liveIntoEntry(const Function &F, VirtReg R) const;
+
+  // Incremental maintenance, used by graph reconstruction after spilling:
+  // a spilled register vanishes from the code (clear its bits); reload
+  // temporaries never live across block boundaries (grow the universe with
+  // zero bits). Both keep the sets exact without re-running the dataflow.
+
+  /// Clears \p R from every live-in/live-out set.
+  void eraseRegister(VirtReg R);
+
+  /// Extends every set to cover \p NewNumVRegs registers (new bits zero).
+  void growUniverse(unsigned NewNumVRegs);
+
+private:
+  unsigned NumVRegs = 0;
+  std::vector<BitVector> In, Out; // by block id
+};
+
+} // namespace ccra
+
+#endif // CCRA_ANALYSIS_LIVENESS_H

@@ -1,0 +1,87 @@
+//===- analysis/LoopInfo.cpp ----------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ccra;
+
+bool Loop::contains(const BasicBlock *BB) const {
+  return std::find(Blocks.begin(), Blocks.end(), BB) != Blocks.end();
+}
+
+LoopInfo LoopInfo::compute(const Function &F, const DominatorTree &DT) {
+  LoopInfo LI;
+  LI.Depth.assign(F.numBlocks(), 0);
+  LI.HeaderFlags.assign(F.numBlocks(), false);
+  LI.BackEdgeTargets.assign(F.numBlocks(), {});
+
+  // A back edge is an edge whose target dominates its source. The natural
+  // loop of back edge (Tail -> Header) is Header plus all blocks that can
+  // reach Tail without going through Header.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> HeaderToBody;
+  for (const auto &BB : F.blocks()) {
+    for (const CfgEdge &E : BB->successors()) {
+      if (!DT.dominates(E.Succ, BB.get()))
+        continue;
+      LI.BackEdgeTargets[BB->getId()].push_back(E.Succ->getId());
+      BasicBlock *Header = E.Succ;
+      BasicBlock *Tail = BB.get();
+      auto &Body = HeaderToBody[Header];
+      // Backward flood fill from Tail, stopping at Header.
+      std::vector<bool> InLoop(F.numBlocks(), false);
+      for (BasicBlock *Existing : Body)
+        InLoop[Existing->getId()] = true;
+      InLoop[Header->getId()] = true;
+      std::vector<BasicBlock *> Work;
+      if (!InLoop[Tail->getId()]) {
+        InLoop[Tail->getId()] = true;
+        Work.push_back(Tail);
+      }
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.back();
+        Work.pop_back();
+        for (BasicBlock *Pred : Cur->predecessors()) {
+          if (!DT.isReachable(Pred) || InLoop[Pred->getId()])
+            continue;
+          InLoop[Pred->getId()] = true;
+          Work.push_back(Pred);
+        }
+      }
+      Body.clear();
+      for (const auto &Candidate : F.blocks())
+        if (InLoop[Candidate->getId()])
+          Body.push_back(Candidate.get());
+    }
+  }
+
+  for (auto &[Header, Body] : HeaderToBody) {
+    Loop L;
+    L.Header = Header;
+    L.Blocks = Body;
+    LI.HeaderFlags[Header->getId()] = true;
+    for (BasicBlock *BB : Body)
+      ++LI.Depth[BB->getId()];
+    LI.Loops.push_back(std::move(L));
+  }
+  return LI;
+}
+
+unsigned LoopInfo::loopDepth(const BasicBlock *BB) const {
+  return BB->getId() < Depth.size() ? Depth[BB->getId()] : 0;
+}
+
+bool LoopInfo::isBackEdge(const BasicBlock *From, const BasicBlock *To) const {
+  if (From->getId() >= BackEdgeTargets.size())
+    return false;
+  const auto &Targets = BackEdgeTargets[From->getId()];
+  return std::find(Targets.begin(), Targets.end(), To->getId()) !=
+         Targets.end();
+}
+
+bool LoopInfo::isLoopHeader(const BasicBlock *BB) const {
+  return BB->getId() < HeaderFlags.size() && HeaderFlags[BB->getId()];
+}

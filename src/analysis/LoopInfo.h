@@ -1,0 +1,57 @@
+//===- analysis/LoopInfo.h - Natural loop detection -------------*- C++ -*-===//
+///
+/// \file
+/// Natural-loop detection from dominator-identified back edges. The static
+/// execution-frequency estimator uses loop nesting depth and back-edge
+/// identification to model "loops iterate about ten times" without looking
+/// at profile-truth probabilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_ANALYSIS_LOOPINFO_H
+#define CCRA_ANALYSIS_LOOPINFO_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace ccra {
+
+class DominatorTree;
+
+/// One natural loop: a header plus the set of blocks in the loop body
+/// (including the header).
+struct Loop {
+  BasicBlock *Header = nullptr;
+  std::vector<BasicBlock *> Blocks;
+
+  bool contains(const BasicBlock *BB) const;
+};
+
+class LoopInfo {
+public:
+  /// Detects the natural loops of \p F. Loops sharing a header are merged.
+  static LoopInfo compute(const Function &F, const DominatorTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Number of loops whose body contains \p BB.
+  unsigned loopDepth(const BasicBlock *BB) const;
+
+  /// True if the edge \p From -> \p To is a back edge (target dominates
+  /// source).
+  bool isBackEdge(const BasicBlock *From, const BasicBlock *To) const;
+
+  /// True if \p BB is the header of some natural loop.
+  bool isLoopHeader(const BasicBlock *BB) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<unsigned> Depth;            // by block id
+  std::vector<bool> HeaderFlags;          // by block id
+  std::vector<std::vector<unsigned>> BackEdgeTargets; // by source block id
+};
+
+} // namespace ccra
+
+#endif // CCRA_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,33 @@
+//===- core/AllocatorFactory.cpp ------------------------------------------===//
+
+#include "core/AllocatorFactory.h"
+
+#include "core/ImprovedChaitinAllocator.h"
+#include "regalloc/CBHAllocator.h"
+#include "regalloc/ChaitinAllocator.h"
+#include "regalloc/PriorityAllocator.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+std::unique_ptr<RegAllocBase>
+ccra::createAllocator(const AllocatorOptions &Opts) {
+  switch (Opts.Kind) {
+  case AllocatorKind::Chaitin:
+    return std::make_unique<ChaitinAllocator>(Opts);
+  case AllocatorKind::Improved:
+    return std::make_unique<ImprovedChaitinAllocator>(Opts);
+  case AllocatorKind::Priority:
+    return std::make_unique<PriorityAllocator>(Opts);
+  case AllocatorKind::CBH:
+    return std::make_unique<CBHAllocator>(Opts);
+  }
+  assert(false && "unknown allocator kind");
+  return nullptr;
+}
+
+AllocationEngine ccra::makeEngine(MachineDescription MD,
+                                  const AllocatorOptions &Opts) {
+  return AllocationEngine(MD, Opts, createAllocator(Opts));
+}

@@ -1,0 +1,34 @@
+//===- core/AllocatorFactory.h - Options -> allocator + engine --*- C++ -*-===//
+///
+/// \file
+/// Maps an AllocatorOptions value to the allocator implementing it, and
+/// builds ready-to-run AllocationEngines. This is the one-stop entry point
+/// the examples and benchmarks use:
+///
+/// \code
+///   AllocationEngine Engine = makeEngine(MachineDescription(Config),
+///                                        improvedOptions());
+///   ModuleAllocationResult R = Engine.allocateModule(M, Freq);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_CORE_ALLOCATORFACTORY_H
+#define CCRA_CORE_ALLOCATORFACTORY_H
+
+#include "regalloc/AllocationEngine.h"
+
+#include <memory>
+
+namespace ccra {
+
+/// Creates the allocator implementing \p Opts.
+std::unique_ptr<RegAllocBase> createAllocator(const AllocatorOptions &Opts);
+
+/// Convenience: engine with the matching allocator plugged in.
+AllocationEngine makeEngine(MachineDescription MD,
+                            const AllocatorOptions &Opts);
+
+} // namespace ccra
+
+#endif // CCRA_CORE_ALLOCATORFACTORY_H

@@ -1,0 +1,23 @@
+//===- core/BenefitKeys.cpp -----------------------------------------------===//
+
+#include "core/BenefitKeys.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ccra;
+
+double ccra::benefitSimplificationKey(const LiveRange &LR,
+                                      BenefitKeyStrategy Strategy) {
+  double Caller = LR.benefitCaller();
+  double Callee = LR.benefitCallee();
+  switch (Strategy) {
+  case BenefitKeyStrategy::MaxBenefit:
+    return std::max(Caller, Callee);
+  case BenefitKeyStrategy::Delta:
+    if (Caller >= 0.0 && Callee >= 0.0)
+      return std::abs(Caller - Callee);
+    return std::max(Caller, Callee);
+  }
+  return 0.0;
+}

@@ -1,0 +1,33 @@
+//===- core/BenefitKeys.h - Benefit-driven simplification keys --*- C++ -*-===//
+///
+/// \file
+/// The ordering keys of §5 (benefit-driven simplification). During
+/// simplification the unconstrained live range with the *smallest* key is
+/// removed first, leaving large-key ranges near the top of the color stack
+/// where they have the most freedom to obtain their preferred kind of
+/// register.
+///
+/// Strategy 1 (MaxBenefit), max(benefitCaller, benefitCallee), is the
+/// priority-based ordering; the paper shows it misfits Chaitin coloring
+/// because simplification already guarantees a register — what matters is
+/// the *penalty of getting the wrong kind*, the delta between the two
+/// benefits (Strategy 2, the paper's choice; Figure 4 is the illustrating
+/// example and lives in the test suite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_CORE_BENEFITKEYS_H
+#define CCRA_CORE_BENEFITKEYS_H
+
+#include "regalloc/AllocatorOptions.h"
+#include "regalloc/LiveRange.h"
+
+namespace ccra {
+
+/// Returns the simplification key of \p LR under \p Strategy.
+double benefitSimplificationKey(const LiveRange &LR,
+                                BenefitKeyStrategy Strategy);
+
+} // namespace ccra
+
+#endif // CCRA_CORE_BENEFITKEYS_H

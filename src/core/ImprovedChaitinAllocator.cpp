@@ -1,0 +1,106 @@
+//===- core/ImprovedChaitinAllocator.cpp ----------------------------------===//
+
+#include "core/ImprovedChaitinAllocator.h"
+
+#include "core/BenefitKeys.h"
+#include "core/PreferenceDecision.h"
+#include "target/MachineDescription.h"
+
+using namespace ccra;
+
+void ImprovedChaitinAllocator::preColorOrdering(AllocationContext &Ctx) {
+  if (Opts.PreferenceDecision)
+    runPreferenceDecision(Ctx);
+}
+
+bool ImprovedChaitinAllocator::hasSimplifyKey() const {
+  return Opts.BenefitSimplify;
+}
+
+double ImprovedChaitinAllocator::simplifyKey(const AllocationContext &Ctx,
+                                             const LiveRange &LR) const {
+  (void)Ctx;
+  return benefitSimplificationKey(LR, Opts.BSKey);
+}
+
+RegKindPref ImprovedChaitinAllocator::preference(
+    const AllocationContext &Ctx, unsigned Node, const LiveRange &LR,
+    const AssignmentState &State) const {
+  if (LR.ForcedCallerPref)
+    return RegKindPref::Caller;
+  if (!Opts.StorageClass)
+    return ChaitinAllocator::preference(Ctx, Node, LR, State);
+  // A callee-save register someone else already paid for is free to reuse
+  // (§4: only the first user pays, or the cost is shared); its effective
+  // benefit is the full reference weight.
+  double BenefitCallee = LR.benefitCallee();
+  if (State.hasReusableCalleeReg(Node))
+    BenefitCallee = LR.WeightedRefs;
+  return BenefitCallee > LR.benefitCaller() ? RegKindPref::Callee
+                                            : RegKindPref::Caller;
+}
+
+bool ImprovedChaitinAllocator::shouldSpillInstead(
+    const AllocationContext &Ctx, const LiveRange &LR, PhysReg Reg,
+    const AssignmentState &State) const {
+  if (!Opts.StorageClass)
+    return false;
+  if (Ctx.MD.isCallerSave(Reg)) {
+    // §4: a caller-save resident live range with negative benefit costs
+    // more in save/restore traffic than its spill code would.
+    return LR.benefitCaller() < 0.0;
+  }
+  // Callee-save register.
+  switch (Opts.CalleeModel) {
+  case CalleeCostModel::FirstUserPays:
+    // The first user pays the whole entry/exit save; subsequent users ride
+    // along for free.
+    return State.isFirstCalleeUser(Reg) && LR.benefitCallee() < 0.0;
+  case CalleeCostModel::Shared:
+    // Decided for the whole register in postAssignment, once every user is
+    // known.
+    return false;
+  }
+  return false;
+}
+
+void ImprovedChaitinAllocator::postAssignment(AllocationContext &Ctx,
+                                              AssignmentState &State,
+                                              RoundResult &RR) {
+  if (!Opts.StorageClass || Opts.CalleeModel != CalleeCostModel::Shared)
+    return;
+
+  // §4, second model: the callee-save cost of a register is shared by all
+  // its users; spill them all exactly when their combined spill cost is
+  // below the register's save/restore cost.
+  for (unsigned B = 0; B < NumRegBanks; ++B) {
+    RegBank Bank = static_cast<RegBank>(B);
+    for (unsigned J = 0; J < Ctx.MD.calleeCount(Bank); ++J) {
+      PhysReg Reg = Ctx.MD.calleeSaveReg(Bank, J);
+      const std::vector<unsigned> &Users = State.usersOf(Reg);
+      if (Users.empty())
+        continue;
+      double CombinedSpillCost = 0.0;
+      bool HasNoSpillUser = false;
+      for (unsigned RangeId : Users) {
+        const LiveRange &LR = Ctx.LRS.range(RangeId);
+        HasNoSpillUser |= LR.NoSpill;
+        CombinedSpillCost += LR.WeightedRefs;
+      }
+      // A reload temporary pins the register: its save/restore is paid no
+      // matter what, so evicting the other users cannot help.
+      if (HasNoSpillUser)
+        continue;
+      double CalleeCost = 2.0 * Ctx.EntryFreq;
+      if (CombinedSpillCost >= CalleeCost)
+        continue;
+      std::vector<unsigned> Evicted(Users.begin(), Users.end());
+      for (unsigned RangeId : Evicted) {
+        State.unassign(RangeId);
+        State.spill(RangeId);
+        ++RR.VoluntarySpills;
+      }
+      RR.NewlyRefusedCalleeRegs.push_back(Reg);
+    }
+  }
+}

@@ -1,0 +1,55 @@
+//===- core/ImprovedChaitinAllocator.h - The paper's allocator --*- C++ -*-===//
+///
+/// \file
+/// The call-cost directed register allocator: Chaitin-style coloring with
+/// the three improvements of the paper —
+///
+///  - storage-class analysis (§4): caller/callee/memory decided by the two
+///    benefit functions; voluntary spilling when the available kind of
+///    register costs more than memory, under either callee-save cost model
+///    ("first user pays" or "shared");
+///  - benefit-driven simplification (§5): unconstrained live ranges leave
+///    the graph smallest-key first, so high-penalty ranges sit on top of
+///    the color stack;
+///  - preference decision (§6): per call site, live ranges that cannot all
+///    get callee-save registers are pre-assigned a caller-save preference
+///    by cost.
+///
+/// Each improvement can be toggled independently (the Figure 6 ablations);
+/// combined with AllocatorOptions::Optimistic this also yields the
+/// improved+optimistic hybrid of Figure 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_CORE_IMPROVEDCHAITINALLOCATOR_H
+#define CCRA_CORE_IMPROVEDCHAITINALLOCATOR_H
+
+#include "regalloc/ChaitinAllocator.h"
+
+namespace ccra {
+
+class ImprovedChaitinAllocator : public ChaitinAllocator {
+public:
+  explicit ImprovedChaitinAllocator(const AllocatorOptions &Opts)
+      : ChaitinAllocator(Opts) {}
+
+  const char *name() const override { return "improved-chaitin"; }
+
+protected:
+  void preColorOrdering(AllocationContext &Ctx) override;
+  bool hasSimplifyKey() const override;
+  double simplifyKey(const AllocationContext &Ctx,
+                     const LiveRange &LR) const override;
+  RegKindPref preference(const AllocationContext &Ctx, unsigned Node,
+                         const LiveRange &LR,
+                         const AssignmentState &State) const override;
+  bool shouldSpillInstead(const AllocationContext &Ctx, const LiveRange &LR,
+                          PhysReg Reg,
+                          const AssignmentState &State) const override;
+  void postAssignment(AllocationContext &Ctx, AssignmentState &State,
+                      RoundResult &RR) override;
+};
+
+} // namespace ccra
+
+#endif // CCRA_CORE_IMPROVEDCHAITINALLOCATOR_H

@@ -1,0 +1,71 @@
+//===- core/PreferenceDecision.cpp ----------------------------------------===//
+
+#include "core/PreferenceDecision.h"
+
+#include "target/MachineDescription.h"
+
+#include <algorithm>
+
+using namespace ccra;
+
+double ccra::preferenceDecisionKey(const LiveRange &LR) {
+  if (LR.benefitCaller() > 0.0)
+    return LR.CallerSaveCost;
+  return LR.spillCost();
+}
+
+unsigned ccra::runPreferenceDecision(AllocationContext &Ctx) {
+  LiveRangeSet &LRS = Ctx.LRS;
+
+  // Call sites in decreasing weighted-frequency order.
+  std::vector<unsigned> CallOrder;
+  for (const CallSite &CS : LRS.callSites())
+    CallOrder.push_back(CS.Id);
+  std::sort(CallOrder.begin(), CallOrder.end(), [&](unsigned A, unsigned B) {
+    double FA = LRS.callSites()[A].Freq;
+    double FB = LRS.callSites()[B].Freq;
+    if (FA != FB)
+      return FA > FB;
+    return A < B;
+  });
+
+  // Invert crossing info: live ranges per call site.
+  std::vector<std::vector<unsigned>> RangesAtCall(LRS.callSites().size());
+  for (const LiveRange &LR : LRS.ranges())
+    for (unsigned CallId : LR.CrossedCalls)
+      RangesAtCall[CallId].push_back(LR.Id);
+
+  unsigned Forced = 0;
+  for (unsigned CallId : CallOrder) {
+    for (unsigned B = 0; B < NumRegBanks; ++B) {
+      RegBank Bank = static_cast<RegBank>(B);
+      unsigned M = Ctx.MD.calleeCount(Bank);
+
+      std::vector<unsigned> Candidates;
+      for (unsigned RangeId : RangesAtCall[CallId]) {
+        const LiveRange &LR = LRS.range(RangeId);
+        if (LR.Bank != Bank || LR.ForcedCallerPref)
+          continue;
+        if (LR.benefitCallee() > LR.benefitCaller())
+          Candidates.push_back(RangeId);
+      }
+      if (Candidates.size() <= M)
+        continue;
+
+      std::sort(Candidates.begin(), Candidates.end(),
+                [&](unsigned A, unsigned Bx) {
+                  double KA = preferenceDecisionKey(LRS.range(A));
+                  double KB = preferenceDecisionKey(LRS.range(Bx));
+                  if (KA != KB)
+                    return KA < KB;
+                  return A < Bx;
+                });
+      unsigned Displace = static_cast<unsigned>(Candidates.size()) - M;
+      for (unsigned I = 0; I < Displace; ++I) {
+        LRS.range(Candidates[I]).ForcedCallerPref = true;
+        ++Forced;
+      }
+    }
+  }
+  return Forced;
+}

@@ -1,0 +1,36 @@
+//===- core/PreferenceDecision.h - §6 preference decision -------*- C++ -*-===//
+///
+/// \file
+/// The preference-decision pre-pass of §6. For every call site, in order of
+/// decreasing weighted execution frequency: if L live ranges crossing the
+/// call prefer callee-save registers but only M callee-save registers exist
+/// in their bank, at least L - M of them must end up elsewhere no matter
+/// how registers are assigned. The L - M cheapest ones — by the key
+///
+///   key(lr) = callerSaveCost(lr)  if benefitCaller(lr) > 0
+///           = spillCost(lr)       otherwise
+///
+/// (the penalty they actually pay for *not* getting a callee-save
+/// register) — are annotated to prefer caller-save registers, keeping the
+/// scarce callee-save registers for the ranges that need them most
+/// (Figure 5's example; reproduced in the test suite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_CORE_PREFERENCEDECISION_H
+#define CCRA_CORE_PREFERENCEDECISION_H
+
+#include "regalloc/AllocationContext.h"
+
+namespace ccra {
+
+/// Sets LiveRange::ForcedCallerPref on the displaced live ranges. Returns
+/// the number of live ranges annotated.
+unsigned runPreferenceDecision(AllocationContext &Ctx);
+
+/// The sorting key used to pick which live ranges to displace.
+double preferenceDecisionKey(const LiveRange &LR);
+
+} // namespace ccra
+
+#endif // CCRA_CORE_PREFERENCEDECISION_H

@@ -1,0 +1,70 @@
+//===- harness/Experiment.cpp ---------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include "core/AllocatorFactory.h"
+#include "ir/Cloner.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace ccra;
+
+ExperimentResult ccra::runExperiment(const Module &M,
+                                     const RegisterConfig &Config,
+                                     const AllocatorOptions &Opts,
+                                     FrequencyMode Mode) {
+  ExperimentResult Result;
+
+  std::unique_ptr<Module> Clone = cloneModule(M);
+  FrequencyInfo Freq = FrequencyInfo::compute(*Clone, Mode);
+
+  AllocationEngine Engine = makeEngine(MachineDescription(Config), Opts);
+  ModuleAllocationResult Alloc = Engine.allocateModule(*Clone, Freq);
+
+  Result.Costs = Alloc.Totals;
+  for (const auto &[F, FA] : Alloc.PerFunction) {
+    (void)F;
+    Result.SpilledRanges += FA.SpilledRanges;
+    Result.VoluntarySpills += FA.VoluntarySpills;
+    Result.CoalescedMoves += FA.CoalescedMoves;
+    Result.CalleeRegsPaid += FA.CalleeRegsPaid;
+    Result.MaxRounds = std::max(Result.MaxRounds, FA.Rounds);
+  }
+  Result.Cycles = estimateDynamicCycles(*Clone, Freq);
+  return Result;
+}
+
+/// Per-instruction cycle costs, loosely following the MIPS R3000 the paper
+/// measured on (DECstation 5000): single-cycle ALU ops, two-cycle memory
+/// accesses (including every overhead load/store), multi-cycle
+/// multiply/divide, and a small fixed call overhead.
+static double instructionCycles(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::Mul:
+  case Opcode::FMul:
+    return 5.0;
+  case Opcode::Div:
+  case Opcode::FDiv:
+    return 20.0;
+  case Opcode::Call:
+    return 2.0;
+  default:
+    return I.isMemory() ? 2.0 : 1.0;
+  }
+}
+
+double ccra::estimateDynamicCycles(const Module &M,
+                                   const FrequencyInfo &Freq) {
+  double Cycles = 0.0;
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      double BlockFreq = Freq.blockFrequency(*BB);
+      double PerIteration = 0.0;
+      for (const Instruction &I : BB->instructions())
+        PerIteration += instructionCycles(I);
+      Cycles += BlockFreq * PerIteration;
+    }
+  }
+  return Cycles;
+}

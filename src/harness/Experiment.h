@@ -1,0 +1,48 @@
+//===- harness/Experiment.h - Reproduction experiment driver ---*- C++ -*-===//
+///
+/// \file
+/// Runs one point of the paper's evaluation grid — (workload, register
+/// configuration, allocator, frequency source) — on a clone of the
+/// workload, and the Table 4 execution-time model. Every bench binary is a
+/// thin loop over this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_HARNESS_EXPERIMENT_H
+#define CCRA_HARNESS_EXPERIMENT_H
+
+#include "analysis/Frequency.h"
+#include "regalloc/AllocationResult.h"
+#include "regalloc/AllocatorOptions.h"
+#include "target/MachineDescription.h"
+
+#include <string>
+
+namespace ccra {
+
+struct ExperimentResult {
+  CostBreakdown Costs;
+  unsigned SpilledRanges = 0;
+  unsigned VoluntarySpills = 0;
+  unsigned CoalescedMoves = 0;
+  unsigned CalleeRegsPaid = 0;
+  unsigned MaxRounds = 0;
+  /// Estimated dynamic cycles of the allocated program (Table 4 model):
+  /// one cycle per instruction plus one extra per memory operation.
+  double Cycles = 0.0;
+};
+
+/// Allocates a clone of \p M with \p Opts under \p Config, using \p Mode
+/// execution-frequency estimates. \p M itself is never modified.
+ExperimentResult runExperiment(const Module &M, const RegisterConfig &Config,
+                               const AllocatorOptions &Opts,
+                               FrequencyMode Mode);
+
+/// The Table 4 cycle model, exposed for tests: weighted dynamic instruction
+/// count with memory operations (including all overhead loads/stores)
+/// costing one extra cycle.
+double estimateDynamicCycles(const Module &M, const FrequencyInfo &Freq);
+
+} // namespace ccra
+
+#endif // CCRA_HARNESS_EXPERIMENT_H

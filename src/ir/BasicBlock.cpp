@@ -1,0 +1,34 @@
+//===- ir/BasicBlock.cpp --------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+Instruction &BasicBlock::append(Instruction I) {
+  assert(!isTerminated() && "appending to a terminated block");
+  Insts.push_back(std::move(I));
+  return Insts.back();
+}
+
+const Instruction *BasicBlock::getTerminator() const {
+  if (Insts.empty())
+    return nullptr;
+  const Instruction &Last = Insts.back();
+  return Last.isTerminator() ? &Last : nullptr;
+}
+
+void BasicBlock::addSuccessor(BasicBlock *Succ, double Probability) {
+  assert(Succ && "null successor");
+  Succs.push_back(CfgEdge{Succ, Probability});
+  Succ->Preds.push_back(this);
+}
+
+unsigned BasicBlock::countProgramInstructions() const {
+  unsigned Count = 0;
+  for (const Instruction &I : Insts)
+    if (!I.isOverhead())
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,73 @@
+//===- ir/BasicBlock.h - Basic blocks with weighted CFG edges ---*- C++ -*-===//
+///
+/// \file
+/// Basic blocks hold the instruction sequence and the outgoing CFG edges.
+/// Each edge carries a branch probability: the workload specs record the
+/// *true* probabilities (the "dynamic"/profile frequency source of the
+/// paper), while the static frequency estimator deliberately ignores them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_IR_BASICBLOCK_H
+#define CCRA_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace ccra {
+
+class Function;
+class BasicBlock;
+
+/// A CFG edge annotated with its true branch probability.
+struct CfgEdge {
+  BasicBlock *Succ = nullptr;
+  double Probability = 1.0;
+};
+
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, unsigned Id, std::string Name)
+      : Parent(Parent), Id(Id), Name(std::move(Name)) {}
+
+  Function *getParent() const { return Parent; }
+  unsigned getId() const { return Id; }
+  const std::string &getName() const { return Name; }
+
+  std::vector<Instruction> &instructions() { return Insts; }
+  const std::vector<Instruction> &instructions() const { return Insts; }
+
+  /// Appends \p I; terminators may only be appended last.
+  Instruction &append(Instruction I);
+
+  /// Returns the terminator, or null if the block is not yet terminated.
+  const Instruction *getTerminator() const;
+  bool isTerminated() const { return getTerminator() != nullptr; }
+
+  /// Adds a successor edge with probability \p Probability and registers
+  /// this block as a predecessor of \p Succ.
+  void addSuccessor(BasicBlock *Succ, double Probability = 1.0);
+
+  const std::vector<CfgEdge> &successors() const { return Succs; }
+  const std::vector<BasicBlock *> &predecessors() const { return Preds; }
+
+  /// Number of non-overhead instructions (used by workload statistics).
+  unsigned countProgramInstructions() const;
+
+  /// Internal: used by Function when renumbering blocks.
+  void setId(unsigned NewId) { Id = NewId; }
+
+private:
+  Function *Parent;
+  unsigned Id;
+  std::string Name;
+  std::vector<Instruction> Insts;
+  std::vector<CfgEdge> Succs;
+  std::vector<BasicBlock *> Preds;
+};
+
+} // namespace ccra
+
+#endif // CCRA_IR_BASICBLOCK_H

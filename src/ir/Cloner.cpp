@@ -1,0 +1,52 @@
+//===- ir/Cloner.cpp ------------------------------------------------------===//
+
+#include "ir/Cloner.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace ccra;
+
+std::unique_ptr<Module> ccra::cloneModule(const Module &M) {
+  auto Clone = std::make_unique<Module>(M.getName());
+
+  // First create every function so call targets can be remapped.
+  std::unordered_map<const Function *, Function *> FuncMap;
+  for (const auto &F : M.functions())
+    FuncMap[F.get()] = Clone->createFunction(F->getName());
+  if (M.getEntryFunction())
+    Clone->setEntryFunction(FuncMap.at(M.getEntryFunction()));
+
+  for (const auto &F : M.functions()) {
+    Function *NewF = FuncMap.at(F.get());
+
+    // Recreate the virtual-register table in order.
+    for (unsigned V = 0; V < F->numVRegs(); ++V) {
+      VirtReg R(V);
+      VirtReg NewR = F->isSpillTemp(R)
+                         ? NewF->createSpillTemp(F->vregBank(R))
+                         : NewF->createVReg(F->vregBank(R));
+      assert(NewR.Id == V && "vreg numbering must be preserved");
+      (void)NewR;
+    }
+    for (unsigned S = 0; S < F->numSpillSlots(); ++S)
+      NewF->createSpillSlot();
+
+    // Blocks, then instructions and edges.
+    std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+    for (const auto &BB : F->blocks())
+      BlockMap[BB.get()] = NewF->createBlock(BB->getName());
+    for (const auto &BB : F->blocks()) {
+      BasicBlock *NewBB = BlockMap.at(BB.get());
+      for (const Instruction &I : BB->instructions()) {
+        Instruction NewI = I;
+        if (NewI.Callee)
+          NewI.Callee = FuncMap.at(NewI.Callee);
+        NewBB->append(std::move(NewI));
+      }
+      for (const CfgEdge &E : BB->successors())
+        NewBB->addSuccessor(BlockMap.at(E.Succ), E.Probability);
+    }
+  }
+  return Clone;
+}

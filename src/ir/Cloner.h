@@ -1,0 +1,26 @@
+//===- ir/Cloner.h - Deep copies of modules and functions -------*- C++ -*-===//
+///
+/// \file
+/// Register allocation mutates the code (spill and save/restore
+/// insertion), so every experiment that compares allocators on the same
+/// workload clones the module first and allocates the clone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_IR_CLONER_H
+#define CCRA_IR_CLONER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace ccra {
+
+/// Returns a structurally identical deep copy of \p M. Call targets and
+/// CFG edges are remapped into the clone; edge probabilities, register
+/// banks, spill-temp flags, and overhead tags are preserved.
+std::unique_ptr<Module> cloneModule(const Module &M);
+
+} // namespace ccra
+
+#endif // CCRA_IR_CLONER_H

@@ -1,0 +1,45 @@
+//===- ir/Function.cpp ----------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+BasicBlock *Function::createBlock(std::string BlockName) {
+  unsigned Id = static_cast<unsigned>(Blocks.size());
+  if (BlockName.empty())
+    BlockName = "bb" + std::to_string(Id);
+  Blocks.push_back(
+      std::make_unique<BasicBlock>(this, Id, std::move(BlockName)));
+  return Blocks.back().get();
+}
+
+VirtReg Function::createVReg(RegBank Bank) {
+  VRegBanks.push_back(Bank);
+  VRegIsSpillTemp.push_back(false);
+  return VirtReg(static_cast<unsigned>(VRegBanks.size()) - 1);
+}
+
+VirtReg Function::createSpillTemp(RegBank Bank) {
+  VirtReg R = createVReg(Bank);
+  VRegIsSpillTemp[R.Id] = true;
+  return R;
+}
+
+RegBank Function::vregBank(VirtReg R) const {
+  assert(R.Id < VRegBanks.size() && "virtual register out of range");
+  return VRegBanks[R.Id];
+}
+
+bool Function::isSpillTemp(VirtReg R) const {
+  assert(R.Id < VRegIsSpillTemp.size() && "virtual register out of range");
+  return VRegIsSpillTemp[R.Id];
+}
+
+unsigned Function::countProgramInstructions() const {
+  unsigned Count = 0;
+  for (const auto &BB : Blocks)
+    Count += BB->countProgramInstructions();
+  return Count;
+}

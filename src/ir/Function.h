@@ -1,0 +1,81 @@
+//===- ir/Function.h - Functions: blocks + virtual registers ---*- C++ -*-===//
+///
+/// \file
+/// A Function owns its basic blocks (the first block is the entry) and the
+/// table of virtual registers. Virtual registers are non-SSA: a register may
+/// have several defs, and after the coalescing phase each register
+/// congruence class is one live range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_IR_FUNCTION_H
+#define CCRA_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Register.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccra {
+
+class Module;
+
+class Function {
+public:
+  Function(Module *Parent, std::string Name)
+      : Parent(Parent), Name(std::move(Name)) {}
+
+  Module *getParent() const { return Parent; }
+  const std::string &getName() const { return Name; }
+
+  /// External functions have no body; calls to them still incur call cost
+  /// for the caller's live ranges.
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  /// Creates a new basic block owned by this function. The first created
+  /// block becomes the entry block.
+  BasicBlock *createBlock(std::string BlockName = "");
+
+  BasicBlock *getEntryBlock() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+
+  /// Creates a fresh virtual register in \p Bank.
+  VirtReg createVReg(RegBank Bank);
+
+  /// Creates a reload/spill temporary: a virtual register the spiller will
+  /// never choose to spill again (its spill cost is treated as infinite,
+  /// which the paper's framework relies on for termination: spill code is
+  /// inserted into the schedule without reserving registers).
+  VirtReg createSpillTemp(RegBank Bank);
+
+  unsigned numVRegs() const { return static_cast<unsigned>(VRegBanks.size()); }
+  RegBank vregBank(VirtReg R) const;
+  bool isSpillTemp(VirtReg R) const;
+
+  /// Allocates a fresh spill slot (stack home for a spilled live range).
+  unsigned createSpillSlot() { return NumSpillSlots++; }
+  unsigned numSpillSlots() const { return NumSpillSlots; }
+
+  /// Total program (non-overhead) instructions.
+  unsigned countProgramInstructions() const;
+
+private:
+  Module *Parent;
+  std::string Name;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<RegBank> VRegBanks;
+  std::vector<bool> VRegIsSpillTemp;
+  unsigned NumSpillSlots = 0;
+};
+
+} // namespace ccra
+
+#endif // CCRA_IR_FUNCTION_H

@@ -1,0 +1,78 @@
+//===- ir/IRBuilder.h - Convenience instruction emission --------*- C++ -*-===//
+///
+/// \file
+/// IRBuilder provides checked, one-call emission of each instruction kind
+/// into a current insertion block. The synthetic workload generator and the
+/// examples use it; tests use it to build the paper's illustrative graphs
+/// (Figures 3, 4, 5, 8) as real code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_IR_IRBUILDER_H
+#define CCRA_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace ccra {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F) {}
+
+  Function &getFunction() { return F; }
+
+  void setInsertBlock(BasicBlock *BB) { Block = BB; }
+  BasicBlock *getInsertBlock() const { return Block; }
+
+  /// Creates a block and makes it the insertion point.
+  BasicBlock *startBlock(const std::string &Name = "");
+
+  // Value producers -------------------------------------------------------
+  VirtReg buildLoadImm(int64_t Value);
+  VirtReg buildFLoadImm(int64_t Value);
+  /// Integer or floating-point binary arithmetic. Operand banks must match
+  /// the opcode.
+  VirtReg buildBinary(Opcode Op, VirtReg Lhs, VirtReg Rhs);
+  /// Binary arithmetic writing into an existing register (non-SSA reuse).
+  void buildBinaryInto(VirtReg Dest, Opcode Op, VirtReg Lhs, VirtReg Rhs);
+  VirtReg buildCmp(VirtReg Lhs, VirtReg Rhs);
+  VirtReg buildFCmp(VirtReg Lhs, VirtReg Rhs);
+  VirtReg buildCvtIntToFloat(VirtReg Src);
+  VirtReg buildCvtFloatToInt(VirtReg Src);
+  VirtReg buildLoad(VirtReg Address);
+  VirtReg buildFLoad(VirtReg Address);
+  void buildStore(VirtReg Value, VirtReg Address);
+  void buildFStore(VirtReg Value, VirtReg Address);
+
+  /// Copy into a fresh register of the same bank.
+  VirtReg buildMove(VirtReg Src);
+  /// Copy into an existing register of the same bank.
+  void buildMoveTo(VirtReg Dest, VirtReg Src);
+
+  /// Emits a call. \p ReturnBanks lists the banks of the returned values
+  /// (usually zero or one). Returns the fresh result registers.
+  std::vector<VirtReg> buildCall(Function *Callee,
+                                 const std::vector<VirtReg> &Args,
+                                 const std::vector<RegBank> &ReturnBanks = {});
+
+  // Terminators ------------------------------------------------------------
+  void buildBr(BasicBlock *Target);
+  /// Conditional branch: \p TrueProbability is the profile-truth probability
+  /// of taking \p TrueTarget.
+  void buildCondBr(VirtReg Cond, BasicBlock *TrueTarget,
+                   BasicBlock *FalseTarget, double TrueProbability = 0.5);
+  void buildRet();
+  void buildRet(VirtReg Value);
+
+private:
+  Instruction &emit(Instruction I);
+
+  Function &F;
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace ccra
+
+#endif // CCRA_IR_IRBUILDER_H

@@ -1,0 +1,465 @@
+//===- ir/IRParser.cpp ----------------------------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "ir/IRPrinter.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+using namespace ccra;
+
+namespace {
+
+/// Maps printed opcode names back to opcodes.
+const std::map<std::string, Opcode> &opcodeByName() {
+  static const std::map<std::string, Opcode> Table = [] {
+    std::map<std::string, Opcode> M;
+    for (unsigned I = 0; I <= static_cast<unsigned>(Opcode::ShuffleMove); ++I) {
+      Opcode Op = static_cast<Opcode>(I);
+      M[getOpcodeInfo(Op).Name] = Op;
+    }
+    return M;
+  }();
+  return Table;
+}
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Input(Text) {}
+
+  ParseResult run();
+
+private:
+  // --- Lexical helpers (line oriented) -----------------------------------
+  bool nextLine(std::string &Out);
+  void error(const std::string &Message) {
+    Errors.push_back("line " + std::to_string(LineNo) + ": " + Message);
+  }
+
+  static std::string trim(const std::string &S) {
+    size_t Begin = S.find_first_not_of(" \t\r");
+    if (Begin == std::string::npos)
+      return "";
+    size_t End = S.find_last_not_of(" \t\r");
+    return S.substr(Begin, End - Begin + 1);
+  }
+
+  /// Strips a trailing line comment (used for the "; preds:" annotation;
+  /// "; succs:" lines are significant and handled before this).
+  static std::string stripComment(const std::string &S) {
+    size_t Pos = S.find(';');
+    return trim(Pos == std::string::npos ? S : S.substr(0, Pos));
+  }
+
+  // --- Grammar ------------------------------------------------------------
+  bool parseFunction(const std::string &Header);
+  bool parseBody(Function &F);
+  bool parseInstruction(Function &F, BasicBlock *BB, const std::string &Line);
+  bool parseSuccessors(Function &F, BasicBlock *BB, const std::string &Line);
+
+  VirtReg parseReg(Function &F, std::string Token);
+  PhysReg parsePhysReg(std::string Token);
+  bool splitDefs(const std::string &Line, std::string &DefsText,
+                 std::string &RestText);
+  std::vector<std::string> splitCommaList(const std::string &Text);
+
+  std::istringstream Input;
+  unsigned LineNo = 0;
+  std::unique_ptr<Module> M;
+  std::vector<std::string> Errors;
+
+  // Per-function state.
+  std::map<std::string, BasicBlock *> BlocksByName;
+  std::map<unsigned, RegBank> BankOfVReg;
+  /// Calls awaiting callee resolution at end of module. Stored as
+  /// (block, instruction index): instruction vectors may reallocate while
+  /// the block is still being filled.
+  struct PendingCall {
+    BasicBlock *Block;
+    size_t Index;
+    std::string Name;
+  };
+  std::vector<PendingCall> PendingCallees;
+};
+
+bool Parser::nextLine(std::string &Out) {
+  if (!std::getline(Input, Out))
+    return false;
+  ++LineNo;
+  return true;
+}
+
+ParseResult Parser::run() {
+  std::string Line;
+  bool SawModule = false;
+  while (nextLine(Line)) {
+    std::string Text = trim(Line);
+    if (Text.empty())
+      continue;
+    if (Text.rfind("module ", 0) == 0) {
+      if (SawModule) {
+        error("duplicate 'module' line");
+        break;
+      }
+      SawModule = true;
+      M = std::make_unique<Module>(trim(Text.substr(7)));
+      continue;
+    }
+    if (Text.rfind("func ", 0) == 0) {
+      if (!SawModule) {
+        error("'func' before 'module'");
+        break;
+      }
+      if (!parseFunction(Text))
+        break;
+      continue;
+    }
+    error("expected 'module' or 'func', got: " + Text);
+    break;
+  }
+  if (!SawModule && Errors.empty())
+    error("no 'module' line found");
+
+  ParseResult Result;
+  if (Errors.empty()) {
+    // Resolve forward-referenced callees.
+    for (const PendingCall &Pending : PendingCallees) {
+      Function *Callee = M->getFunction(Pending.Name);
+      if (!Callee) {
+        Errors.push_back("call to unknown function @" + Pending.Name);
+        break;
+      }
+      Pending.Block->instructions()[Pending.Index].Callee = Callee;
+    }
+  }
+  if (Errors.empty())
+    Result.M = std::move(M);
+  Result.Errors = std::move(Errors);
+  return Result;
+}
+
+bool Parser::parseFunction(const std::string &Header) {
+  // "func @name {" or "func @name (external)".
+  std::string Rest = trim(Header.substr(5));
+  if (Rest.empty() || Rest[0] != '@') {
+    error("function name must start with '@'");
+    return false;
+  }
+  size_t NameEnd = Rest.find_first_of(" \t");
+  std::string Name = Rest.substr(1, NameEnd - 1);
+  std::string Tail = NameEnd == std::string::npos ? "" : trim(Rest.substr(NameEnd));
+  if (M->getFunction(Name)) {
+    error("duplicate function @" + Name);
+    return false;
+  }
+  Function *F = M->createFunction(Name);
+  if (Name == "main")
+    M->setEntryFunction(F);
+
+  if (Tail == "(external)")
+    return true;
+  if (Tail != "{") {
+    error("expected '{' or '(external)' after function name");
+    return false;
+  }
+  BlocksByName.clear();
+  BankOfVReg.clear();
+  return parseBody(*F);
+}
+
+bool Parser::parseBody(Function &F) {
+  // Two passes over the body text: labels first (so branches can refer to
+  // later blocks), then instructions. Collect the body lines up front.
+  std::vector<std::pair<unsigned, std::string>> Body;
+  std::string Line;
+  bool Closed = false;
+  while (nextLine(Line)) {
+    std::string Text = trim(Line);
+    if (Text == "}") {
+      Closed = true;
+      break;
+    }
+    if (!Text.empty())
+      Body.push_back({LineNo, Text});
+  }
+  if (!Closed) {
+    error("missing '}' at end of function @" + F.getName());
+    return false;
+  }
+
+  for (auto &[No, Text] : Body) {
+    if (Text.rfind("; succs:", 0) == 0 || Text[0] == ';')
+      continue;
+    std::string Clean = stripComment(Text);
+    if (!Clean.empty() && Clean.back() == ':') {
+      std::string Label = Clean.substr(0, Clean.size() - 1);
+      if (BlocksByName.count(Label)) {
+        LineNo = No;
+        error("duplicate block label '" + Label + "'");
+        return false;
+      }
+      BlocksByName[Label] = F.createBlock(Label);
+    }
+  }
+  if (BlocksByName.empty()) {
+    error("function @" + F.getName() + " has no blocks");
+    return false;
+  }
+
+  BasicBlock *Current = nullptr;
+  for (auto &[No, Text] : Body) {
+    LineNo = No;
+    if (Text.rfind("; succs:", 0) == 0) {
+      if (!Current) {
+        error("successor list before the first block label");
+        return false;
+      }
+      if (!parseSuccessors(F, Current, trim(Text.substr(8))))
+        return false;
+      continue;
+    }
+    if (Text[0] == ';')
+      continue; // free-standing comment
+    std::string Clean = stripComment(Text);
+    if (Clean.empty())
+      continue;
+    if (Clean.back() == ':') {
+      Current = BlocksByName.at(Clean.substr(0, Clean.size() - 1));
+      continue;
+    }
+    if (!Current) {
+      error("instruction before first block label");
+      return false;
+    }
+    if (!parseInstruction(F, Current, Clean))
+      return false;
+  }
+
+  // Materialize the register table now that every reference is known, so
+  // printed ids survive the round trip (ids never referenced become
+  // integer-bank placeholders).
+  unsigned MaxId = BankOfVReg.empty() ? 0 : BankOfVReg.rbegin()->first + 1;
+  for (unsigned Id = 0; Id < MaxId; ++Id) {
+    auto It = BankOfVReg.find(Id);
+    F.createVReg(It == BankOfVReg.end() ? RegBank::Int : It->second);
+  }
+  return true;
+}
+
+VirtReg Parser::parseReg(Function &F, std::string Token) {
+  Token = trim(Token);
+  if (Token.size() < 3 || Token[0] != '%' ||
+      (Token[1] != 'i' && Token[1] != 'f')) {
+    error("bad register '" + Token + "'");
+    return VirtReg();
+  }
+  RegBank Bank = Token[1] == 'i' ? RegBank::Int : RegBank::Float;
+  char *End = nullptr;
+  unsigned long Id = std::strtoul(Token.c_str() + 2, &End, 10);
+  if (*End != '\0') {
+    error("bad register id in '" + Token + "'");
+    return VirtReg();
+  }
+  (void)F;
+  auto [It, Inserted] = BankOfVReg.insert({static_cast<unsigned>(Id), Bank});
+  if (!Inserted && It->second != Bank) {
+    error("register %" + std::to_string(Id) + " used with two banks");
+    return VirtReg();
+  }
+  return VirtReg(static_cast<unsigned>(Id));
+}
+
+PhysReg Parser::parsePhysReg(std::string Token) {
+  Token = trim(Token);
+  RegBank Bank;
+  size_t Digits;
+  if (Token.rfind("fp", 0) == 0) {
+    Bank = RegBank::Float;
+    Digits = 2;
+  } else if (!Token.empty() && Token[0] == 'r') {
+    Bank = RegBank::Int;
+    Digits = 1;
+  } else {
+    error("bad physical register '" + Token + "'");
+    return PhysReg();
+  }
+  char *End = nullptr;
+  unsigned long Index = std::strtoul(Token.c_str() + Digits, &End, 10);
+  if (*End != '\0') {
+    error("bad physical register '" + Token + "'");
+    return PhysReg();
+  }
+  return PhysReg(Bank, static_cast<unsigned>(Index));
+}
+
+bool Parser::splitDefs(const std::string &Line, std::string &DefsText,
+                       std::string &RestText) {
+  size_t Eq = Line.find(" = ");
+  if (Eq == std::string::npos || Line[0] != '%') {
+    DefsText.clear();
+    RestText = Line;
+    return true;
+  }
+  DefsText = Line.substr(0, Eq);
+  RestText = trim(Line.substr(Eq + 3));
+  return true;
+}
+
+std::vector<std::string> Parser::splitCommaList(const std::string &Text) {
+  std::vector<std::string> Parts;
+  std::string Current;
+  for (char C : Text) {
+    if (C == ',') {
+      Parts.push_back(trim(Current));
+      Current.clear();
+    } else {
+      Current.push_back(C);
+    }
+  }
+  if (!trim(Current).empty())
+    Parts.push_back(trim(Current));
+  return Parts;
+}
+
+bool Parser::parseInstruction(Function &F, BasicBlock *BB,
+                              const std::string &Line) {
+  std::string DefsText, Rest;
+  splitDefs(Line, DefsText, Rest);
+
+  size_t NameEnd = Rest.find_first_of(" \t");
+  std::string OpName = Rest.substr(0, NameEnd);
+  std::string Operands =
+      NameEnd == std::string::npos ? "" : trim(Rest.substr(NameEnd));
+
+  auto It = opcodeByName().find(OpName);
+  if (It == opcodeByName().end()) {
+    error("unknown opcode '" + OpName + "'");
+    return false;
+  }
+  Instruction I(It->second);
+
+  for (const std::string &Token : splitCommaList(DefsText)) {
+    VirtReg R = parseReg(F, Token);
+    if (!R.isValid())
+      return false;
+    I.Defs.push_back(R);
+  }
+
+  switch (I.Op) {
+  case Opcode::LoadImm:
+  case Opcode::FLoadImm:
+    I.Imm = std::strtoll(Operands.c_str(), nullptr, 10);
+    break;
+  case Opcode::Call: {
+    size_t Paren = Operands.find('(');
+    if (Operands.empty() || Operands[0] != '@' ||
+        Paren == std::string::npos || Operands.back() != ')') {
+      error("malformed call '" + Operands + "'");
+      return false;
+    }
+    I.CalleeName = Operands.substr(1, Paren - 1);
+    std::string Args =
+        Operands.substr(Paren + 1, Operands.size() - Paren - 2);
+    for (const std::string &Token : splitCommaList(Args)) {
+      VirtReg R = parseReg(F, Token);
+      if (!R.isValid())
+        return false;
+      I.Uses.push_back(R);
+    }
+    break;
+  }
+  case Opcode::SpillLoad: {
+    if (Operands.rfind("slot", 0) != 0) {
+      error("spill.load expects a slot operand");
+      return false;
+    }
+    I.SpillSlot = static_cast<unsigned>(
+        std::strtoul(Operands.c_str() + 4, nullptr, 10));
+    I.Overhead = OverheadKind::Spill;
+    break;
+  }
+  case Opcode::SpillStore: {
+    auto Parts = splitCommaList(Operands);
+    if (Parts.size() != 2 || Parts[1].rfind("slot", 0) != 0) {
+      error("spill.store expects '%reg, slotN'");
+      return false;
+    }
+    VirtReg R = parseReg(F, Parts[0]);
+    if (!R.isValid())
+      return false;
+    I.Uses.push_back(R);
+    I.SpillSlot = static_cast<unsigned>(
+        std::strtoul(Parts[1].c_str() + 4, nullptr, 10));
+    I.Overhead = OverheadKind::Spill;
+    break;
+  }
+  case Opcode::Save:
+  case Opcode::Restore: {
+    I.Phys = parsePhysReg(Operands);
+    if (!I.Phys.isValid())
+      return false;
+    break;
+  }
+  case Opcode::ShuffleMove: {
+    auto Parts = splitCommaList(Operands);
+    if (Parts.size() != 2) {
+      error("shuffle.move expects two physical registers");
+      return false;
+    }
+    I.Phys = parsePhysReg(Parts[0]);
+    I.PhysSrc = parsePhysReg(Parts[1]);
+    if (!I.Phys.isValid() || !I.PhysSrc.isValid())
+      return false;
+    I.Overhead = OverheadKind::Shuffle;
+    break;
+  }
+  default:
+    for (const std::string &Token : splitCommaList(Operands)) {
+      VirtReg R = parseReg(F, Token);
+      if (!R.isValid())
+        return false;
+      I.Uses.push_back(R);
+    }
+    break;
+  }
+
+  Instruction &Placed = BB->append(std::move(I));
+  if (Placed.isCall())
+    PendingCallees.push_back(
+        {BB, BB->instructions().size() - 1, Placed.CalleeName});
+  return true;
+}
+
+bool Parser::parseSuccessors(Function &F, BasicBlock *BB,
+                             const std::string &Line) {
+  (void)F;
+  std::istringstream Stream(Line);
+  std::string Token;
+  while (Stream >> Token) {
+    size_t Paren = Token.find('(');
+    if (Paren == std::string::npos || Token.back() != ')') {
+      error("malformed successor '" + Token + "'");
+      return false;
+    }
+    std::string Target = Token.substr(0, Paren);
+    double Probability =
+        std::strtod(Token.substr(Paren + 1, Token.size() - Paren - 2).c_str(),
+                    nullptr);
+    auto It = BlocksByName.find(Target);
+    if (It == BlocksByName.end()) {
+      error("successor references unknown block '" + Target + "'");
+      return false;
+    }
+    BB->addSuccessor(It->second, Probability);
+  }
+  return true;
+}
+
+} // namespace
+
+ParseResult ccra::parseModule(const std::string &Text) {
+  return Parser(Text).run();
+}

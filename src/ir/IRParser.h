@@ -1,0 +1,53 @@
+//===- ir/IRParser.h - Textual IR parsing -----------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the textual form produced by ir/IRPrinter.h back into a Module,
+/// so workloads can be stored in files, diffed, and hand-edited. The
+/// grammar is line-oriented:
+///
+/// \code
+///   module <name>
+///   func @<name> (external)
+///   func @<name> {
+///   <label>:                      ; preds: ... (comment, ignored)
+///     %i0 = loadimm 42
+///     %f1 = fadd %f2, %f3
+///     %i4 = call @callee(%i0)
+///     condbr %i4
+///     ; succs: then(0.9) else(0.1)
+///   }
+/// \endcode
+///
+/// Register names encode bank and id ("%i7" = integer vreg 7), which the
+/// parser preserves, so print -> parse -> print is the identity on every
+/// well-formed module (round-trip tested). Spill-temporary flags are the
+/// one thing the textual form does not carry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_IR_IRPARSER_H
+#define CCRA_IR_IRPARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccra {
+
+/// Result of a parse: the module on success, or null plus diagnostics
+/// ("line N: message") on failure.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::vector<std::string> Errors;
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parses one module from \p Text.
+ParseResult parseModule(const std::string &Text);
+
+} // namespace ccra
+
+#endif // CCRA_IR_IRPARSER_H

@@ -1,0 +1,113 @@
+//===- ir/IRPrinter.cpp ---------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include <sstream>
+
+using namespace ccra;
+
+const char *ccra::regBankName(RegBank Bank) {
+  return Bank == RegBank::Int ? "int" : "float";
+}
+
+std::string ccra::formatVReg(const Function &F, VirtReg R) {
+  if (!R.isValid())
+    return "%<invalid>";
+  const char Prefix = F.vregBank(R) == RegBank::Int ? 'i' : 'f';
+  return std::string("%") + Prefix + std::to_string(R.Id);
+}
+
+std::string ccra::formatPhysReg(PhysReg R) {
+  if (!R.isValid())
+    return "<noreg>";
+  return (R.Bank == RegBank::Int ? "r" : "fp") + std::to_string(R.Index);
+}
+
+std::string ccra::formatInstruction(const Function &F, const Instruction &I) {
+  std::ostringstream OS;
+  // Defs first: "%i1, %i2 = op ...".
+  for (size_t Idx = 0; Idx < I.Defs.size(); ++Idx) {
+    if (Idx != 0)
+      OS << ", ";
+    OS << formatVReg(F, I.Defs[Idx]);
+  }
+  if (!I.Defs.empty())
+    OS << " = ";
+  OS << I.info().Name;
+
+  switch (I.Op) {
+  case Opcode::LoadImm:
+  case Opcode::FLoadImm:
+    OS << ' ' << I.Imm;
+    break;
+  case Opcode::Call:
+    OS << " @" << (I.Callee ? I.Callee->getName() : I.CalleeName) << '(';
+    for (size_t Idx = 0; Idx < I.Uses.size(); ++Idx) {
+      if (Idx != 0)
+        OS << ", ";
+      OS << formatVReg(F, I.Uses[Idx]);
+    }
+    OS << ')';
+    break;
+  case Opcode::SpillLoad:
+    OS << " slot" << I.SpillSlot;
+    break;
+  case Opcode::SpillStore:
+    OS << ' ' << formatVReg(F, I.Uses[0]) << ", slot" << I.SpillSlot;
+    break;
+  case Opcode::Save:
+  case Opcode::Restore:
+    OS << ' ' << formatPhysReg(I.Phys);
+    break;
+  case Opcode::ShuffleMove:
+    OS << ' ' << formatPhysReg(I.Phys) << ", " << formatPhysReg(I.PhysSrc);
+    break;
+  default:
+    for (size_t Idx = 0; Idx < I.Uses.size(); ++Idx) {
+      OS << (Idx == 0 ? " " : ", ") << formatVReg(F, I.Uses[Idx]);
+    }
+    break;
+  }
+  return OS.str();
+}
+
+void ccra::printFunction(const Function &F, std::ostream &OS) {
+  OS << "func @" << F.getName();
+  if (F.isDeclaration()) {
+    OS << " (external)\n";
+    return;
+  }
+  OS << " {\n";
+  for (const auto &BB : F.blocks()) {
+    OS << BB->getName() << ':';
+    if (!BB->predecessors().empty()) {
+      OS << "    ; preds:";
+      for (const BasicBlock *Pred : BB->predecessors())
+        OS << ' ' << Pred->getName();
+    }
+    OS << '\n';
+    for (const Instruction &I : BB->instructions())
+      OS << "  " << formatInstruction(F, I) << '\n';
+    if (!BB->successors().empty()) {
+      OS << "  ; succs:";
+      for (const CfgEdge &E : BB->successors()) {
+        // Six significant digits: enough that reparsed probabilities still
+        // sum to one within the verifier's tolerance.
+        std::ostringstream Prob;
+        Prob.precision(6);
+        Prob << E.Probability;
+        OS << ' ' << E.Succ->getName() << '(' << Prob.str() << ')';
+      }
+      OS << '\n';
+    }
+  }
+  OS << "}\n";
+}
+
+void ccra::printModule(const Module &M, std::ostream &OS) {
+  OS << "module " << M.getName() << '\n';
+  for (const auto &F : M.functions()) {
+    printFunction(*F, OS);
+    OS << '\n';
+  }
+}

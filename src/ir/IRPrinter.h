@@ -1,0 +1,34 @@
+//===- ir/IRPrinter.h - Textual IR dumping ----------------------*- C++ -*-===//
+///
+/// \file
+/// Human-readable dumping of modules, functions, and instructions. Virtual
+/// registers print as %iN / %fN by bank; allocated code (after overhead
+/// materialization) also shows physical registers and spill slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_IR_IRPRINTER_H
+#define CCRA_IR_IRPRINTER_H
+
+#include "ir/Module.h"
+
+#include <ostream>
+#include <string>
+
+namespace ccra {
+
+/// Renders one virtual register as "%i7" / "%f3".
+std::string formatVReg(const Function &F, VirtReg R);
+
+/// Renders a physical register as "r5" / "fp2".
+std::string formatPhysReg(PhysReg R);
+
+/// Renders one instruction (no trailing newline).
+std::string formatInstruction(const Function &F, const Instruction &I);
+
+void printFunction(const Function &F, std::ostream &OS);
+void printModule(const Module &M, std::ostream &OS);
+
+} // namespace ccra
+
+#endif // CCRA_IR_IRPRINTER_H

@@ -1,0 +1,61 @@
+//===- ir/Instruction.cpp -------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+const OpcodeInfo &ccra::getOpcodeInfo(Opcode Op) {
+  // Fields: Name, IsTerminator, IsCall, IsMemory, IsMove, IsOverhead.
+  static const OpcodeInfo Table[] = {
+      {"add", false, false, false, false, false},
+      {"sub", false, false, false, false, false},
+      {"mul", false, false, false, false, false},
+      {"div", false, false, false, false, false},
+      {"and", false, false, false, false, false},
+      {"or", false, false, false, false, false},
+      {"xor", false, false, false, false, false},
+      {"shl", false, false, false, false, false},
+      {"shr", false, false, false, false, false},
+      {"cmp", false, false, false, false, false},
+      {"loadimm", false, false, false, false, false},
+      {"floadimm", false, false, false, false, false},
+      {"fadd", false, false, false, false, false},
+      {"fsub", false, false, false, false, false},
+      {"fmul", false, false, false, false, false},
+      {"fdiv", false, false, false, false, false},
+      {"fcmp", false, false, false, false, false},
+      {"cvt.i2f", false, false, false, false, false},
+      {"cvt.f2i", false, false, false, false, false},
+      {"load", false, false, true, false, false},
+      {"store", false, false, true, false, false},
+      {"fload", false, false, true, false, false},
+      {"fstore", false, false, true, false, false},
+      {"move", false, false, false, true, false},
+      {"fmove", false, false, false, true, false},
+      {"br", true, false, false, false, false},
+      {"condbr", true, false, false, false, false},
+      {"ret", true, false, false, false, false},
+      {"call", false, true, false, false, false},
+      {"spill.load", false, false, true, false, true},
+      {"spill.store", false, false, true, false, true},
+      {"save", false, false, true, false, true},
+      {"restore", false, false, true, false, true},
+      {"shuffle.move", false, false, false, false, true},
+  };
+  static_assert(sizeof(Table) / sizeof(Table[0]) ==
+                    static_cast<size_t>(Opcode::ShuffleMove) + 1,
+                "opcode table out of sync with Opcode enum");
+  return Table[static_cast<size_t>(Op)];
+}
+
+VirtReg Instruction::moveSource() const {
+  assert(isMove() && Uses.size() == 1 && "not a coalescable move");
+  return Uses[0];
+}
+
+VirtReg Instruction::moveDest() const {
+  assert(isMove() && Defs.size() == 1 && "not a coalescable move");
+  return Defs[0];
+}

@@ -1,0 +1,26 @@
+//===- ir/Module.cpp ------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+Function *Module::createFunction(const std::string &FuncName) {
+  assert(!getFunction(FuncName) && "duplicate function name");
+  Functions.push_back(std::make_unique<Function>(this, FuncName));
+  return Functions.back().get();
+}
+
+Function *Module::getFunction(const std::string &FuncName) const {
+  for (const auto &F : Functions)
+    if (F->getName() == FuncName)
+      return F.get();
+  return nullptr;
+}
+
+Function *Module::getEntryFunction() const {
+  if (Entry)
+    return Entry;
+  return getFunction("main");
+}

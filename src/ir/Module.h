@@ -1,0 +1,51 @@
+//===- ir/Module.h - A program: functions + entry point ---------*- C++ -*-===//
+///
+/// \file
+/// A Module is a whole program: a set of functions, one of which ("main")
+/// is the entry point used by the interprocedural frequency analysis to
+/// derive per-function invocation counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_IR_MODULE_H
+#define CCRA_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccra {
+
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  /// Creates a function (with a body to be filled in, or left empty for an
+  /// external declaration).
+  Function *createFunction(const std::string &FuncName);
+
+  /// Finds a function by name; returns null if absent.
+  Function *getFunction(const std::string &FuncName) const;
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  /// Designates the program entry point. Defaults to the function named
+  /// "main" when present.
+  void setEntryFunction(Function *F) { Entry = F; }
+  Function *getEntryFunction() const;
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  Function *Entry = nullptr;
+};
+
+} // namespace ccra
+
+#endif // CCRA_IR_MODULE_H

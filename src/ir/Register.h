@@ -1,0 +1,72 @@
+//===- ir/Register.h - Virtual registers and register banks -----*- C++ -*-===//
+///
+/// \file
+/// Virtual register handles and the two register banks of the paper's MIPS
+/// machine model (separate integer and floating-point register files, §3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_IR_REGISTER_H
+#define CCRA_IR_REGISTER_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+namespace ccra {
+
+/// The MIPS model has two independent register files. Live ranges in
+/// different banks never compete for the same physical register.
+enum class RegBank : uint8_t { Int = 0, Float = 1 };
+
+inline constexpr unsigned NumRegBanks = 2;
+
+/// Returns "int" or "float".
+const char *regBankName(RegBank Bank);
+
+/// A handle to a virtual register. The owning Function records the bank of
+/// each virtual register; the handle itself is just a dense index.
+struct VirtReg {
+  static constexpr unsigned InvalidId = ~0u;
+
+  unsigned Id = InvalidId;
+
+  VirtReg() = default;
+  explicit VirtReg(unsigned Id) : Id(Id) {}
+
+  bool isValid() const { return Id != InvalidId; }
+
+  bool operator==(const VirtReg &Other) const { return Id == Other.Id; }
+  bool operator!=(const VirtReg &Other) const { return Id != Other.Id; }
+  bool operator<(const VirtReg &Other) const { return Id < Other.Id; }
+};
+
+/// A physical register: a bank plus an index within that bank's register
+/// file. Whether the index denotes a caller-save or callee-save register is
+/// decided by the active RegisterConfig (target/MachineDescription.h).
+struct PhysReg {
+  static constexpr unsigned InvalidIndex = ~0u;
+
+  RegBank Bank = RegBank::Int;
+  unsigned Index = InvalidIndex;
+
+  PhysReg() = default;
+  PhysReg(RegBank Bank, unsigned Index) : Bank(Bank), Index(Index) {}
+
+  bool isValid() const { return Index != InvalidIndex; }
+
+  bool operator==(const PhysReg &Other) const {
+    return Bank == Other.Bank && Index == Other.Index;
+  }
+  bool operator!=(const PhysReg &Other) const { return !(*this == Other); }
+};
+
+} // namespace ccra
+
+template <> struct std::hash<ccra::VirtReg> {
+  size_t operator()(const ccra::VirtReg &R) const noexcept {
+    return std::hash<unsigned>()(R.Id);
+  }
+};
+
+#endif // CCRA_IR_REGISTER_H

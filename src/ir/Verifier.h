@@ -1,0 +1,31 @@
+//===- ir/Verifier.h - Structural IR validity checks ------------*- C++ -*-===//
+///
+/// \file
+/// The verifier enforces the structural invariants the register allocator
+/// relies on: well-terminated blocks, consistent CFG edge lists, opcode
+/// operand signatures (count and register bank), probability sanity, and
+/// that every used virtual register is defined somewhere in its function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_IR_VERIFIER_H
+#define CCRA_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace ccra {
+
+/// Appends a message to \p Errors for every violated invariant in \p F.
+/// Returns true if no errors were found.
+bool verifyFunction(const Function &F, std::vector<std::string> *Errors);
+
+/// Verifies every function in \p M. Returns true if the whole module is
+/// well-formed.
+bool verifyModule(const Module &M, std::vector<std::string> *Errors);
+
+} // namespace ccra
+
+#endif // CCRA_IR_VERIFIER_H

@@ -1,0 +1,159 @@
+//===- regalloc/AllocationEngine.cpp --------------------------------------===//
+
+#include "regalloc/AllocationEngine.h"
+
+#include "analysis/Frequency.h"
+#include "ir/Module.h"
+#include "regalloc/AllocationVerifier.h"
+#include "regalloc/Coalescer.h"
+#include "regalloc/CostAccounting.h"
+#include "regalloc/GraphReconstructor.h"
+#include "regalloc/OverheadMaterializer.h"
+#include "regalloc/SpillCodeInserter.h"
+#include "regalloc/VRegClasses.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccra;
+
+AllocationEngine::AllocationEngine(MachineDescription MD,
+                                   AllocatorOptions Opts,
+                                   std::unique_ptr<RegAllocBase> Allocator)
+    : MD(MD), Opts(Opts), Allocator(std::move(Allocator)) {
+  assert(this->Allocator && "engine needs an allocator");
+}
+
+FunctionAllocation
+AllocationEngine::allocateFunction(Function &F,
+                                   const FrequencyInfo &Freq) const {
+  FunctionAllocation Out;
+  if (F.isDeclaration())
+    return Out;
+
+  VRegClasses Classes(F.numVRegs());
+  std::vector<PhysReg> RefusedCalleeRegs;
+
+  // Carried across rounds so graph reconstruction can patch instead of
+  // rebuild (paper §2). Valid whenever ReconstructIds is non-empty.
+  Liveness CarriedLV;
+  LiveRangeSet CarriedLRS;
+  InterferenceGraph CarriedIG;
+  std::vector<unsigned> ReconstructIds;
+  unsigned ReconstructOldVRegs = 0;
+
+  for (unsigned Round = 1; Round <= Opts.MaxRounds; ++Round) {
+    Out.Rounds = Round;
+
+    AllocationContext Ctx{F,          MD, Freq, Liveness(),
+                          LiveRangeSet(), InterferenceGraph(),
+                          Freq.entryFrequency(F), {}};
+    if (!ReconstructIds.empty()) {
+      // Incremental path: nothing to coalesce, patch last round's state.
+      GraphReconstructor::apply(F, Freq, CarriedLV, CarriedLRS, CarriedIG,
+                                ReconstructIds, ReconstructOldVRegs);
+      Classes.grow(F.numVRegs());
+      Ctx.LV = std::move(CarriedLV);
+      Ctx.LRS = std::move(CarriedLRS);
+      Ctx.IG = std::move(CarriedIG);
+    } else {
+      CoalesceStats CS = Coalescer::run(F, Classes, MD, Freq, Ctx.LV,
+                                        Opts.AggressiveCoalescing);
+      Out.CoalescedMoves += CS.CoalescedMoves;
+      Classes.grow(F.numVRegs());
+      Ctx.LRS = LiveRangeSet::build(F, Ctx.LV, Freq, Classes);
+      Ctx.IG = InterferenceGraph::build(F, Ctx.LV, Ctx.LRS);
+    }
+    ReconstructIds.clear();
+    Ctx.RefusedCalleeRegs = RefusedCalleeRegs;
+
+    RoundResult RR;
+    Allocator->runRound(Ctx, RR);
+    RefusedCalleeRegs.insert(RefusedCalleeRegs.end(),
+                             RR.NewlyRefusedCalleeRegs.begin(),
+                             RR.NewlyRefusedCalleeRegs.end());
+    assert(RR.Assignment.size() == Ctx.LRS.numRanges() &&
+           "allocator did not decide every live range");
+    Out.VoluntarySpills += RR.VoluntarySpills;
+
+    // Collect the member registers of every spilled live range.
+    std::vector<std::vector<VirtReg>> SpilledClasses;
+    std::vector<int> SpillIndexOfRange(Ctx.LRS.numRanges(), -1);
+    for (unsigned I = 0; I < Ctx.LRS.numRanges(); ++I) {
+      if (!RR.Assignment[I].isMemory())
+        continue;
+      assert(!Ctx.LRS.range(I).NoSpill && "reload temporary spilled");
+      SpillIndexOfRange[I] = static_cast<int>(SpilledClasses.size());
+      SpilledClasses.emplace_back();
+    }
+    if (!SpilledClasses.empty()) {
+      for (unsigned V = 0; V < F.numVRegs(); ++V) {
+        int RangeId = Ctx.LRS.rangeIdOf(VirtReg(V));
+        if (RangeId < 0 || SpillIndexOfRange[RangeId] < 0)
+          continue;
+        SpilledClasses[SpillIndexOfRange[RangeId]].push_back(VirtReg(V));
+        Out.VRegLocations[V] = Location::inMemory();
+      }
+      Out.SpilledRanges += static_cast<unsigned>(SpilledClasses.size());
+
+      // Graph reconstruction (§2): if the next round's coalescing phase
+      // would be a no-op (no copies remain — spill code never adds any),
+      // patch this round's state instead of rebuilding from scratch.
+      bool Incremental = Opts.IncrementalReconstruction &&
+                         GraphReconstructor::hasNoCopies(F);
+      if (Incremental) {
+        ReconstructOldVRegs = F.numVRegs();
+        for (unsigned I = 0; I < Ctx.LRS.numRanges(); ++I)
+          if (SpillIndexOfRange[I] >= 0)
+            ReconstructIds.push_back(I);
+        CarriedLV = std::move(Ctx.LV);
+        CarriedLRS = std::move(Ctx.LRS);
+        CarriedIG = std::move(Ctx.IG);
+      }
+      SpillCodeInserter::run(F, SpilledClasses);
+      continue;
+    }
+
+    // Converged: record locations, materialize the call-cost overhead,
+    // account, verify.
+    for (unsigned V = 0; V < F.numVRegs(); ++V) {
+      int RangeId = Ctx.LRS.rangeIdOf(VirtReg(V));
+      if (RangeId >= 0)
+        Out.VRegLocations[V] = RR.Assignment[RangeId];
+    }
+
+    Out.Costs = computeAnalyticCost(Ctx, RR);
+    Out.CalleeRegsPaid = static_cast<unsigned>(
+        OverheadMaterializer::paidCalleeRegs(Ctx, RR).size());
+    if (Opts.MaterializeSaveRestore)
+      OverheadMaterializer::run(Ctx, RR);
+
+    if (Opts.Verify) {
+      AllocationVerifyReport Report =
+          verifyAllocation(Ctx, RR, Opts.MaterializeSaveRestore);
+      if (!Report.ok()) {
+        for (const std::string &Message : Report.Errors)
+          std::fprintf(stderr, "allocation verifier: %s\n", Message.c_str());
+        std::abort();
+      }
+    }
+    return Out;
+  }
+
+  assert(false && "register allocation did not converge within MaxRounds");
+  return Out;
+}
+
+ModuleAllocationResult
+AllocationEngine::allocateModule(Module &M, const FrequencyInfo &Freq) const {
+  ModuleAllocationResult Result;
+  for (const auto &F : M.functions()) {
+    if (F->isDeclaration())
+      continue;
+    FunctionAllocation FA = allocateFunction(*F, Freq);
+    Result.Totals += FA.Costs;
+    Result.PerFunction[F.get()] = std::move(FA);
+  }
+  return Result;
+}

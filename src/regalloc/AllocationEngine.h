@@ -1,0 +1,60 @@
+//===- regalloc/AllocationEngine.h - Allocation driver ----------*- C++ -*-===//
+///
+/// \file
+/// The framework driver (paper Figure 1): per function it loops
+///
+///   liveness -> coalescing -> live ranges -> interference graph ->
+///   allocator round -> (spill-code insertion, repeat) -> save/restore
+///   materialization -> cost accounting -> verification.
+///
+/// The engine is allocator-agnostic: any RegAllocBase implementation plugs
+/// in. src/core provides the factory that maps AllocatorOptions to the
+/// right allocator (including the paper's improved Chaitin allocator).
+///
+/// NOTE: allocation mutates the function (spill and save/restore code).
+/// Benchmarks clone the module per run (see ir/Cloner.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_ALLOCATIONENGINE_H
+#define CCRA_REGALLOC_ALLOCATIONENGINE_H
+
+#include "regalloc/AllocationResult.h"
+#include "regalloc/AllocatorOptions.h"
+#include "regalloc/RegAllocBase.h"
+#include "target/MachineDescription.h"
+
+#include <memory>
+
+namespace ccra {
+
+class FrequencyInfo;
+class Module;
+
+class AllocationEngine {
+public:
+  /// \p Allocator decides colors each round; the engine owns it.
+  AllocationEngine(MachineDescription MD, AllocatorOptions Opts,
+                   std::unique_ptr<RegAllocBase> Allocator);
+
+  /// Allocates registers for \p F (mutating it) and returns locations,
+  /// statistics, and the §3 cost breakdown.
+  FunctionAllocation allocateFunction(Function &F,
+                                      const FrequencyInfo &Freq) const;
+
+  /// Allocates every function with a body.
+  ModuleAllocationResult allocateModule(Module &M,
+                                        const FrequencyInfo &Freq) const;
+
+  const MachineDescription &machine() const { return MD; }
+  const AllocatorOptions &options() const { return Opts; }
+
+private:
+  MachineDescription MD;
+  AllocatorOptions Opts;
+  std::unique_ptr<RegAllocBase> Allocator;
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_ALLOCATIONENGINE_H

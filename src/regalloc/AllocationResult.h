@@ -1,0 +1,87 @@
+//===- regalloc/AllocationResult.h - Locations and cost breakdown -*- C++ -*-===//
+///
+/// \file
+/// The outputs of register allocation: per-register storage locations and
+/// the paper's cost breakdown (§3) — spill cost + caller-save cost +
+/// callee-save cost + shuffle cost, all in frequency-weighted overhead
+/// operations relative to a perfect allocation with unbounded registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_ALLOCATIONRESULT_H
+#define CCRA_REGALLOC_ALLOCATIONRESULT_H
+
+#include "ir/Register.h"
+
+#include <unordered_map>
+
+namespace ccra {
+
+class Function;
+
+/// Where a live range ended up: a physical register or its stack home.
+struct Location {
+  enum class Kind { Register, Memory } K = Kind::Memory;
+  PhysReg Reg;
+
+  static Location inRegister(PhysReg R) {
+    Location L;
+    L.K = Kind::Register;
+    L.Reg = R;
+    return L;
+  }
+  static Location inMemory() { return Location(); }
+
+  bool isRegister() const { return K == Kind::Register; }
+  bool isMemory() const { return K == Kind::Memory; }
+};
+
+/// §3's three cost components plus shuffle cost, in weighted overhead
+/// operations (expected dynamic loads/stores/moves introduced by the
+/// allocator).
+struct CostBreakdown {
+  double Spill = 0.0;
+  double CallerSave = 0.0;
+  double CalleeSave = 0.0;
+  double Shuffle = 0.0;
+
+  double total() const { return Spill + CallerSave + CalleeSave + Shuffle; }
+
+  CostBreakdown &operator+=(const CostBreakdown &Other) {
+    Spill += Other.Spill;
+    CallerSave += Other.CallerSave;
+    CalleeSave += Other.CalleeSave;
+    Shuffle += Other.Shuffle;
+    return *this;
+  }
+};
+
+/// Result of allocating one function.
+struct FunctionAllocation {
+  /// Final storage location of every virtual register that ever existed in
+  /// the function (including spill temporaries).
+  std::unordered_map<unsigned, Location> VRegLocations;
+
+  CostBreakdown Costs;
+
+  unsigned Rounds = 0;          ///< Spill-and-retry iterations used.
+  unsigned SpilledRanges = 0;   ///< Ranges spilled because coloring failed.
+  unsigned VoluntarySpills = 0; ///< Storage-class-analysis spill decisions.
+  unsigned CoalescedMoves = 0;  ///< Copies removed by the coalescer.
+  unsigned CalleeRegsPaid = 0;  ///< Callee-save registers saved/restored.
+
+  Location locationOf(VirtReg R) const {
+    auto It = VRegLocations.find(R.Id);
+    return It == VRegLocations.end() ? Location::inMemory() : It->second;
+  }
+};
+
+/// Result of allocating a whole module.
+struct ModuleAllocationResult {
+  std::unordered_map<const Function *, FunctionAllocation> PerFunction;
+  CostBreakdown Totals;
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_ALLOCATIONRESULT_H

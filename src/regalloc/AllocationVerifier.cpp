@@ -1,0 +1,96 @@
+//===- regalloc/AllocationVerifier.cpp ------------------------------------===//
+
+#include "regalloc/AllocationVerifier.h"
+
+#include "ir/IRPrinter.h"
+#include "target/MachineDescription.h"
+
+using namespace ccra;
+
+AllocationVerifyReport ccra::verifyAllocation(const AllocationContext &Ctx,
+                                              const RoundResult &RR,
+                                              bool SaveRestoreMaterialized) {
+  AllocationVerifyReport Report;
+  auto Error = [&](std::string Message) {
+    Report.Errors.push_back("@" + Ctx.F.getName() + ": " +
+                            std::move(Message));
+  };
+
+  const LiveRangeSet &LRS = Ctx.LRS;
+  if (RR.Assignment.size() != LRS.numRanges()) {
+    Error("assignment size does not match live-range count");
+    return Report;
+  }
+
+  // Every live range has a register of the right bank within the file.
+  for (unsigned I = 0; I < LRS.numRanges(); ++I) {
+    const LiveRange &LR = LRS.range(I);
+    const Location &Loc = RR.Assignment[I];
+    if (!Loc.isRegister()) {
+      Error("live range " + formatVReg(Ctx.F, LR.Root) +
+            " left without a register after convergence");
+      continue;
+    }
+    if (Loc.Reg.Bank != LR.Bank)
+      Error("live range " + formatVReg(Ctx.F, LR.Root) +
+            " assigned a register of the wrong bank");
+    if (Loc.Reg.Index >= Ctx.MD.numRegs(LR.Bank))
+      Error("live range " + formatVReg(Ctx.F, LR.Root) +
+            " assigned a register outside the configured file");
+  }
+
+  // Interfering live ranges get different registers.
+  for (unsigned A = 0; A < LRS.numRanges(); ++A) {
+    for (unsigned B : Ctx.IG.neighbors(A)) {
+      if (B <= A)
+        continue;
+      const Location &LocA = RR.Assignment[A];
+      const Location &LocB = RR.Assignment[B];
+      if (LocA.isRegister() && LocB.isRegister() && LocA.Reg == LocB.Reg)
+        Error("interfering live ranges " + formatVReg(Ctx.F, LRS.range(A).Root) +
+              " and " + formatVReg(Ctx.F, LRS.range(B).Root) +
+              " share register " + formatPhysReg(LocA.Reg));
+    }
+  }
+
+  // Save/Restore pairing around calls: each call must be immediately
+  // preceded by Saves and followed by Restores of the same caller-save
+  // register set.
+  if (SaveRestoreMaterialized) {
+    for (const auto &BB : Ctx.F.blocks()) {
+      const auto &Insts = BB->instructions();
+      for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+        if (!Insts[Idx].isCall())
+          continue;
+        std::vector<PhysReg> Saved;
+        for (size_t J = Idx; J-- > 0;) {
+          if (Insts[J].Op == Opcode::Save &&
+              Insts[J].Overhead == OverheadKind::CallerSave)
+            Saved.push_back(Insts[J].Phys);
+          else
+            break;
+        }
+        std::vector<PhysReg> Restored;
+        for (size_t J = Idx + 1; J < Insts.size(); ++J) {
+          if (Insts[J].Op == Opcode::Restore &&
+              Insts[J].Overhead == OverheadKind::CallerSave)
+            Restored.push_back(Insts[J].Phys);
+          else
+            break;
+        }
+        if (Saved.size() != Restored.size())
+          Error("call in block " + BB->getName() +
+                " has mismatched save/restore counts");
+        for (PhysReg Reg : Saved) {
+          bool Found = false;
+          for (PhysReg Other : Restored)
+            Found |= (Other == Reg);
+          if (!Found)
+            Error("register " + formatPhysReg(Reg) + " saved but not restored around a call in block " +
+                  BB->getName());
+        }
+      }
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,34 @@
+//===- regalloc/AllocationVerifier.h - Allocation soundness -----*- C++ -*-===//
+///
+/// \file
+/// Post-allocation soundness checks: interfering live ranges never share a
+/// physical register, every live range ends in a register of its own bank
+/// within the configured file, and (when materialized) caller-save
+/// save/restore pairs bracket every call a caller-save-resident live range
+/// crosses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_ALLOCATIONVERIFIER_H
+#define CCRA_REGALLOC_ALLOCATIONVERIFIER_H
+
+#include "regalloc/AllocationContext.h"
+
+#include <string>
+#include <vector>
+
+namespace ccra {
+
+struct AllocationVerifyReport {
+  std::vector<std::string> Errors;
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Verifies the final round's assignment against the final context.
+AllocationVerifyReport verifyAllocation(const AllocationContext &Ctx,
+                                        const RoundResult &RR,
+                                        bool SaveRestoreMaterialized);
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_ALLOCATIONVERIFIER_H

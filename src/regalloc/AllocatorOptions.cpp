@@ -1,0 +1,82 @@
+//===- regalloc/AllocatorOptions.cpp --------------------------------------===//
+
+#include "regalloc/AllocatorOptions.h"
+
+using namespace ccra;
+
+std::string AllocatorOptions::describe() const {
+  switch (Kind) {
+  case AllocatorKind::Chaitin:
+    return Optimistic ? "optimistic" : "base";
+  case AllocatorKind::Improved: {
+    std::string Tag;
+    if (StorageClass)
+      Tag += "SC";
+    if (BenefitSimplify)
+      Tag += Tag.empty() ? "BS" : "+BS";
+    if (PreferenceDecision)
+      Tag += Tag.empty() ? "PR" : "+PR";
+    if (Tag.empty())
+      Tag = "improved(none)";
+    if (Optimistic)
+      Tag += "+opt";
+    return Tag;
+  }
+  case AllocatorKind::Priority:
+    switch (Ordering) {
+    case PriorityOrdering::RemoveUnconstrained:
+      return "priority(remove)";
+    case PriorityOrdering::SortUnconstrained:
+      return "priority(sortunc)";
+    case PriorityOrdering::FullSort:
+      return "priority";
+    }
+    return "priority";
+  case AllocatorKind::CBH:
+    return "CBH";
+  }
+  return "unknown";
+}
+
+AllocatorOptions ccra::baseChaitinOptions() {
+  AllocatorOptions Opts;
+  Opts.Kind = AllocatorKind::Chaitin;
+  Opts.Optimistic = false;
+  return Opts;
+}
+
+AllocatorOptions ccra::optimisticOptions() {
+  AllocatorOptions Opts;
+  Opts.Kind = AllocatorKind::Chaitin;
+  Opts.Optimistic = true;
+  return Opts;
+}
+
+AllocatorOptions ccra::improvedOptions(bool StorageClass, bool BenefitSimplify,
+                                       bool PreferenceDecision) {
+  AllocatorOptions Opts;
+  Opts.Kind = AllocatorKind::Improved;
+  Opts.StorageClass = StorageClass;
+  Opts.BenefitSimplify = BenefitSimplify;
+  Opts.PreferenceDecision = PreferenceDecision;
+  return Opts;
+}
+
+AllocatorOptions ccra::improvedOptimisticOptions() {
+  AllocatorOptions Opts = improvedOptions();
+  Opts.Optimistic = true;
+  return Opts;
+}
+
+AllocatorOptions ccra::priorityOptions(PriorityOrdering Ordering) {
+  AllocatorOptions Opts;
+  Opts.Kind = AllocatorKind::Priority;
+  Opts.Ordering = Ordering;
+  return Opts;
+}
+
+AllocatorOptions ccra::cbhOptions() {
+  AllocatorOptions Opts;
+  Opts.Kind = AllocatorKind::CBH;
+  return Opts;
+}

@@ -1,0 +1,116 @@
+//===- regalloc/AllocatorOptions.h - Allocator configuration ----*- C++ -*-===//
+///
+/// \file
+/// Every register-allocation approach the paper evaluates is a point in
+/// this option space: base/optimistic/improved Chaitin-style coloring,
+/// priority-based coloring with its three color-ordering heuristics, and
+/// the CBH call-cost model. The factory helpers name the exact
+/// configurations used by the reproduction benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_ALLOCATOROPTIONS_H
+#define CCRA_REGALLOC_ALLOCATOROPTIONS_H
+
+#include <string>
+
+namespace ccra {
+
+enum class AllocatorKind {
+  Chaitin,  ///< Base model (§3.1); Optimistic flag selects Briggs coloring.
+  Improved, ///< Chaitin + the paper's SC/BS/PR enhancements (§4-6).
+  Priority, ///< Chow's priority-based coloring without splitting (§9).
+  CBH,      ///< Chaitin/Briggs/Hierarchical call-cost model (§10).
+};
+
+/// The two orderings of §5 for benefit-driven simplification.
+enum class BenefitKeyStrategy {
+  /// Strategy 1: max(benefitCaller, benefitCallee) — the priority-based
+  /// key, shown by the paper to be the wrong fit for Chaitin coloring.
+  MaxBenefit,
+  /// Strategy 2: |benefitCaller - benefitCallee| when both benefits are
+  /// non-negative (the penalty of getting the wrong kind of register),
+  /// max of the two otherwise. The paper's choice.
+  Delta,
+};
+
+/// The two callee-save cost models of §4.
+enum class CalleeCostModel {
+  /// The first live range to use a callee-save register pays the whole
+  /// save/restore cost and is spilled when benefitCallee < 0.
+  FirstUserPays,
+  /// The cost is shared by every user of the register: after color
+  /// assignment, all users of a register r are spilled together iff the sum
+  /// of their spill costs is below calleeCost(r). The paper's better model.
+  Shared,
+};
+
+/// The three color-ordering heuristics for priority-based coloring (§9.1).
+enum class PriorityOrdering {
+  RemoveUnconstrained, ///< Chow's original: peel unconstrained, sort rest.
+  SortUnconstrained,   ///< Peel unconstrained in priority order too.
+  FullSort,            ///< Pure priority sort. The paper's choice.
+};
+
+struct AllocatorOptions {
+  AllocatorKind Kind = AllocatorKind::Improved;
+
+  /// Briggs optimistic coloring: blocked live ranges are pushed anyway and
+  /// spill only if color assignment actually fails (§8).
+  bool Optimistic = false;
+
+  // The three improvements (only honored by AllocatorKind::Improved).
+  bool StorageClass = true;       ///< §4
+  bool BenefitSimplify = true;    ///< §5
+  bool PreferenceDecision = true; ///< §6
+
+  BenefitKeyStrategy BSKey = BenefitKeyStrategy::Delta;
+  CalleeCostModel CalleeModel = CalleeCostModel::Shared;
+  PriorityOrdering Ordering = PriorityOrdering::FullSort;
+
+  /// Coalesce copies aggressively (ignore the conservative degree test).
+  bool AggressiveCoalescing = false;
+
+  /// Materialize save/restore instructions after allocation (the cost
+  /// accounting works either way; materialization enables inspection and
+  /// the post-allocation verifier's pairing checks).
+  bool MaterializeSaveRestore = true;
+
+  /// Run the allocation verifier after convergence.
+  bool Verify = true;
+
+  /// Graph reconstruction (§2): when a retry round cannot coalesce anything
+  /// anyway (the function has no copies left), patch the liveness /
+  /// live-range / interference-graph state incrementally instead of
+  /// recomputing it — the paper's compile-time optimization. Results are
+  /// identical either way (equivalence-tested).
+  bool IncrementalReconstruction = true;
+
+  /// Safety cap on spill-and-retry rounds.
+  unsigned MaxRounds = 64;
+
+  /// Short human-readable tag ("base", "opt", "SC+BS+PR", ...).
+  std::string describe() const;
+};
+
+// Named configurations used by the reproduction experiments. ------------
+
+/// The base Chaitin-style model of §3.1.
+AllocatorOptions baseChaitinOptions();
+/// Briggs optimistic coloring on the base cost model (§8).
+AllocatorOptions optimisticOptions();
+/// Improved Chaitin-style coloring with any subset of the enhancements.
+AllocatorOptions improvedOptions(bool StorageClass = true,
+                                 bool BenefitSimplify = true,
+                                 bool PreferenceDecision = true);
+/// Improved Chaitin-style + optimistic simplification (Fig. 9 hybrid).
+AllocatorOptions improvedOptimisticOptions();
+/// Priority-based coloring (§9) with the given color ordering.
+AllocatorOptions priorityOptions(
+    PriorityOrdering Ordering = PriorityOrdering::FullSort);
+/// The CBH model (§10).
+AllocatorOptions cbhOptions();
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_ALLOCATOROPTIONS_H

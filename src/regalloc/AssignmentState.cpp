@@ -1,0 +1,167 @@
+//===- regalloc/AssignmentState.cpp ---------------------------------------===//
+
+#include "regalloc/AssignmentState.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccra;
+
+AssignmentState::AssignmentState(const AllocationContext &Ctx) : Ctx(Ctx) {
+  unsigned NumRanges = Ctx.LRS.numRanges();
+  Assignment.assign(NumRanges, Location::inMemory());
+  Decided.assign(NumRanges, false);
+  CalleeOnly.assign(NumRanges, false);
+  unsigned Slots =
+      Ctx.MD.numRegs(RegBank::Int) + Ctx.MD.numRegs(RegBank::Float);
+  Locked.assign(Slots, false);
+  Users.assign(Slots, {});
+}
+
+unsigned AssignmentState::regSlot(PhysReg Reg) const {
+  assert(Reg.isValid() && Reg.Index < Ctx.MD.numRegs(Reg.Bank) &&
+         "register outside the configured file");
+  unsigned Base = Reg.Bank == RegBank::Int ? 0 : Ctx.MD.numRegs(RegBank::Int);
+  return Base + Reg.Index;
+}
+
+void AssignmentState::restrictToCalleeSave(unsigned RangeId) {
+  CalleeOnly[RangeId] = true;
+}
+
+void AssignmentState::lockRegister(PhysReg Reg) {
+  Locked[regSlot(Reg)] = true;
+}
+
+bool AssignmentState::isForbidden(unsigned RangeId, PhysReg Reg) const {
+  if (Locked[regSlot(Reg)])
+    return true;
+  if (CalleeOnly[RangeId] && Ctx.MD.isCallerSave(Reg))
+    return true;
+  return false;
+}
+
+PhysReg AssignmentState::pickRegister(unsigned RangeId, RegKindPref Pref,
+                                      bool AllowOtherKind) const {
+  const LiveRange &LR = Ctx.LRS.range(RangeId);
+  RegBank Bank = LR.Bank;
+
+  // Registers taken by already-colored interfering live ranges.
+  std::vector<bool> Taken(Ctx.MD.numRegs(Bank), false);
+  for (unsigned Neighbor : Ctx.IG.neighbors(RangeId)) {
+    const Location &Loc = Assignment[Neighbor];
+    if (Decided[Neighbor] && Loc.isRegister())
+      Taken[Loc.Reg.Index] = true;
+  }
+
+  auto Usable = [&](PhysReg Reg) {
+    return !Taken[Reg.Index] && !isForbidden(RangeId, Reg);
+  };
+
+  auto TryCaller = [&]() -> PhysReg {
+    for (unsigned I = 0; I < Ctx.MD.callerCount(Bank); ++I) {
+      PhysReg Reg = Ctx.MD.callerSaveReg(Bank, I);
+      if (Usable(Reg))
+        return Reg;
+    }
+    return PhysReg();
+  };
+  auto TryCallee = [&]() -> PhysReg {
+    // Already-used callee-save registers first: their save/restore is
+    // already paid, so reuse is free.
+    for (unsigned I = 0; I < Ctx.MD.calleeCount(Bank); ++I) {
+      PhysReg Reg = Ctx.MD.calleeSaveReg(Bank, I);
+      if (!Users[regSlot(Reg)].empty() && Usable(Reg))
+        return Reg;
+    }
+    for (unsigned I = 0; I < Ctx.MD.calleeCount(Bank); ++I) {
+      PhysReg Reg = Ctx.MD.calleeSaveReg(Bank, I);
+      if (Users[regSlot(Reg)].empty() && Usable(Reg))
+        return Reg;
+    }
+    return PhysReg();
+  };
+
+  PhysReg Reg = Pref == RegKindPref::Caller ? TryCaller() : TryCallee();
+  if (!Reg.isValid() && AllowOtherKind)
+    Reg = Pref == RegKindPref::Caller ? TryCallee() : TryCaller();
+  return Reg;
+}
+
+void AssignmentState::assign(unsigned RangeId, PhysReg Reg) {
+  assert(!Decided[RangeId] && "live range already decided");
+  Assignment[RangeId] = Location::inRegister(Reg);
+  Decided[RangeId] = true;
+  Users[regSlot(Reg)].push_back(RangeId);
+}
+
+void AssignmentState::unassign(unsigned RangeId) {
+  assert(Decided[RangeId] && Assignment[RangeId].isRegister() &&
+         "unassign of unassigned range");
+  auto &List = Users[regSlot(Assignment[RangeId].Reg)];
+  List.erase(std::find(List.begin(), List.end(), RangeId));
+  Assignment[RangeId] = Location::inMemory();
+  Decided[RangeId] = false;
+}
+
+void AssignmentState::spill(unsigned RangeId) {
+  assert(!Decided[RangeId] && "live range already decided");
+  Assignment[RangeId] = Location::inMemory();
+  Decided[RangeId] = true;
+}
+
+const std::vector<unsigned> &AssignmentState::usersOf(PhysReg Reg) const {
+  return Users[regSlot(Reg)];
+}
+
+bool AssignmentState::hasReusableCalleeReg(unsigned RangeId) const {
+  RegBank Bank = Ctx.LRS.range(RangeId).Bank;
+  std::vector<bool> Taken(Ctx.MD.numRegs(Bank), false);
+  for (unsigned Neighbor : Ctx.IG.neighbors(RangeId)) {
+    const Location &Loc = Assignment[Neighbor];
+    if (Decided[Neighbor] && Loc.isRegister())
+      Taken[Loc.Reg.Index] = true;
+  }
+  for (unsigned I = 0; I < Ctx.MD.calleeCount(Bank); ++I) {
+    PhysReg Reg = Ctx.MD.calleeSaveReg(Bank, I);
+    if (!Users[regSlot(Reg)].empty() && !Taken[Reg.Index] &&
+        !isForbidden(RangeId, Reg))
+      return true;
+  }
+  return false;
+}
+
+PhysReg AssignmentState::stealRegisterFor(unsigned RangeId) {
+  const LiveRange &LR = Ctx.LRS.range(RangeId);
+
+  // How many interfering neighbors currently hold each register: stealing
+  // only helps when the victim is the *only* neighbor holding it.
+  std::vector<unsigned> HeldBy(Ctx.MD.numRegs(LR.Bank), 0);
+  for (unsigned Neighbor : Ctx.IG.neighbors(RangeId))
+    if (Decided[Neighbor] && Assignment[Neighbor].isRegister())
+      ++HeldBy[Assignment[Neighbor].Reg.Index];
+
+  int BestNeighbor = -1;
+  double BestCost = LiveRange::InfiniteSpillCost;
+  for (unsigned Neighbor : Ctx.IG.neighbors(RangeId)) {
+    if (!Decided[Neighbor] || !Assignment[Neighbor].isRegister())
+      continue;
+    const LiveRange &NLR = Ctx.LRS.range(Neighbor);
+    if (NLR.NoSpill || NLR.Bank != LR.Bank)
+      continue;
+    if (isForbidden(RangeId, Assignment[Neighbor].Reg))
+      continue;
+    if (HeldBy[Assignment[Neighbor].Reg.Index] != 1)
+      continue;
+    if (BestNeighbor < 0 || NLR.spillCost() < BestCost) {
+      BestNeighbor = static_cast<int>(Neighbor);
+      BestCost = NLR.spillCost();
+    }
+  }
+  if (BestNeighbor < 0)
+    return PhysReg();
+  PhysReg Freed = Assignment[BestNeighbor].Reg;
+  unassign(static_cast<unsigned>(BestNeighbor));
+  spill(static_cast<unsigned>(BestNeighbor));
+  return Freed;
+}

@@ -1,0 +1,182 @@
+//===- regalloc/CBHAllocator.cpp ------------------------------------------===//
+
+#include "regalloc/CBHAllocator.h"
+
+#include "regalloc/AssignmentState.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace ccra;
+
+void CBHAllocator::runRound(AllocationContext &Ctx, RoundResult &RR) {
+  const LiveRangeSet &LRS = Ctx.LRS;
+  const InterferenceGraph &IG = Ctx.IG;
+  const MachineDescription &MD = Ctx.MD;
+  unsigned NumNodes = IG.numNodes();
+
+  // Effective degrees include the pseudo neighbors: every callee-save
+  // register live range of the node's bank (they span the whole function),
+  // and — for call-crossing ranges — every caller-save register.
+  std::vector<bool> Crossing(NumNodes);
+  std::vector<unsigned> Degree(NumNodes);
+  std::vector<bool> Active(NumNodes, true);
+  unsigned ActivePerBank[NumRegBanks] = {0, 0};
+  unsigned LockedCalleeCount[NumRegBanks];
+  for (unsigned B = 0; B < NumRegBanks; ++B)
+    LockedCalleeCount[B] = MD.calleeCount(static_cast<RegBank>(B));
+  std::vector<std::vector<bool>> CalleeLocked = {
+      std::vector<bool>(MD.calleeCount(RegBank::Int), true),
+      std::vector<bool>(MD.calleeCount(RegBank::Float), true)};
+
+  for (unsigned I = 0; I < NumNodes; ++I) {
+    const LiveRange &LR = LRS.range(I);
+    Crossing[I] = LR.ContainsCall;
+    unsigned BankIdx = static_cast<unsigned>(LR.Bank);
+    Degree[I] = IG.degree(I) + MD.calleeCount(LR.Bank) +
+                (Crossing[I] ? MD.callerCount(LR.Bank) : 0);
+    ++ActivePerBank[BankIdx];
+  }
+
+  double CalleeNodeCost = 2.0 * Ctx.EntryFreq;
+
+  auto Deactivate = [&](unsigned Node) {
+    Active[Node] = false;
+    --ActivePerBank[static_cast<unsigned>(LRS.range(Node).Bank)];
+    for (unsigned Neighbor : IG.neighbors(Node))
+      if (Active[Neighbor])
+        --Degree[Neighbor];
+  };
+  auto UnlockCallee = [&](RegBank Bank) {
+    unsigned BankIdx = static_cast<unsigned>(Bank);
+    assert(LockedCalleeCount[BankIdx] > 0 && "no locked register to unlock");
+    for (unsigned J = 0; J < CalleeLocked[BankIdx].size(); ++J)
+      if (CalleeLocked[BankIdx][J]) {
+        CalleeLocked[BankIdx][J] = false;
+        break;
+      }
+    --LockedCalleeCount[BankIdx];
+    for (unsigned I = 0; I < NumNodes; ++I)
+      if (Active[I] && LRS.range(I).Bank == Bank)
+        --Degree[I];
+  };
+
+  // --- Simplification over ordinary nodes -------------------------------
+  std::vector<unsigned> Stack;
+  std::vector<bool> PushedBlocked(NumNodes, false);
+  std::vector<unsigned> SpilledNodes;
+  Stack.reserve(NumNodes);
+
+  unsigned Remaining = NumNodes;
+  while (Remaining > 0) {
+    int Best = -1;
+    for (unsigned I = 0; I < NumNodes; ++I) {
+      if (Active[I] && Degree[I] < MD.numRegs(LRS.range(I).Bank)) {
+        Best = static_cast<int>(I);
+        break;
+      }
+    }
+    if (Best >= 0) {
+      Stack.push_back(static_cast<unsigned>(Best));
+      Deactivate(static_cast<unsigned>(Best));
+      --Remaining;
+      continue;
+    }
+
+    // Blocked: cheapest among spillable ordinary ranges and the locked
+    // callee-save-register live ranges.
+    int Victim = -1;
+    double VictimMetric = std::numeric_limits<double>::infinity();
+    for (unsigned I = 0; I < NumNodes; ++I) {
+      if (!Active[I] || LRS.range(I).NoSpill)
+        continue;
+      double Metric = LRS.range(I).spillCost() /
+                      static_cast<double>(std::max(Degree[I], 1u));
+      if (Victim < 0 || Metric < VictimMetric) {
+        Victim = static_cast<int>(I);
+        VictimMetric = Metric;
+      }
+    }
+    int CalleeBank = -1;
+    double CalleeMetric = std::numeric_limits<double>::infinity();
+    for (unsigned B = 0; B < NumRegBanks; ++B) {
+      if (LockedCalleeCount[B] == 0 || ActivePerBank[B] == 0)
+        continue;
+      // The callee-save-register live range conflicts with every active
+      // ordinary range of its bank; that is its degree.
+      double Metric =
+          CalleeNodeCost / static_cast<double>(std::max(ActivePerBank[B], 1u));
+      if (Metric < CalleeMetric) {
+        CalleeBank = static_cast<int>(B);
+        CalleeMetric = Metric;
+      }
+    }
+
+    if (CalleeBank >= 0 && (Victim < 0 || CalleeMetric <= VictimMetric)) {
+      UnlockCallee(static_cast<RegBank>(CalleeBank));
+      continue;
+    }
+    if (Victim >= 0) {
+      SpilledNodes.push_back(static_cast<unsigned>(Victim));
+      Deactivate(static_cast<unsigned>(Victim));
+      --Remaining;
+      continue;
+    }
+    // Only unspillable temporaries remain and every callee-save register
+    // is already unlocked: push blocked and let the steal fallback cope.
+    unsigned BestDegree = ~0u;
+    unsigned Pick = 0;
+    for (unsigned I = 0; I < NumNodes; ++I)
+      if (Active[I] && Degree[I] < BestDegree) {
+        Pick = I;
+        BestDegree = Degree[I];
+      }
+    Stack.push_back(Pick);
+    PushedBlocked[Pick] = true;
+    Deactivate(Pick);
+    --Remaining;
+  }
+
+  // --- Color assignment ---------------------------------------------------
+  AssignmentState State(Ctx);
+  RR.PayUnusedCallee = true;
+  for (unsigned B = 0; B < NumRegBanks; ++B) {
+    RegBank Bank = static_cast<RegBank>(B);
+    for (unsigned J = 0; J < CalleeLocked[B].size(); ++J) {
+      if (CalleeLocked[B][J])
+        State.lockRegister(MD.calleeSaveReg(Bank, J));
+      else
+        RR.ForcedCalleePaid.push_back(MD.calleeSaveReg(Bank, J));
+    }
+  }
+  for (unsigned Node : SpilledNodes)
+    State.spill(Node);
+  for (unsigned I = 0; I < NumNodes; ++I)
+    if (Crossing[I])
+      State.restrictToCalleeSave(I);
+
+  for (auto It = Stack.rbegin(), E = Stack.rend(); It != E; ++It) {
+    unsigned Node = *It;
+    const LiveRange &LR = LRS.range(Node);
+    // Crossing ranges may only take callee-save registers (the restriction
+    // filters caller-save candidates); non-crossing ranges prefer
+    // caller-save, which is free.
+    RegKindPref Pref =
+        Crossing[Node] ? RegKindPref::Callee : RegKindPref::Caller;
+    PhysReg Reg = State.pickRegister(Node, Pref);
+    if (Reg.isValid()) {
+      State.assign(Node, Reg);
+      continue;
+    }
+    assert(PushedBlocked[Node] &&
+           "CBH: guaranteed-colorable node found no color");
+    if (LR.NoSpill) {
+      Reg = State.stealRegisterFor(Node);
+      assert(Reg.isValid() && "CBH: cannot color unspillable reload temp");
+      State.assign(Node, Reg);
+    } else {
+      State.spill(Node);
+    }
+  }
+  RR.Assignment = State.takeAssignment();
+}

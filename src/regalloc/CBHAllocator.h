@@ -1,0 +1,42 @@
+//===- regalloc/CBHAllocator.h - Chaitin/Briggs/Hierarchical ----*- C++ -*-===//
+///
+/// \file
+/// The CBH call-cost model of §10, the extension of Chaitin-style coloring
+/// adopted by several compilers (Briggs; the Tera hierarchical allocator):
+///
+/// - A live range that crosses a call interferes with *all* caller-save
+///   registers, so it can only be colored with a callee-save register.
+/// - Each callee-save register gets a "callee-save-register live range"
+///   spanning the whole function with spill cost 2 x entryFreq (the
+///   save/restore at entry/exit). It interferes with every ordinary live
+///   range. "Spilling" such a range pays the save/restore once and unlocks
+///   the register for ordinary live ranges.
+///
+/// When simplification blocks, the cheapest remaining candidate is chosen
+/// among ordinary live ranges *and* the still-locked callee-save-register
+/// live ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_CBHALLOCATOR_H
+#define CCRA_REGALLOC_CBHALLOCATOR_H
+
+#include "regalloc/AllocatorOptions.h"
+#include "regalloc/RegAllocBase.h"
+
+namespace ccra {
+
+class CBHAllocator : public RegAllocBase {
+public:
+  explicit CBHAllocator(const AllocatorOptions &Opts) : Opts(Opts) {}
+
+  void runRound(AllocationContext &Ctx, RoundResult &RR) override;
+  const char *name() const override { return "cbh"; }
+
+private:
+  AllocatorOptions Opts;
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_CBHALLOCATOR_H

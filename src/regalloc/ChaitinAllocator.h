@@ -1,0 +1,89 @@
+//===- regalloc/ChaitinAllocator.h - Chaitin-style coloring -----*- C++ -*-===//
+///
+/// \file
+/// The base Chaitin-style register allocator of §3.1, with Briggs
+/// optimistic coloring as an option (§8), and the protected hook points the
+/// paper's improved allocator (src/core) overrides:
+///
+/// - preColorOrdering: runs before simplification (preference decision).
+/// - simplifyKey: removal order among unconstrained nodes (benefit-driven
+///   simplification).
+/// - preference: caller-save vs callee-save choice during assignment
+///   (storage-class analysis; the base model prefers callee-save iff the
+///   live range is live across a call).
+/// - shouldSpillInstead / postAssignment: voluntary spilling when the
+///   assigned kind of register costs more than spilling (storage-class
+///   analysis, both callee-save cost models).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_CHAITINALLOCATOR_H
+#define CCRA_REGALLOC_CHAITINALLOCATOR_H
+
+#include "regalloc/AllocatorOptions.h"
+#include "regalloc/AssignmentState.h"
+#include "regalloc/RegAllocBase.h"
+
+namespace ccra {
+
+class ChaitinAllocator : public RegAllocBase {
+public:
+  explicit ChaitinAllocator(const AllocatorOptions &Opts) : Opts(Opts) {}
+
+  void runRound(AllocationContext &Ctx, RoundResult &RR) override;
+  const char *name() const override {
+    return Opts.Optimistic ? "optimistic" : "chaitin";
+  }
+
+protected:
+  /// Hook: runs before simplification; may annotate live ranges.
+  virtual void preColorOrdering(AllocationContext &Ctx) { (void)Ctx; }
+
+  /// Hook: true if simplifyKey should order unconstrained removals.
+  virtual bool hasSimplifyKey() const { return false; }
+  virtual double simplifyKey(const AllocationContext &Ctx,
+                             const LiveRange &LR) const {
+    (void)Ctx;
+    (void)LR;
+    return 0.0;
+  }
+
+  /// Hook: which register kind to try first for \p LR (live range
+  /// \p Node). \p State exposes which registers are already in use —
+  /// reusing a paid callee-save register is free (§4).
+  virtual RegKindPref preference(const AllocationContext &Ctx, unsigned Node,
+                                 const LiveRange &LR,
+                                 const AssignmentState &State) const {
+    (void)Ctx;
+    (void)Node;
+    (void)State;
+    return LR.ContainsCall ? RegKindPref::Callee : RegKindPref::Caller;
+  }
+
+  /// Hook: veto the found register in favor of spilling (storage-class
+  /// analysis). \p Reg is the register pickRegister chose.
+  virtual bool shouldSpillInstead(const AllocationContext &Ctx,
+                                  const LiveRange &LR, PhysReg Reg,
+                                  const AssignmentState &State) const {
+    (void)Ctx;
+    (void)LR;
+    (void)Reg;
+    (void)State;
+    return false;
+  }
+
+  /// Hook: runs after all live ranges are decided (shared callee-save cost
+  /// model's group spilling).
+  virtual void postAssignment(AllocationContext &Ctx, AssignmentState &State,
+                              RoundResult &RR) {
+    (void)Ctx;
+    (void)State;
+    (void)RR;
+  }
+
+  AllocatorOptions Opts;
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_CHAITINALLOCATOR_H

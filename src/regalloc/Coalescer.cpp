@@ -1,0 +1,118 @@
+//===- regalloc/Coalescer.cpp ---------------------------------------------===//
+
+#include "regalloc/Coalescer.h"
+
+#include "regalloc/InterferenceGraph.h"
+#include "regalloc/LiveRange.h"
+#include "regalloc/VRegClasses.h"
+#include "target/MachineDescription.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+namespace {
+
+/// Briggs test: merging is safe if the combined node has fewer than N
+/// neighbors whose degree is at least N.
+bool conservativelySafe(const InterferenceGraph &IG, const LiveRangeSet &LRS,
+                        unsigned A, unsigned B, unsigned N) {
+  unsigned Significant = 0;
+  auto CountFrom = [&](unsigned Node, unsigned Other) {
+    for (unsigned Neighbor : IG.neighbors(Node)) {
+      if (Neighbor == Other)
+        continue;
+      // A shared neighbor is counted twice, which only makes the test more
+      // conservative (Briggs' original behaves the same with sorted merge;
+      // double counting errs on the safe side).
+      unsigned Degree = IG.degree(Neighbor);
+      if (IG.interfere(Neighbor, A) && IG.interfere(Neighbor, B))
+        Degree -= 1; // It will lose one edge when A and B merge.
+      if (Degree >= N)
+        ++Significant;
+    }
+  };
+  (void)LRS;
+  CountFrom(A, B);
+  CountFrom(B, A);
+  return Significant < N;
+}
+
+} // namespace
+
+CoalesceStats Coalescer::run(Function &F, VRegClasses &Classes,
+                             const MachineDescription &MD,
+                             const FrequencyInfo &Freq, Liveness &LV,
+                             bool Aggressive) {
+  CoalesceStats Stats;
+  constexpr unsigned MaxPasses = 64;
+
+  for (unsigned Pass = 0; Pass < MaxPasses; ++Pass) {
+    ++Stats.Passes;
+    Classes.grow(F.numVRegs());
+    // Canonicalize operands to their class representative so the code
+    // never references a register whose defining copy was deleted (the IR
+    // stays verifier-clean, and printed code reads naturally).
+    for (const auto &BB : F.blocks())
+      for (Instruction &I : BB->instructions()) {
+        for (VirtReg &R : I.Defs)
+          R = Classes.find(R);
+        for (VirtReg &R : I.Uses)
+          R = Classes.find(R);
+      }
+    LV = Liveness::compute(F);
+    LiveRangeSet LRS = LiveRangeSet::build(F, LV, Freq, Classes);
+    InterferenceGraph IG = InterferenceGraph::build(F, LV, LRS);
+
+    // One merge per live range per pass: after a merge the graph is stale
+    // for the nodes involved, so further copies touching them wait for the
+    // next pass.
+    std::vector<bool> Touched(LRS.numRanges(), false);
+    bool Changed = false;
+
+    for (const auto &BB : F.blocks()) {
+      auto &Insts = BB->instructions();
+      std::vector<Instruction> Kept;
+      Kept.reserve(Insts.size());
+      for (Instruction &I : Insts) {
+        if (!I.isMove()) {
+          Kept.push_back(std::move(I));
+          continue;
+        }
+        int SrcRange = LRS.rangeIdOf(I.moveSource());
+        int DstRange = LRS.rangeIdOf(I.moveDest());
+        assert(SrcRange >= 0 && DstRange >= 0 && "move operands unmapped");
+        if (SrcRange == DstRange) {
+          // Already one class: the copy is dead — delete it.
+          Changed = true;
+          continue;
+        }
+        unsigned Src = static_cast<unsigned>(SrcRange);
+        unsigned Dst = static_cast<unsigned>(DstRange);
+        RegBank Bank = LRS.range(Src).Bank;
+        unsigned N = MD.numRegs(Bank);
+        bool CanMerge = !Touched[Src] && !Touched[Dst] &&
+                        LRS.range(Dst).Bank == Bank &&
+                        !IG.interfere(Src, Dst) &&
+                        (Aggressive || conservativelySafe(IG, LRS, Src, Dst, N));
+        if (!CanMerge) {
+          Kept.push_back(std::move(I));
+          continue;
+        }
+        Classes.merge(LRS.range(Src).Root, LRS.range(Dst).Root);
+        Touched[Src] = Touched[Dst] = true;
+        ++Stats.CoalescedMoves;
+        Changed = true; // The copy is dropped (not kept).
+      }
+      Insts = std::move(Kept);
+    }
+
+    if (!Changed)
+      return Stats; // LV matches the final (unmodified) code.
+  }
+  // Fixpoint not reached within the cap (should not happen: every pass
+  // with changes removes an instruction or a class). Recompute liveness so
+  // the caller still sees a consistent view.
+  LV = Liveness::compute(F);
+  return Stats;
+}

@@ -1,0 +1,42 @@
+//===- regalloc/Coalescer.h - Copy coalescing -------------------*- C++ -*-===//
+///
+/// \file
+/// The coalescing phase of the framework (paper Figure 1): copies between
+/// non-conflicting live ranges are eliminated by merging their congruence
+/// classes. The default is Briggs-conservative coalescing (the merged node
+/// must have fewer than N neighbors of significant degree, so coalescing
+/// can never cause a spill); aggressive mode skips the degree test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_COALESCER_H
+#define CCRA_REGALLOC_COALESCER_H
+
+#include "analysis/Liveness.h"
+
+namespace ccra {
+
+class FrequencyInfo;
+class Function;
+class MachineDescription;
+class VRegClasses;
+
+struct CoalesceStats {
+  unsigned CoalescedMoves = 0;
+  unsigned Passes = 0;
+};
+
+class Coalescer {
+public:
+  /// Coalesces to a fixpoint. Merged copies are deleted from \p F and their
+  /// classes merged in \p Classes. On return \p LV holds liveness for the
+  /// final code.
+  static CoalesceStats run(Function &F, VRegClasses &Classes,
+                           const MachineDescription &MD,
+                           const FrequencyInfo &Freq, Liveness &LV,
+                           bool Aggressive);
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_COALESCER_H

@@ -1,0 +1,68 @@
+//===- regalloc/CostAccounting.cpp ----------------------------------------===//
+
+#include "regalloc/CostAccounting.h"
+
+#include "analysis/Frequency.h"
+#include "regalloc/OverheadMaterializer.h"
+#include "target/MachineDescription.h"
+
+using namespace ccra;
+
+CostBreakdown ccra::measureCostFromCode(const Function &F,
+                                        const FrequencyInfo &Freq) {
+  CostBreakdown Costs;
+  for (const auto &BB : F.blocks()) {
+    double BlockFreq = Freq.blockFrequency(*BB);
+    for (const Instruction &I : BB->instructions()) {
+      switch (I.Overhead) {
+      case OverheadKind::None:
+        break;
+      case OverheadKind::Spill:
+        Costs.Spill += BlockFreq;
+        break;
+      case OverheadKind::CallerSave:
+        Costs.CallerSave += BlockFreq;
+        break;
+      case OverheadKind::CalleeSave:
+        Costs.CalleeSave += BlockFreq;
+        break;
+      case OverheadKind::Shuffle:
+        Costs.Shuffle += BlockFreq;
+        break;
+      }
+    }
+  }
+  return Costs;
+}
+
+CostBreakdown ccra::computeAnalyticCost(const AllocationContext &Ctx,
+                                        const RoundResult &RR) {
+  CostBreakdown Costs;
+
+  // Spill component: the spill code is real code by now; weigh it.
+  for (const auto &BB : Ctx.F.blocks()) {
+    double BlockFreq = Ctx.Freq.blockFrequency(*BB);
+    for (const Instruction &I : BB->instructions()) {
+      if (I.Overhead == OverheadKind::Spill)
+        Costs.Spill += BlockFreq;
+      else if (I.Overhead == OverheadKind::Shuffle)
+        Costs.Shuffle += BlockFreq;
+    }
+  }
+
+  // Caller-save component: each live range in a caller-save register pays
+  // a save + restore around every call it crosses — which is exactly its
+  // CallerSaveCost metric.
+  for (unsigned I = 0; I < Ctx.LRS.numRanges(); ++I) {
+    const Location &Loc = RR.Assignment[I];
+    if (Loc.isRegister() && Ctx.MD.isCallerSave(Loc.Reg))
+      Costs.CallerSave += Ctx.LRS.range(I).CallerSaveCost;
+  }
+
+  // Callee-save component: 2 x entryFreq per paid register.
+  Costs.CalleeSave +=
+      2.0 * Ctx.EntryFreq *
+      static_cast<double>(OverheadMaterializer::paidCalleeRegs(Ctx, RR).size());
+
+  return Costs;
+}

@@ -1,0 +1,37 @@
+//===- regalloc/CostAccounting.h - Overhead cost computation ----*- C++ -*-===//
+///
+/// \file
+/// Computes §3's register-allocation cost. Two independent paths exist and
+/// are cross-checked in the test suite:
+///
+/// - measureFromCode: sum the frequency-weighted tagged overhead
+///   instructions actually present in the function (requires spill code and
+///   materialized save/restore code).
+/// - computeAnalytic: derive caller-save / callee-save / shuffle costs from
+///   the final assignment without materialization (spill code is always in
+///   the code, so its component is measured either way).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_COSTACCOUNTING_H
+#define CCRA_REGALLOC_COSTACCOUNTING_H
+
+#include "regalloc/AllocationContext.h"
+
+namespace ccra {
+
+class FrequencyInfo;
+
+/// Weighted overhead read off the tagged instructions in \p F.
+CostBreakdown measureCostFromCode(const Function &F,
+                                  const FrequencyInfo &Freq);
+
+/// Overhead derived from the final round's assignment: spill component from
+/// the inserted spill code, caller-save from each caller-save-resident live
+/// range's crossed calls, callee-save as 2 x entryFreq per paid register.
+CostBreakdown computeAnalyticCost(const AllocationContext &Ctx,
+                                  const RoundResult &RR);
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_COSTACCOUNTING_H

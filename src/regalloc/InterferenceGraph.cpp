@@ -1,0 +1,134 @@
+//===- regalloc/InterferenceGraph.cpp -------------------------------------===//
+
+#include "regalloc/InterferenceGraph.h"
+
+#include "analysis/Liveness.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+InterferenceGraph::InterferenceGraph(unsigned NumNodes) {
+  Adj.resize(NumNodes);
+  size_t Bits =
+      NumNodes == 0 ? 0 : static_cast<size_t>(NumNodes) * (NumNodes - 1) / 2;
+  Matrix.resize(static_cast<unsigned>(Bits));
+}
+
+size_t InterferenceGraph::matrixIndex(unsigned A, unsigned B) const {
+  assert(A != B && "self edge has no matrix slot");
+  if (A > B)
+    std::swap(A, B);
+  return static_cast<size_t>(B) * (B - 1) / 2 + A;
+}
+
+void InterferenceGraph::addEdge(unsigned A, unsigned B) {
+  assert(A < numNodes() && B < numNodes() && "node out of range");
+  if (A == B)
+    return;
+  size_t Idx = matrixIndex(A, B);
+  if (Matrix.test(static_cast<unsigned>(Idx)))
+    return;
+  Matrix.set(static_cast<unsigned>(Idx));
+  Adj[A].push_back(B);
+  Adj[B].push_back(A);
+}
+
+bool InterferenceGraph::interfere(unsigned A, unsigned B) const {
+  if (A == B)
+    return false;
+  return Matrix.test(static_cast<unsigned>(matrixIndex(A, B)));
+}
+
+size_t InterferenceGraph::numEdges() const {
+  size_t Total = 0;
+  for (const auto &Neighbors : Adj)
+    Total += Neighbors.size();
+  return Total / 2;
+}
+
+void InterferenceGraph::scanBlockForEdges(const Function &F,
+                                          const BasicBlock &BB,
+                                          const BitVector &LiveOut,
+                                          const LiveRangeSet &LRS,
+                                          InterferenceGraph &IG) {
+  // Liveness is tracked at vreg granularity (Live); a live *range* is live
+  // while any member vreg is, maintained as a per-range count plus a dense
+  // list of currently live ranges for fast iteration at defs.
+  BitVector Live(F.numVRegs());
+  std::vector<unsigned> LiveCount(LRS.numRanges(), 0);
+  std::vector<unsigned> LiveList;
+
+  auto VRegBecameLive = [&](unsigned V) {
+    unsigned R = static_cast<unsigned>(LRS.rangeIdOf(VirtReg(V)));
+    if (LiveCount[R]++ == 0)
+      LiveList.push_back(R);
+  };
+  auto VRegBecameDead = [&](unsigned V) {
+    unsigned R = static_cast<unsigned>(LRS.rangeIdOf(VirtReg(V)));
+    assert(LiveCount[R] > 0 && "kill of dead range");
+    if (--LiveCount[R] == 0) {
+      for (auto It = LiveList.begin(), E = LiveList.end(); It != E; ++It)
+        if (*It == R) {
+          *It = LiveList.back();
+          LiveList.pop_back();
+          break;
+        }
+    }
+  };
+
+  for (unsigned V : LiveOut) {
+    Live.set(V);
+    VRegBecameLive(V);
+  }
+
+  const auto &Insts = BB.instructions();
+  for (auto It = Insts.rbegin(), E = Insts.rend(); It != E; ++It) {
+    const Instruction &I = *It;
+    int MoveSrcRange = I.isMove() ? LRS.rangeIdOf(I.moveSource()) : -1;
+
+    // A def conflicts with everything live after the instruction — except,
+    // for a copy, its own source (Chaitin's coalescing-enabling special
+    // case).
+    for (VirtReg D : I.Defs) {
+      unsigned DefRange = static_cast<unsigned>(LRS.rangeIdOf(D));
+      RegBank DefBank = LRS.range(DefRange).Bank;
+      for (unsigned Other : LiveList) {
+        if (Other == DefRange || static_cast<int>(Other) == MoveSrcRange)
+          continue;
+        if (LRS.range(Other).Bank != DefBank)
+          continue;
+        IG.addEdge(DefRange, Other);
+      }
+    }
+    // Multiple results of one instruction conflict with each other.
+    for (size_t A = 0; A + 1 < I.Defs.size(); ++A)
+      for (size_t B = A + 1; B < I.Defs.size(); ++B) {
+        unsigned RA = static_cast<unsigned>(LRS.rangeIdOf(I.Defs[A]));
+        unsigned RB = static_cast<unsigned>(LRS.rangeIdOf(I.Defs[B]));
+        if (RA != RB && LRS.range(RA).Bank == LRS.range(RB).Bank)
+          IG.addEdge(RA, RB);
+      }
+
+    // Step the live set backward across the instruction.
+    for (VirtReg D : I.Defs)
+      if (Live.test(D.Id)) {
+        Live.reset(D.Id);
+        VRegBecameDead(D.Id);
+      }
+    for (VirtReg U : I.Uses)
+      if (!Live.test(U.Id)) {
+        Live.set(U.Id);
+        VRegBecameLive(U.Id);
+      }
+  }
+}
+
+InterferenceGraph InterferenceGraph::build(const Function &F,
+                                           const Liveness &LV,
+                                           const LiveRangeSet &LRS) {
+  InterferenceGraph IG(LRS.numRanges());
+  for (const auto &BB : F.blocks())
+    scanBlockForEdges(F, *BB, LV.liveOut(*BB), LRS, IG);
+  return IG;
+}

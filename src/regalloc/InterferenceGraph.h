@@ -1,0 +1,70 @@
+//===- regalloc/InterferenceGraph.h - Conflict graph ------------*- C++ -*-===//
+///
+/// \file
+/// The interference graph of the Chaitin framework: nodes are live ranges,
+/// edges connect live ranges that are simultaneously live (within the same
+/// register bank — live ranges in different banks never compete for a
+/// register, so no edges are needed between them). A triangular bit matrix
+/// gives O(1) interference queries; adjacency vectors drive simplification.
+///
+/// Copy instructions get the classic Chaitin special case: at "move d <- s"
+/// no edge is added between d and s, which is what makes them coalescable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_INTERFERENCEGRAPH_H
+#define CCRA_REGALLOC_INTERFERENCEGRAPH_H
+
+#include "regalloc/LiveRange.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ccra {
+
+class Liveness;
+
+class InterferenceGraph {
+public:
+  InterferenceGraph() = default;
+  explicit InterferenceGraph(unsigned NumNodes);
+
+  unsigned numNodes() const { return static_cast<unsigned>(Adj.size()); }
+
+  /// Adds an undirected edge (idempotent, ignores self loops).
+  void addEdge(unsigned A, unsigned B);
+
+  bool interfere(unsigned A, unsigned B) const;
+
+  const std::vector<unsigned> &neighbors(unsigned Node) const {
+    return Adj[Node];
+  }
+  unsigned degree(unsigned Node) const {
+    return static_cast<unsigned>(Adj[Node].size());
+  }
+
+  /// Total number of undirected edges.
+  size_t numEdges() const;
+
+  /// Builds the graph for \p F from liveness and the live-range set.
+  static InterferenceGraph build(const Function &F, const Liveness &LV,
+                                 const LiveRangeSet &LRS);
+
+  /// Adds every interference edge arising within \p BB (given its live-out
+  /// set) to \p IG. Idempotent; the incremental graph reconstruction uses
+  /// it to rescan only the blocks spill code touched.
+  static void scanBlockForEdges(const Function &F, const BasicBlock &BB,
+                                const BitVector &LiveOut,
+                                const LiveRangeSet &LRS,
+                                InterferenceGraph &IG);
+
+private:
+  size_t matrixIndex(unsigned A, unsigned B) const;
+
+  std::vector<std::vector<unsigned>> Adj;
+  BitVector Matrix; // strict lower triangle
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_INTERFERENCEGRAPH_H

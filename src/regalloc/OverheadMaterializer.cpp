@@ -1,0 +1,131 @@
+//===- regalloc/OverheadMaterializer.cpp ----------------------------------===//
+
+#include "regalloc/OverheadMaterializer.h"
+
+#include "support/BitVector.h"
+#include "target/MachineDescription.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccra;
+
+std::vector<PhysReg>
+OverheadMaterializer::paidCalleeRegs(const AllocationContext &Ctx,
+                                     const RoundResult &RR) {
+  if (RR.PayUnusedCallee)
+    return RR.ForcedCalleePaid;
+
+  std::vector<PhysReg> Paid;
+  auto AlreadyPaid = [&](PhysReg Reg) {
+    return std::find(Paid.begin(), Paid.end(), Reg) != Paid.end();
+  };
+  for (const Location &Loc : RR.Assignment) {
+    if (!Loc.isRegister() || !Ctx.MD.isCalleeSave(Loc.Reg))
+      continue;
+    if (!AlreadyPaid(Loc.Reg))
+      Paid.push_back(Loc.Reg);
+  }
+  return Paid;
+}
+
+OverheadMaterializer::Stats
+OverheadMaterializer::run(AllocationContext &Ctx, const RoundResult &RR) {
+  Stats S;
+  Function &F = Ctx.F;
+
+  // --- Caller-save saves/restores around calls ---------------------------
+  // Plan first (per block, per instruction index, the registers to wrap),
+  // then rewrite each block once.
+  for (const auto &BB : F.blocks()) {
+    auto &Insts = BB->instructions();
+    // Live-after set per instruction index, derived by one backward scan.
+    std::vector<std::vector<PhysReg>> WrapRegs(Insts.size());
+    BitVector Live(F.numVRegs());
+    Live = Ctx.LV.liveOut(*BB);
+    bool AnyWrap = false;
+    for (size_t Idx = Insts.size(); Idx-- > 0;) {
+      const Instruction &I = Insts[Idx];
+      if (I.isCall()) {
+        for (unsigned V : Live) {
+          bool DefinedHere = false;
+          for (VirtReg D : I.Defs)
+            DefinedHere |= (D.Id == V);
+          if (DefinedHere)
+            continue;
+          int RangeId = Ctx.LRS.rangeIdOf(VirtReg(V));
+          assert(RangeId >= 0 && "live register without live range");
+          const Location &Loc = RR.Assignment[RangeId];
+          if (!Loc.isRegister() || !Ctx.MD.isCallerSave(Loc.Reg))
+            continue;
+          auto &Regs = WrapRegs[Idx];
+          if (std::find(Regs.begin(), Regs.end(), Loc.Reg) == Regs.end()) {
+            Regs.push_back(Loc.Reg);
+            AnyWrap = true;
+          }
+        }
+      }
+      for (VirtReg D : I.Defs)
+        Live.reset(D.Id);
+      for (VirtReg U : I.Uses)
+        Live.set(U.Id);
+    }
+    if (!AnyWrap)
+      continue;
+    std::vector<Instruction> Out;
+    Out.reserve(Insts.size() + 4);
+    for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+      for (PhysReg Reg : WrapRegs[Idx]) {
+        Instruction Save(Opcode::Save);
+        Save.Phys = Reg;
+        Save.Overhead = OverheadKind::CallerSave;
+        Out.push_back(std::move(Save));
+        ++S.CallerSavesInserted;
+      }
+      Out.push_back(std::move(Insts[Idx]));
+      for (PhysReg Reg : WrapRegs[Idx]) {
+        Instruction Restore(Opcode::Restore);
+        Restore.Phys = Reg;
+        Restore.Overhead = OverheadKind::CallerSave;
+        Out.push_back(std::move(Restore));
+        ++S.CallerSavesInserted;
+      }
+    }
+    Insts = std::move(Out);
+  }
+
+  // --- Callee-save saves at entry, restores before every return ----------
+  std::vector<PhysReg> Paid = paidCalleeRegs(Ctx, RR);
+  S.CalleeRegsPaid = static_cast<unsigned>(Paid.size());
+  if (!Paid.empty()) {
+    BasicBlock *Entry = F.getEntryBlock();
+    auto &EntryInsts = Entry->instructions();
+    std::vector<Instruction> Prologue;
+    for (PhysReg Reg : Paid) {
+      Instruction Save(Opcode::Save);
+      Save.Phys = Reg;
+      Save.Overhead = OverheadKind::CalleeSave;
+      Prologue.push_back(std::move(Save));
+      ++S.CalleeSavesInserted;
+    }
+    EntryInsts.insert(EntryInsts.begin(),
+                      std::make_move_iterator(Prologue.begin()),
+                      std::make_move_iterator(Prologue.end()));
+
+    for (const auto &BB : F.blocks()) {
+      const Instruction *Term = BB->getTerminator();
+      if (!Term || Term->Op != Opcode::Ret)
+        continue;
+      auto &Insts = BB->instructions();
+      // Restore in reverse order, right before the return.
+      for (auto It = Paid.rbegin(); It != Paid.rend(); ++It) {
+        Instruction Restore(Opcode::Restore);
+        Restore.Phys = *It;
+        Restore.Overhead = OverheadKind::CalleeSave;
+        Insts.insert(Insts.end() - 1, std::move(Restore));
+        ++S.CalleeSavesInserted;
+      }
+    }
+  }
+  return S;
+}

@@ -1,0 +1,43 @@
+//===- regalloc/OverheadMaterializer.h - Save/restore insertion -*- C++ -*-===//
+///
+/// \file
+/// After allocation converges, materializes the call-cost overhead as real
+/// instructions (paper §3): Save/Restore of caller-save registers around
+/// every call they are live across, and Save/Restore of each paid
+/// callee-save register at function entry/exit. Spill code was already
+/// inserted during the rounds; together the tagged overhead instructions
+/// let the cost accounting read the breakdown straight off the code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_OVERHEADMATERIALIZER_H
+#define CCRA_REGALLOC_OVERHEADMATERIALIZER_H
+
+#include "regalloc/AllocationContext.h"
+
+#include <vector>
+
+namespace ccra {
+
+class OverheadMaterializer {
+public:
+  struct Stats {
+    unsigned CalleeRegsPaid = 0;
+    unsigned CallerSavesInserted = 0; ///< Save+Restore instruction count.
+    unsigned CalleeSavesInserted = 0;
+  };
+
+  /// Determines the callee-save registers whose entry/exit save must be
+  /// paid: the forced set from \p RR (CBH) or, by default, those used by
+  /// any live range.
+  static std::vector<PhysReg> paidCalleeRegs(const AllocationContext &Ctx,
+                                             const RoundResult &RR);
+
+  /// Inserts the Save/Restore instructions. \p Ctx.LV must describe the
+  /// final code (the driver guarantees this).
+  static Stats run(AllocationContext &Ctx, const RoundResult &RR);
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_OVERHEADMATERIALIZER_H

@@ -1,0 +1,41 @@
+//===- regalloc/PriorityAllocator.h - Chow-style coloring -------*- C++ -*-===//
+///
+/// \file
+/// Priority-based coloring (§9) without live-range splitting: live ranges
+/// are colored in descending priority order, where
+///
+///   priority(lr) = max(benefitCaller(lr), benefitCallee(lr)) / size(lr)
+///
+/// and size(lr) is the number of basic blocks the range spans. A live range
+/// with no legal color (or a negative best benefit) is spilled. The three
+/// color-ordering heuristics of §9.1 are selectable: peel unconstrained
+/// nodes first (Chow's original), peel them in priority order, or sort
+/// everything purely by priority (the paper's pick).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_PRIORITYALLOCATOR_H
+#define CCRA_REGALLOC_PRIORITYALLOCATOR_H
+
+#include "regalloc/AllocatorOptions.h"
+#include "regalloc/RegAllocBase.h"
+
+namespace ccra {
+
+class PriorityAllocator : public RegAllocBase {
+public:
+  explicit PriorityAllocator(const AllocatorOptions &Opts) : Opts(Opts) {}
+
+  void runRound(AllocationContext &Ctx, RoundResult &RR) override;
+  const char *name() const override { return "priority"; }
+
+  /// Chow's priority function (exposed for tests and benches).
+  static double priorityOf(const LiveRange &LR);
+
+private:
+  AllocatorOptions Opts;
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_PRIORITYALLOCATOR_H

@@ -1,0 +1,107 @@
+//===- regalloc/Simplifier.cpp --------------------------------------------===//
+
+#include "regalloc/Simplifier.h"
+
+#include "target/MachineDescription.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace ccra;
+
+SimplifyResult Simplifier::run(const AllocationContext &Ctx, bool Optimistic,
+                               const KeyFn &Key) {
+  const InterferenceGraph &IG = Ctx.IG;
+  const LiveRangeSet &LRS = Ctx.LRS;
+  unsigned NumNodes = IG.numNodes();
+
+  SimplifyResult Result;
+  Result.PushedOptimistically.assign(NumNodes, false);
+  Result.Stack.reserve(NumNodes);
+
+  // Registers refused in earlier rounds are locked and shrink the number
+  // of colors actually available — the simplification threshold must match
+  // or the colorability guarantee breaks.
+  unsigned LockedPerBank[NumRegBanks] = {0, 0};
+  for (PhysReg Reg : Ctx.RefusedCalleeRegs)
+    ++LockedPerBank[static_cast<unsigned>(Reg.Bank)];
+
+  std::vector<unsigned> Degree(NumNodes);
+  std::vector<unsigned> ColorLimit(NumNodes);
+  std::vector<bool> Active(NumNodes, true);
+  for (unsigned I = 0; I < NumNodes; ++I) {
+    Degree[I] = IG.degree(I);
+    RegBank Bank = LRS.range(I).Bank;
+    unsigned Total = Ctx.MD.numRegs(Bank);
+    unsigned Locked = std::min(LockedPerBank[static_cast<unsigned>(Bank)],
+                               Total);
+    ColorLimit[I] = Total - Locked;
+  }
+
+  auto Deactivate = [&](unsigned Node) {
+    Active[Node] = false;
+    for (unsigned Neighbor : IG.neighbors(Node))
+      if (Active[Neighbor])
+        --Degree[Neighbor];
+  };
+
+  unsigned Remaining = NumNodes;
+  while (Remaining > 0) {
+    // Find the unconstrained node with the smallest key.
+    int Best = -1;
+    double BestKey = std::numeric_limits<double>::infinity();
+    for (unsigned I = 0; I < NumNodes; ++I) {
+      if (!Active[I] || Degree[I] >= ColorLimit[I])
+        continue;
+      double K = Key ? Key(LRS.range(I)) : 0.0;
+      if (Best < 0 || K < BestKey) {
+        Best = static_cast<int>(I);
+        BestKey = K;
+      }
+    }
+    if (Best >= 0) {
+      Result.Stack.push_back(static_cast<unsigned>(Best));
+      Deactivate(static_cast<unsigned>(Best));
+      --Remaining;
+      continue;
+    }
+
+    // Blocked: choose a spill candidate minimizing spillCost / degree.
+    int Victim = -1;
+    double VictimMetric = std::numeric_limits<double>::infinity();
+    for (unsigned I = 0; I < NumNodes; ++I) {
+      if (!Active[I] || LRS.range(I).NoSpill)
+        continue;
+      double Metric = LRS.range(I).spillCost() /
+                      static_cast<double>(std::max(Degree[I], 1u));
+      if (Victim < 0 || Metric < VictimMetric) {
+        Victim = static_cast<int>(I);
+        VictimMetric = Metric;
+      }
+    }
+    bool EmergencyNoSpill = Victim < 0;
+    if (EmergencyNoSpill) {
+      // Only unspillable reload temporaries remain. Push the one with the
+      // smallest degree and hope color assignment finds room (its steal
+      // fallback guarantees progress).
+      unsigned BestDegree = ~0u;
+      for (unsigned I = 0; I < NumNodes; ++I)
+        if (Active[I] && Degree[I] < BestDegree) {
+          Victim = static_cast<int>(I);
+          BestDegree = Degree[I];
+        }
+      assert(Victim >= 0 && "no active node while Remaining > 0");
+    }
+
+    unsigned V = static_cast<unsigned>(Victim);
+    if (Optimistic || EmergencyNoSpill) {
+      Result.Stack.push_back(V);
+      Result.PushedOptimistically[V] = true;
+    } else {
+      Result.SpilledNodes.push_back(V);
+    }
+    Deactivate(V);
+    --Remaining;
+  }
+  return Result;
+}

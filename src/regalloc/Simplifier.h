@@ -1,0 +1,50 @@
+//===- regalloc/Simplifier.h - Simplification / color ordering --*- C++ -*-===//
+///
+/// \file
+/// Chaitin simplification: repeatedly remove an unconstrained node (degree
+/// < N for its bank) and push it onto the color stack; when simplification
+/// blocks, pick a spill candidate by the classic spillCost/degree heuristic.
+///
+/// The removal order among unconstrained nodes is pluggable: base Chaitin
+/// does not care (KeyFn null, lowest id wins), the paper's benefit-driven
+/// simplification (§5) supplies a key so that live ranges with a large
+/// wrong-register penalty end up near the top of the stack.
+///
+/// Optimistic (Briggs) mode pushes the blocked pick instead of spilling it;
+/// the spill decision is deferred to color assignment (§8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_SIMPLIFIER_H
+#define CCRA_REGALLOC_SIMPLIFIER_H
+
+#include "regalloc/AllocationContext.h"
+
+#include <functional>
+#include <vector>
+
+namespace ccra {
+
+struct SimplifyResult {
+  /// Color stack, bottom first; color assignment pops from the back.
+  std::vector<unsigned> Stack;
+  /// Nodes removed as spills (empty in optimistic mode).
+  std::vector<unsigned> SpilledNodes;
+  /// Per live-range flag: pushed while simplification was blocked, so a
+  /// color is not guaranteed.
+  std::vector<bool> PushedOptimistically;
+};
+
+class Simplifier {
+public:
+  /// Ordering key among unconstrained nodes; the *smallest* key is removed
+  /// first (ends up lowest on the stack). Null = id order.
+  using KeyFn = std::function<double(const LiveRange &)>;
+
+  static SimplifyResult run(const AllocationContext &Ctx, bool Optimistic,
+                            const KeyFn &Key = nullptr);
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_SIMPLIFIER_H

@@ -1,0 +1,39 @@
+//===- regalloc/SpillCodeInserter.h - Spill code insertion ------*- C++ -*-===//
+///
+/// \file
+/// Rewrites spilled live ranges into spill code (paper Figure 1's
+/// "spill-code insertion" phase): every use loads the value from the
+/// range's stack slot into a fresh reload temporary just before the using
+/// instruction; every def stores the defining temporary right after. The
+/// temporaries are unspillable and join the next coloring round — no
+/// registers are reserved for spill code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_SPILLCODEINSERTER_H
+#define CCRA_REGALLOC_SPILLCODEINSERTER_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace ccra {
+
+class SpillCodeInserter {
+public:
+  struct Stats {
+    unsigned RangesSpilled = 0;
+    unsigned LoadsInserted = 0;
+    unsigned StoresInserted = 0;
+  };
+
+  /// Spills the given congruence classes (each entry lists the member
+  /// virtual registers of one spilled live range). Each class receives one
+  /// fresh spill slot.
+  static Stats run(Function &F,
+                   const std::vector<std::vector<VirtReg>> &SpilledClasses);
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_SPILLCODEINSERTER_H

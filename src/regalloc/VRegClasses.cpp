@@ -1,0 +1,49 @@
+//===- regalloc/VRegClasses.cpp -------------------------------------------===//
+
+#include "regalloc/VRegClasses.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+void VRegClasses::grow(unsigned NumVRegs) {
+  unsigned Old = size();
+  if (NumVRegs <= Old)
+    return;
+  Parent.resize(NumVRegs);
+  Rank.resize(NumVRegs, 0);
+  for (unsigned I = Old; I < NumVRegs; ++I)
+    Parent[I] = I;
+}
+
+VirtReg VRegClasses::find(VirtReg R) const {
+  assert(R.Id < Parent.size() && "register not covered by class structure");
+  unsigned Walk = R.Id;
+  while (Parent[Walk] != Walk) {
+    Parent[Walk] = Parent[Parent[Walk]]; // path halving
+    Walk = Parent[Walk];
+  }
+  return VirtReg(Walk);
+}
+
+VirtReg VRegClasses::merge(VirtReg A, VirtReg B) {
+  unsigned RootA = find(A).Id;
+  unsigned RootB = find(B).Id;
+  if (RootA == RootB)
+    return VirtReg(RootA);
+  if (Rank[RootA] < Rank[RootB])
+    std::swap(RootA, RootB);
+  Parent[RootB] = RootA;
+  if (Rank[RootA] == Rank[RootB])
+    ++Rank[RootA];
+  return VirtReg(RootA);
+}
+
+std::vector<VirtReg> VRegClasses::classMembers(VirtReg R) const {
+  std::vector<VirtReg> Members;
+  VirtReg Root = find(R);
+  for (unsigned I = 0; I < size(); ++I)
+    if (find(VirtReg(I)) == Root)
+      Members.push_back(VirtReg(I));
+  return Members;
+}

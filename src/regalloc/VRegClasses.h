@@ -1,0 +1,52 @@
+//===- regalloc/VRegClasses.h - Coalescing congruence classes ---*- C++ -*-===//
+///
+/// \file
+/// Union-find over virtual registers. The coalescing phase merges the
+/// source and destination of copy instructions into one congruence class;
+/// each class is one live range for the rest of the allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_VREGCLASSES_H
+#define CCRA_REGALLOC_VREGCLASSES_H
+
+#include "ir/Register.h"
+
+#include <vector>
+
+namespace ccra {
+
+class VRegClasses {
+public:
+  VRegClasses() = default;
+  explicit VRegClasses(unsigned NumVRegs) { grow(NumVRegs); }
+
+  /// Extends the structure to cover at least \p NumVRegs registers (new
+  /// registers start as singleton classes). Spill temporaries created
+  /// between allocation rounds enter this way.
+  void grow(unsigned NumVRegs);
+
+  unsigned size() const { return static_cast<unsigned>(Parent.size()); }
+
+  /// Returns the representative of \p R's class.
+  VirtReg find(VirtReg R) const;
+
+  /// Merges the classes of \p A and \p B; returns the new representative.
+  VirtReg merge(VirtReg A, VirtReg B);
+
+  /// True if \p A and \p B are in the same class.
+  bool sameClass(VirtReg A, VirtReg B) const { return find(A) == find(B); }
+
+  /// Collects all members of \p R's class.
+  std::vector<VirtReg> classMembers(VirtReg R) const;
+
+private:
+  // Path-halving find on a mutable parent array (const-friendly via
+  // amortized updates being semantically transparent).
+  mutable std::vector<unsigned> Parent;
+  std::vector<unsigned> Rank;
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_VREGCLASSES_H

@@ -1,0 +1,102 @@
+//===- support/BitVector.cpp ----------------------------------------------===//
+
+#include "support/BitVector.h"
+
+#include <algorithm>
+#include <bit>
+
+using namespace ccra;
+
+bool BitVector::none() const {
+  for (uint64_t W : Words)
+    if (W != 0)
+      return false;
+  return true;
+}
+
+unsigned BitVector::count() const {
+  unsigned Total = 0;
+  for (uint64_t W : Words)
+    Total += static_cast<unsigned>(std::popcount(W));
+  return Total;
+}
+
+void BitVector::resize(unsigned NewSize, bool Value) {
+  unsigned OldSize = NumBits;
+  unsigned NewWords = (NewSize + BitsPerWord - 1) / BitsPerWord;
+  Words.resize(NewWords, Value ? ~uint64_t(0) : 0);
+  NumBits = NewSize;
+  if (Value && NewSize > OldSize) {
+    // Newly appended whole words are already all-ones; fill the tail of the
+    // word that straddles the old size boundary.
+    unsigned BoundaryEnd = std::min(
+        NewSize, (OldSize / BitsPerWord + 1) * BitsPerWord);
+    for (unsigned Idx = OldSize; Idx < BoundaryEnd; ++Idx)
+      Words[Idx / BitsPerWord] |= wordMask(Idx);
+  }
+  clearUnusedBits();
+}
+
+void BitVector::resetAll() {
+  for (uint64_t &W : Words)
+    W = 0;
+}
+
+void BitVector::setAll() {
+  for (uint64_t &W : Words)
+    W = ~uint64_t(0);
+  clearUnusedBits();
+}
+
+bool BitVector::unionWith(const BitVector &Other) {
+  assert(NumBits == Other.NumBits && "size mismatch in union");
+  bool Changed = false;
+  for (size_t I = 0, E = Words.size(); I != E; ++I) {
+    uint64_t Merged = Words[I] | Other.Words[I];
+    if (Merged != Words[I]) {
+      Words[I] = Merged;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+void BitVector::intersectWith(const BitVector &Other) {
+  assert(NumBits == Other.NumBits && "size mismatch in intersect");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= Other.Words[I];
+}
+
+void BitVector::subtract(const BitVector &Other) {
+  assert(NumBits == Other.NumBits && "size mismatch in subtract");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= ~Other.Words[I];
+}
+
+int BitVector::findNext(unsigned From) const {
+  if (From >= NumBits)
+    return -1;
+  unsigned WordIdx = From / BitsPerWord;
+  uint64_t Word = Words[WordIdx] & (~uint64_t(0) << (From % BitsPerWord));
+  while (true) {
+    if (Word != 0) {
+      unsigned Bit =
+          WordIdx * BitsPerWord + static_cast<unsigned>(std::countr_zero(Word));
+      return Bit < NumBits ? static_cast<int>(Bit) : -1;
+    }
+    if (++WordIdx == Words.size())
+      return -1;
+    Word = Words[WordIdx];
+  }
+}
+
+void BitVector::collectSetBits(std::vector<unsigned> &Out) const {
+  for (unsigned Idx : *this)
+    Out.push_back(Idx);
+}
+
+void BitVector::clearUnusedBits() {
+  unsigned Tail = NumBits % BitsPerWord;
+  if (Tail != 0 && !Words.empty())
+    Words.back() &= (uint64_t(1) << Tail) - 1;
+}

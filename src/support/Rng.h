@@ -1,0 +1,58 @@
+//===- support/Rng.h - Deterministic random number generator ----*- C++ -*-===//
+///
+/// \file
+/// A small, fast, fully deterministic PRNG (SplitMix64) used by the
+/// synthetic workload generator. Determinism across platforms matters more
+/// than statistical strength here: every experiment in the paper
+/// reproduction must build bit-identical programs for a given seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_SUPPORT_RNG_H
+#define CCRA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ccra {
+
+/// SplitMix64 generator with convenience sampling helpers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed integer in [0, Bound). \p Bound must
+  /// be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+  /// Picks a uniformly random element of \p Items (must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick from empty vector");
+    return Items[nextBelow(Items.size())];
+  }
+
+  /// Derives an independent generator from this one; useful for giving each
+  /// generated function its own stream so edits to one function's spec do
+  /// not perturb the others.
+  Rng fork();
+
+private:
+  uint64_t State;
+};
+
+} // namespace ccra
+
+#endif // CCRA_SUPPORT_RNG_H

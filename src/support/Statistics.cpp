@@ -1,0 +1,34 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ccra;
+
+double ccra::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double ccra::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double ccra::safeRatio(double Numerator, double Denominator, double InfValue) {
+  if (Denominator == 0.0)
+    return Numerator == 0.0 ? 1.0 : InfValue;
+  return Numerator / Denominator;
+}

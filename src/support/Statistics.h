@@ -1,0 +1,31 @@
+//===- support/Statistics.h - Small numeric helpers -------------*- C++ -*-===//
+///
+/// \file
+/// Mean / geometric-mean / ratio helpers used by the experiment harness when
+/// summarizing overhead numbers across register configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_SUPPORT_STATISTICS_H
+#define CCRA_SUPPORT_STATISTICS_H
+
+#include <vector>
+
+namespace ccra {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean; every element must be positive. Returns 0 for an empty
+/// input.
+double geometricMean(const std::vector<double> &Values);
+
+/// \p Numerator / \p Denominator with a defined result when both are zero
+/// (1.0: "no overhead either way") or only the denominator is zero
+/// (+infinity clamp, \p InfValue).
+double safeRatio(double Numerator, double Denominator,
+                 double InfValue = 1e9);
+
+} // namespace ccra
+
+#endif // CCRA_SUPPORT_STATISTICS_H

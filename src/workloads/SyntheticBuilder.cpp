@@ -1,0 +1,194 @@
+//===- workloads/SyntheticBuilder.cpp -------------------------------------===//
+
+#include "workloads/SyntheticBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccra;
+
+SyntheticFunctionBuilder::SyntheticFunctionBuilder(Function &F, uint64_t Seed)
+    : F(F), Builder(F), Random(Seed) {
+  Builder.startBlock("entry");
+  // Control values feed loop and branch conditions; like real induction
+  // variables they pick up references all over the function.
+  for (int I = 0; I < 2; ++I)
+    ControlPool.push_back(
+        Builder.buildLoadImm(Random.nextInRange(1, 1000)));
+}
+
+std::vector<VirtReg> SyntheticFunctionBuilder::makeValues(RegBank Bank,
+                                                          unsigned Count) {
+  std::vector<VirtReg> Pool;
+  Pool.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    int64_t Imm = Random.nextInRange(1, 1 << 20);
+    Pool.push_back(Bank == RegBank::Int ? Builder.buildLoadImm(Imm)
+                                        : Builder.buildFLoadImm(Imm));
+  }
+  return Pool;
+}
+
+Opcode SyntheticFunctionBuilder::randomArith(RegBank Bank) {
+  if (Bank == RegBank::Float) {
+    static const Opcode Ops[] = {Opcode::FAdd, Opcode::FSub, Opcode::FMul};
+    return Ops[Random.nextBelow(3)];
+  }
+  static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                               Opcode::And, Opcode::Xor};
+  return Ops[Random.nextBelow(5)];
+}
+
+void SyntheticFunctionBuilder::touch(const std::vector<VirtReg> &Pool,
+                                     unsigned Ops) {
+  touchRange(Pool, 0, static_cast<unsigned>(Pool.size()), Ops);
+}
+
+void SyntheticFunctionBuilder::touchRange(const std::vector<VirtReg> &Pool,
+                                          unsigned First, unsigned Count,
+                                          unsigned Ops) {
+  assert(First + Count <= Pool.size() && "touch range out of bounds");
+  if (Count == 0 || Ops == 0)
+    return;
+  RegBank Bank = F.vregBank(Pool[First]);
+  for (unsigned I = 0; I < Ops; ++I) {
+    VirtReg A = Pool[First + Random.nextBelow(Count)];
+    VirtReg B = Pool[First + Random.nextBelow(Count)];
+    VirtReg D = Pool[First + Random.nextBelow(Count)];
+    Builder.buildBinaryInto(D, randomArith(Bank), A, B);
+  }
+}
+
+void SyntheticFunctionBuilder::useEach(const std::vector<VirtReg> &Pool) {
+  RegBank Bank = F.vregBank(Pool.front());
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    VirtReg Next = Pool[(I + 1) % Pool.size()];
+    Builder.buildBinaryInto(Pool[I], randomArith(Bank), Pool[I], Next);
+  }
+}
+
+void SyntheticFunctionBuilder::localWork(RegBank Bank, unsigned Chains,
+                                         unsigned ChainLength) {
+  for (unsigned C = 0; C < Chains; ++C) {
+    VirtReg Value = Bank == RegBank::Int
+                        ? Builder.buildLoadImm(Random.nextInRange(0, 255))
+                        : Builder.buildFLoadImm(Random.nextInRange(0, 255));
+    for (unsigned I = 1; I < ChainLength; ++I)
+      Value = Builder.buildBinary(randomArith(Bank), Value, Value);
+    // Sink the chain so it is not dead code: fold into a control value for
+    // int chains, or convert-and-fold for float chains.
+    VirtReg Sunk = Bank == RegBank::Int ? Value
+                                        : Builder.buildCvtFloatToInt(Value);
+    Builder.buildBinaryInto(ControlPool[0], Opcode::Xor, ControlPool[0],
+                            Sunk);
+  }
+}
+
+void SyntheticFunctionBuilder::staggeredChain(RegBank Bank, unsigned Count,
+                                              unsigned OverlapDepth) {
+  std::vector<VirtReg> Window;
+  for (unsigned I = 0; I < Count; ++I) {
+    VirtReg Fresh = Bank == RegBank::Int
+                        ? Builder.buildLoadImm(static_cast<int64_t>(I))
+                        : Builder.buildFLoadImm(static_cast<int64_t>(I));
+    Window.push_back(Fresh);
+    if (Window.size() > OverlapDepth) {
+      // Last use of the oldest value: combine it with the newest.
+      VirtReg Oldest = Window.front();
+      Window.erase(Window.begin());
+      VirtReg Dead = Builder.buildBinary(randomArith(Bank), Oldest, Fresh);
+      (void)Dead;
+    }
+  }
+  // Drain the window.
+  while (Window.size() > 1) {
+    VirtReg A = Window[Window.size() - 1];
+    VirtReg B = Window[Window.size() - 2];
+    Window.pop_back();
+    Window.back() = Builder.buildBinary(randomArith(Bank), A, B);
+  }
+}
+
+void SyntheticFunctionBuilder::shufflePoolValue(std::vector<VirtReg> &Pool) {
+  assert(!Pool.empty() && "cannot shuffle an empty pool");
+  size_t Index = Random.nextBelow(Pool.size());
+  Pool[Index] = Builder.buildMove(Pool[Index]);
+}
+
+void SyntheticFunctionBuilder::circulantWeb(
+    RegBank Bank, unsigned Count, unsigned Overlap, double Trip,
+    const std::vector<Function *> &Callees) {
+  assert(Overlap >= 1 && Overlap < Count && "overlap must be in [1, Count)");
+  std::vector<VirtReg> Web = makeValues(Bank, Count);
+  LoopHandles Loop = beginLoop(Trip);
+  unsigned CallStride =
+      Callees.empty() ? 0
+                      : std::max(1u, Count / static_cast<unsigned>(
+                                                 Callees.size()));
+  for (unsigned I = 0; I < Count; ++I) {
+    if (CallStride != 0 && I % CallStride == 0 &&
+        I / CallStride < Callees.size())
+      call(Callees[I / CallStride]);
+    // Slot i: value i is redefined from the values Overlap and 1 slots
+    // back; value i's previous definition dies at slot i + Overlap.
+    VirtReg Back = Web[(I + Count - Overlap) % Count];
+    VirtReg Prev = Web[(I + Count - 1) % Count];
+    Builder.buildBinaryInto(Web[I], randomArith(Bank), Back, Prev);
+  }
+  endLoop(Loop);
+}
+
+VirtReg SyntheticFunctionBuilder::makeCondition() {
+  return Builder.buildCmp(ControlPool[0],
+                          ControlPool[1 % ControlPool.size()]);
+}
+
+LoopHandles SyntheticFunctionBuilder::beginLoop(double TripCount) {
+  assert(TripCount >= 1.0 && "trip count below one");
+  LoopHandles Loop;
+  Loop.TripCount = TripCount;
+  BasicBlock *Header = F.createBlock();
+  Builder.buildBr(Header);
+  Builder.setInsertBlock(Header);
+  Loop.Header = Header;
+  Loop.Exit = F.createBlock();
+  return Loop;
+}
+
+void SyntheticFunctionBuilder::endLoop(const LoopHandles &Loop) {
+  // do-while: branch back to the header with probability 1 - 1/trip, so
+  // the header executes TripCount times per entry.
+  double BackProbability = 1.0 - 1.0 / Loop.TripCount;
+  VirtReg Cond = makeCondition();
+  Builder.buildCondBr(Cond, Loop.Header, Loop.Exit, BackProbability);
+  Builder.setInsertBlock(Loop.Exit);
+}
+
+BranchHandles SyntheticFunctionBuilder::beginBranch(double ThenProbability) {
+  BranchHandles Branch;
+  Branch.ThenBlock = F.createBlock();
+  Branch.ElseBlock = F.createBlock();
+  Branch.JoinBlock = F.createBlock();
+  VirtReg Cond = makeCondition();
+  Builder.buildCondBr(Cond, Branch.ThenBlock, Branch.ElseBlock,
+                      ThenProbability);
+  Builder.setInsertBlock(Branch.ThenBlock);
+  return Branch;
+}
+
+void SyntheticFunctionBuilder::elseBranch(const BranchHandles &Branch) {
+  Builder.buildBr(Branch.JoinBlock);
+  Builder.setInsertBlock(Branch.ElseBlock);
+}
+
+void SyntheticFunctionBuilder::endBranch(const BranchHandles &Branch) {
+  Builder.buildBr(Branch.JoinBlock);
+  Builder.setInsertBlock(Branch.JoinBlock);
+}
+
+void SyntheticFunctionBuilder::call(Function *Callee,
+                                    const std::vector<VirtReg> &Args) {
+  Builder.buildCall(Callee, Args);
+}
+
+void SyntheticFunctionBuilder::finish() { Builder.buildRet(); }

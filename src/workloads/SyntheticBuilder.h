@@ -1,0 +1,133 @@
+//===- workloads/SyntheticBuilder.h - Structured program synthesis -*- C++ -*-===//
+///
+/// \file
+/// A structured layer over IRBuilder for synthesizing workload functions:
+/// counted loops (with profile-truth trip counts), skewed branches, pools
+/// of long-lived values, bursts of arithmetic that reference those pools,
+/// and short-lived local computation chains. The SPEC92 proxy programs
+/// (SpecProxies.h) are written against this API; the shapes it can express
+/// — hot loops, cold paths, calls crossed by long-lived values — are
+/// exactly the program features the paper's evaluation hinges on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_WORKLOADS_SYNTHETICBUILDER_H
+#define CCRA_WORKLOADS_SYNTHETICBUILDER_H
+
+#include "ir/IRBuilder.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace ccra {
+
+/// Handles for an open counted loop; produced by beginLoop, consumed by
+/// endLoop.
+struct LoopHandles {
+  BasicBlock *Header = nullptr;
+  BasicBlock *Exit = nullptr;
+  double TripCount = 1.0;
+};
+
+/// Handles for an open two-way branch.
+struct BranchHandles {
+  BasicBlock *ThenBlock = nullptr;
+  BasicBlock *ElseBlock = nullptr;
+  BasicBlock *JoinBlock = nullptr;
+};
+
+class SyntheticFunctionBuilder {
+public:
+  /// Starts building \p F: creates the entry block and a small pool of
+  /// control values used for loop/branch conditions.
+  SyntheticFunctionBuilder(Function &F, uint64_t Seed);
+
+  IRBuilder &irb() { return Builder; }
+  Function &function() { return F; }
+
+  /// Materializes \p Count long-lived values in \p Bank (via immediate
+  /// loads in the current block). The returned registers accumulate
+  /// references wherever touch() is called with them.
+  std::vector<VirtReg> makeValues(RegBank Bank, unsigned Count);
+
+  /// Emits \p Ops arithmetic instructions over \p Pool: each reads two pool
+  /// values and overwrites a third (non-SSA reuse), keeping the whole pool
+  /// live across the touched region and adding ~3 references per op.
+  void touch(const std::vector<VirtReg> &Pool, unsigned Ops);
+
+  /// Like touch() but only over \p Pool[First .. First+Count).
+  void touchRange(const std::vector<VirtReg> &Pool, unsigned First,
+                  unsigned Count, unsigned Ops);
+
+  /// References *every* pool value exactly once (one combining op per
+  /// value). touch() samples randomly and can miss values; useEach pins
+  /// down liveness — a pool value is guaranteed live from its definition
+  /// to the last useEach of the pool.
+  void useEach(const std::vector<VirtReg> &Pool);
+
+  /// Emits \p Chains independent short-lived computation chains of length
+  /// \p ChainLength in \p Bank (each chain's values die within the chain);
+  /// models expression temporaries and raises local register pressure.
+  void localWork(RegBank Bank, unsigned Chains, unsigned ChainLength);
+
+  /// Emits \p Count staggered overlapping live ranges: value i is defined,
+  /// then used again after the next \p OverlapDepth values have been
+  /// defined. Produces an interval graph where every node has degree about
+  /// 2 * OverlapDepth while the clique number stays OverlapDepth + 1 — the
+  /// structure that separates optimistic from pessimistic coloring (§8).
+  void staggeredChain(RegBank Bank, unsigned Count, unsigned OverlapDepth);
+
+  /// Emits a copy of a random pool value into a fresh register and swaps
+  /// it into the pool — coalescing fodder.
+  void shufflePoolValue(std::vector<VirtReg> &Pool);
+
+  /// Emits a loop (trip count \p Trip) whose body is a software-pipelined
+  /// web of \p Count values: slot i redefines value i from the values K and
+  /// 1 slots back (cyclically, so lifetimes wrap around the back edge).
+  /// Every value is live for \p Overlap slots of the N-slot body, giving a
+  /// circulant interference graph: degree ~2*Overlap but clique number only
+  /// Overlap+1 — colorable yet *blocked* for Chaitin simplification when
+  /// Overlap+1 <= N <= 2*Overlap. This is the paper's Figure 8 structure:
+  /// the live ranges optimistic coloring rescues from pessimistic spilling.
+  /// \p Callees are called at evenly spaced slots inside the body, so the
+  /// web values cross them — making the rescue a loss whenever the
+  /// caller-save cost exceeds the spill cost (§8's negative cells).
+  void circulantWeb(RegBank Bank, unsigned Count, unsigned Overlap,
+                    double Trip, const std::vector<Function *> &Callees);
+
+  /// Opens a do-while style counted loop with profile-truth trip count
+  /// \p TripCount (the back edge gets probability 1 - 1/TripCount). The
+  /// builder is left positioned in the loop body. Loops nest.
+  LoopHandles beginLoop(double TripCount);
+  /// Closes the innermost open loop; the builder moves to the exit block.
+  void endLoop(const LoopHandles &Loop);
+
+  /// Opens a two-way branch whose then-side has probability
+  /// \p ThenProbability. The builder is positioned in the then block.
+  BranchHandles beginBranch(double ThenProbability);
+  /// Switches from the then side to the else side.
+  void elseBranch(const BranchHandles &Branch);
+  /// Closes the branch; the builder moves to the join block.
+  void endBranch(const BranchHandles &Branch);
+
+  /// Emits a call (no arguments/results by default — argument traffic is
+  /// modeled by the surrounding pools).
+  void call(Function *Callee, const std::vector<VirtReg> &Args = {});
+
+  /// Terminates the function (emits ret in the current block).
+  void finish();
+
+private:
+  /// A throwaway branch condition computed from the control pool.
+  VirtReg makeCondition();
+  Opcode randomArith(RegBank Bank);
+
+  Function &F;
+  IRBuilder Builder;
+  Rng Random;
+  std::vector<VirtReg> ControlPool;
+};
+
+} // namespace ccra
+
+#endif // CCRA_WORKLOADS_SYNTHETICBUILDER_H

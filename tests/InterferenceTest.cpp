@@ -1,0 +1,214 @@
+//===- tests/InterferenceTest.cpp - Interference graph unit tests ---------===//
+
+#include "analysis/Frequency.h"
+#include "analysis/Liveness.h"
+#include "ir/IRBuilder.h"
+#include "regalloc/InterferenceGraph.h"
+#include "regalloc/VRegClasses.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace ccra;
+
+namespace {
+
+struct GraphFixture {
+  Module M{"m"};
+  Function *F = nullptr;
+  FrequencyInfo Freq;
+  VRegClasses Classes;
+  LiveRangeSet LRS;
+  InterferenceGraph IG;
+
+  void finalize() {
+    M.setEntryFunction(F);
+    Freq = FrequencyInfo::compute(M, FrequencyMode::Profile);
+    Liveness LV = Liveness::compute(*F);
+    Classes.grow(F->numVRegs());
+    LRS = LiveRangeSet::build(*F, LV, Freq, Classes);
+    IG = InterferenceGraph::build(*F, LV, LRS);
+  }
+
+  bool interfere(VirtReg A, VirtReg B) {
+    return IG.interfere(static_cast<unsigned>(LRS.rangeIdOf(A)),
+                        static_cast<unsigned>(LRS.rangeIdOf(B)));
+  }
+  unsigned degreeOf(VirtReg A) {
+    return IG.degree(static_cast<unsigned>(LRS.rangeIdOf(A)));
+  }
+};
+
+TEST(InterferenceGraphTest, AddEdgeIsIdempotentAndSymmetric) {
+  InterferenceGraph IG(4);
+  IG.addEdge(0, 2);
+  IG.addEdge(2, 0);
+  IG.addEdge(0, 0); // self edges ignored
+  EXPECT_TRUE(IG.interfere(0, 2));
+  EXPECT_TRUE(IG.interfere(2, 0));
+  EXPECT_FALSE(IG.interfere(0, 1));
+  EXPECT_FALSE(IG.interfere(0, 0));
+  EXPECT_EQ(IG.degree(0), 1u);
+  EXPECT_EQ(IG.degree(2), 1u);
+  EXPECT_EQ(IG.numEdges(), 1u);
+}
+
+TEST(InterferenceGraphTest, OverlappingValuesConflict) {
+  GraphFixture Fx;
+  Fx.F = Fx.M.createFunction("main");
+  IRBuilder B(*Fx.F);
+  B.startBlock("entry");
+  VirtReg A = B.buildLoadImm(1);
+  VirtReg C = B.buildLoadImm(2);        // A live here -> conflict
+  VirtReg S = B.buildBinary(Opcode::Add, A, C);
+  B.buildRet(S);
+  Fx.finalize();
+  EXPECT_TRUE(Fx.interfere(A, C));
+  EXPECT_FALSE(Fx.interfere(A, S)); // A dies where S is defined
+}
+
+TEST(InterferenceGraphTest, SequentialValuesDoNotConflict) {
+  GraphFixture Fx;
+  Fx.F = Fx.M.createFunction("main");
+  IRBuilder B(*Fx.F);
+  B.startBlock("entry");
+  VirtReg A = B.buildLoadImm(1);
+  VirtReg A2 = B.buildBinary(Opcode::Add, A, A); // A dies here
+  VirtReg C = B.buildLoadImm(2);                 // born after A's death
+  VirtReg S = B.buildBinary(Opcode::Add, A2, C);
+  B.buildRet(S);
+  Fx.finalize();
+  EXPECT_FALSE(Fx.interfere(A, C));
+}
+
+TEST(InterferenceGraphTest, MoveSourceAndDestDoNotConflict) {
+  GraphFixture Fx;
+  Fx.F = Fx.M.createFunction("main");
+  IRBuilder B(*Fx.F);
+  B.startBlock("entry");
+  VirtReg A = B.buildLoadImm(1);
+  VirtReg Copy = B.buildMove(A); // Chaitin's special case
+  B.buildRet(Copy);
+  Fx.finalize();
+  EXPECT_FALSE(Fx.interfere(A, Copy));
+}
+
+TEST(InterferenceGraphTest, MoveRelatedValuesCanShareWhileEqual) {
+  GraphFixture Fx;
+  Fx.F = Fx.M.createFunction("main");
+  IRBuilder B(*Fx.F);
+  B.startBlock("entry");
+  VirtReg A = B.buildLoadImm(1);
+  VirtReg Copy = B.buildMove(A);
+  VirtReg S = B.buildBinary(Opcode::Add, A, Copy); // A used after the copy
+  B.buildRet(S);
+  Fx.finalize();
+  // Both live in [copy, S], but they hold the same value the whole time —
+  // no interference, and coalescing may merge them.
+  EXPECT_FALSE(Fx.interfere(A, Copy));
+}
+
+TEST(InterferenceGraphTest, MoveDestConflictsOnceSourceIsRedefined) {
+  GraphFixture Fx;
+  Fx.F = Fx.M.createFunction("main");
+  IRBuilder B(*Fx.F);
+  B.startBlock("entry");
+  VirtReg A = B.buildLoadImm(1);
+  VirtReg Copy = B.buildMove(A);
+  B.buildBinaryInto(A, Opcode::Add, A, A); // A diverges from Copy
+  VirtReg S = B.buildBinary(Opcode::Add, A, Copy);
+  B.buildRet(S);
+  Fx.finalize();
+  EXPECT_TRUE(Fx.interfere(A, Copy));
+}
+
+TEST(InterferenceGraphTest, DifferentBanksNeverConflict) {
+  GraphFixture Fx;
+  Fx.F = Fx.M.createFunction("main");
+  IRBuilder B(*Fx.F);
+  B.startBlock("entry");
+  VirtReg I = B.buildLoadImm(1);
+  VirtReg Fl = B.buildFLoadImm(2);
+  VirtReg Fl2 = B.buildBinary(Opcode::FAdd, Fl, Fl);
+  VirtReg S = B.buildBinary(Opcode::Add, I, I);
+  VirtReg C = B.buildFCmp(Fl2, Fl2);
+  VirtReg R = B.buildBinary(Opcode::Add, S, C);
+  B.buildRet(R);
+  Fx.finalize();
+  EXPECT_FALSE(Fx.interfere(I, Fl));
+}
+
+TEST(InterferenceGraphTest, MultipleCallResultsConflict) {
+  GraphFixture Fx;
+  Function *Leaf = Fx.M.createFunction("leaf");
+  {
+    IRBuilder B(*Leaf);
+    B.startBlock("entry");
+    B.buildRet();
+  }
+  Fx.F = Fx.M.createFunction("main");
+  IRBuilder B(*Fx.F);
+  B.startBlock("entry");
+  auto Results = B.buildCall(Leaf, {}, {RegBank::Int, RegBank::Int});
+  VirtReg S = B.buildBinary(Opcode::Add, Results[0], Results[1]);
+  B.buildRet(S);
+  Fx.finalize();
+  EXPECT_TRUE(Fx.interfere(Results[0], Results[1]));
+}
+
+TEST(InterferenceGraphTest, LiveThroughBranchConflictsWithBothArms) {
+  GraphFixture Fx;
+  Fx.F = Fx.M.createFunction("main");
+  IRBuilder B(*Fx.F);
+  B.startBlock("entry");
+  VirtReg A = B.buildLoadImm(1);
+  VirtReg C = B.buildCmp(A, A);
+  BasicBlock *Then = Fx.F->createBlock("then");
+  BasicBlock *Else = Fx.F->createBlock("else");
+  BasicBlock *Join = Fx.F->createBlock("join");
+  B.buildCondBr(C, Then, Else, 0.5);
+  B.setInsertBlock(Then);
+  VirtReg T = B.buildLoadImm(10);
+  VirtReg T2 = B.buildBinary(Opcode::Add, T, T);
+  (void)T2;
+  B.buildBr(Join);
+  B.setInsertBlock(Else);
+  VirtReg E = B.buildLoadImm(20);
+  VirtReg E2 = B.buildBinary(Opcode::Add, E, E);
+  (void)E2;
+  B.buildBr(Join);
+  B.setInsertBlock(Join);
+  B.buildRet(A);
+  Fx.finalize();
+  EXPECT_TRUE(Fx.interfere(A, T));
+  EXPECT_TRUE(Fx.interfere(A, E));
+  EXPECT_FALSE(Fx.interfere(T, E)); // disjoint arms
+}
+
+TEST(InterferenceGraphTest, DegreeMatchesAdjacency) {
+  GraphFixture Fx;
+  Fx.F = Fx.M.createFunction("main");
+  IRBuilder B(*Fx.F);
+  B.startBlock("entry");
+  std::vector<VirtReg> Pool;
+  for (int I = 0; I < 5; ++I)
+    Pool.push_back(B.buildLoadImm(I));
+  VirtReg Acc = Pool[0];
+  for (int I = 1; I < 5; ++I)
+    Acc = B.buildBinary(Opcode::Add, Acc, Pool[static_cast<size_t>(I)]);
+  B.buildRet(Acc);
+  Fx.finalize();
+  // Pool[4] coexists with all other pool values.
+  EXPECT_GE(Fx.degreeOf(Pool[4]), 4u);
+  for (unsigned Node = 0; Node < Fx.IG.numNodes(); ++Node) {
+    const auto &Neighbors = Fx.IG.neighbors(Node);
+    EXPECT_EQ(Fx.IG.degree(Node), Neighbors.size());
+    for (unsigned Neighbor : Neighbors) {
+      EXPECT_TRUE(Fx.IG.interfere(Node, Neighbor));
+      const auto &Back = Fx.IG.neighbors(Neighbor);
+      EXPECT_NE(std::find(Back.begin(), Back.end(), Node), Back.end());
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,290 @@
+//===- tests/PaperExamplesTest.cpp - The paper's worked examples ----------===//
+//
+// The illustrating examples of the paper, run against the real allocators:
+//
+//  - Figure 3: the order of removing unconstrained live ranges decides who
+//    gets the scarce callee-save registers (3200 vs 4100 saved operations).
+//  - Figure 4: the two priority keys of §5; the delta key (strategy 2)
+//    beats the max key (strategy 1), 5300 vs 4500.
+//  - §4's shared callee-save cost example: two live ranges with spill cost
+//    4000 sharing a register whose save/restore costs 5000 — "first user
+//    pays" spills both (8000 ops), the shared model keeps both (5000 ops).
+//  - Figure 5 (§6): the preference decision displaces a wrongful
+//    callee-save taker by cost.
+//  - Figure 8 (§8): optimistic coloring rescues a cycle node into a
+//    caller-save register whose save/restore cost exceeds the spill cost
+//    it avoided.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/AllocatorFactory.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccra;
+
+namespace {
+
+RoundResult runOn(AllocationContext &Ctx, const AllocatorOptions &Opts) {
+  RoundResult RR;
+  createAllocator(Opts)->runRound(Ctx, RR);
+  return RR;
+}
+
+/// Total overhead of an assignment: spill cost for memory residents,
+/// caller-save cost for caller-save residents, 2 x entryFreq per distinct
+/// callee-save register.
+double overheadOf(const AllocationContext &Ctx, const RoundResult &RR) {
+  double Overhead = 0.0;
+  std::vector<PhysReg> CalleePaid;
+  for (unsigned I = 0; I < Ctx.LRS.numRanges(); ++I) {
+    const LiveRange &LR = Ctx.LRS.range(I);
+    const Location &Loc = RR.Assignment[I];
+    if (Loc.isMemory()) {
+      Overhead += LR.WeightedRefs;
+      continue;
+    }
+    if (Ctx.MD.isCallerSave(Loc.Reg)) {
+      Overhead += LR.CallerSaveCost;
+      continue;
+    }
+    bool Seen = false;
+    for (PhysReg Reg : CalleePaid)
+      Seen |= (Reg == Loc.Reg);
+    if (!Seen) {
+      CalleePaid.push_back(Loc.Reg);
+      Overhead += 2.0 * Ctx.EntryFreq;
+    }
+  }
+  return Overhead;
+}
+
+/// Figure 3's interference graph: a triangle of three live ranges that all
+/// prefer callee-save registers, with N = 3 (two callee-save + one
+/// caller-save).
+struct Figure3 {
+  // entryFreq 500 -> calleeSaveCost 1000.
+  // lr_x, lr_y: benefitCaller 1000, benefitCallee 2000.
+  // lr_z:       benefitCaller 100,  benefitCallee 200.
+  ScenarioBuilder S{RegisterConfig(1, 0, 2, 0), 500};
+  unsigned X, Y, Z;
+
+  Figure3() {
+    X = S.addRange(RegBank::Int, 3000, 2000);
+    Y = S.addRange(RegBank::Int, 3000, 2000);
+    Z = S.addRange(RegBank::Int, 1200, 1100);
+    S.addEdge(X, Y);
+    S.addEdge(Y, Z);
+    S.addEdge(X, Z);
+  }
+};
+
+TEST(PaperFigure3, BenefitValuesMatchThePaper) {
+  Figure3 Fig;
+  AllocationContext &Ctx = Fig.S.context();
+  EXPECT_DOUBLE_EQ(Ctx.LRS.range(Fig.X).benefitCaller(), 1000);
+  EXPECT_DOUBLE_EQ(Ctx.LRS.range(Fig.X).benefitCallee(), 2000);
+  EXPECT_DOUBLE_EQ(Ctx.LRS.range(Fig.Z).benefitCaller(), 100);
+  EXPECT_DOUBLE_EQ(Ctx.LRS.range(Fig.Z).benefitCallee(), 200);
+}
+
+TEST(PaperFigure3, ArbitraryOrderSaves3200) {
+  Figure3 Fig;
+  AllocationContext &Ctx = Fig.S.context();
+  // Base Chaitin removes unconstrained ranges in id order (x, y, z), so z
+  // sits on top of the stack, is colored first, and takes a callee-save
+  // register that lr_x or lr_y needed more.
+  RoundResult RR = runOn(Ctx, baseChaitinOptions());
+  EXPECT_DOUBLE_EQ(assignmentSavings(Ctx, RR), 3200.0);
+}
+
+TEST(PaperFigure3, BenefitDrivenSimplificationSaves4100) {
+  Figure3 Fig;
+  AllocationContext &Ctx = Fig.S.context();
+  // Benefit-driven simplification removes the smallest-penalty range (z)
+  // first; x and y end up on top and take the callee-save registers.
+  RoundResult RR = runOn(Ctx, improvedOptions(true, true, false));
+  EXPECT_DOUBLE_EQ(assignmentSavings(Ctx, RR), 4100.0);
+}
+
+/// Figure 4: same triangle shape, benefits chosen so the two key
+/// strategies of §5 disagree.
+struct Figure4 {
+  // entryFreq 500 -> calleeSaveCost 1000.
+  // lr_x, lr_y: benefitCaller 1800, benefitCallee 2000 (delta 200).
+  // lr_z:       benefitCaller 500,  benefitCallee 1500 (delta 1000).
+  ScenarioBuilder S{RegisterConfig(1, 0, 2, 0), 500};
+  unsigned X, Y, Z;
+
+  Figure4() {
+    X = S.addRange(RegBank::Int, 3000, 1200);
+    Y = S.addRange(RegBank::Int, 3000, 1200);
+    Z = S.addRange(RegBank::Int, 2500, 2000);
+    S.addEdge(X, Y);
+    S.addEdge(Y, Z);
+    S.addEdge(X, Z);
+  }
+};
+
+TEST(PaperFigure4, MaxBenefitKeySaves4500) {
+  Figure4 Fig;
+  AllocationContext &Ctx = Fig.S.context();
+  AllocatorOptions Opts = improvedOptions(true, true, false);
+  Opts.BSKey = BenefitKeyStrategy::MaxBenefit; // strategy 1
+  RoundResult RR = runOn(Ctx, Opts);
+  EXPECT_DOUBLE_EQ(assignmentSavings(Ctx, RR), 4500.0);
+}
+
+TEST(PaperFigure4, DeltaKeySaves5300) {
+  Figure4 Fig;
+  AllocationContext &Ctx = Fig.S.context();
+  AllocatorOptions Opts = improvedOptions(true, true, false);
+  Opts.BSKey = BenefitKeyStrategy::Delta; // strategy 2, the paper's choice
+  RoundResult RR = runOn(Ctx, Opts);
+  EXPECT_DOUBLE_EQ(assignmentSavings(Ctx, RR), 5300.0);
+}
+
+/// §4's callee-save cost model example: two live ranges with spill cost
+/// 4000 can share one callee-save register whose save/restore costs 5000.
+struct SharedCostExample {
+  ScenarioBuilder S{RegisterConfig(1, 0, 1, 0), 2500}; // calleeCost 5000
+  unsigned A, B;
+
+  SharedCostExample() {
+    // High caller-save cost: both prefer the callee-save register. They do
+    // not interfere (sequential lifetimes), so they can share it.
+    A = S.addRange(RegBank::Int, 4000, 10000);
+    B = S.addRange(RegBank::Int, 4000, 10000);
+  }
+};
+
+TEST(PaperSection4, FirstUserPaysSpillsBoth) {
+  SharedCostExample Ex;
+  AllocationContext &Ctx = Ex.S.context();
+  AllocatorOptions Opts = improvedOptions(true, false, false);
+  Opts.CalleeModel = CalleeCostModel::FirstUserPays;
+  RoundResult RR = runOn(Ctx, Opts);
+  EXPECT_TRUE(RR.Assignment[Ex.A].isMemory());
+  EXPECT_TRUE(RR.Assignment[Ex.B].isMemory());
+  EXPECT_DOUBLE_EQ(overheadOf(Ctx, RR), 8000.0); // the paper's bad outcome
+}
+
+TEST(PaperSection4, SharedCostKeepsBoth) {
+  SharedCostExample Ex;
+  AllocationContext &Ctx = Ex.S.context();
+  AllocatorOptions Opts = improvedOptions(true, false, false);
+  Opts.CalleeModel = CalleeCostModel::Shared;
+  RoundResult RR = runOn(Ctx, Opts);
+  EXPECT_TRUE(RR.Assignment[Ex.A].isRegister());
+  EXPECT_TRUE(RR.Assignment[Ex.B].isRegister());
+  EXPECT_EQ(RR.Assignment[Ex.A].Reg, RR.Assignment[Ex.B].Reg);
+  EXPECT_DOUBLE_EQ(overheadOf(Ctx, RR), 5000.0); // saves 3000 over spilling
+}
+
+TEST(PaperSection4, SharedCostStillEvictsWhenUnprofitable) {
+  // Combined spill cost 1500 < calleeCost 5000: the shared model spills
+  // the whole group.
+  ScenarioBuilder S(RegisterConfig(1, 0, 1, 0), 2500);
+  unsigned A = S.addRange(RegBank::Int, 700, 10000);
+  unsigned B = S.addRange(RegBank::Int, 800, 10000);
+  AllocationContext &Ctx = S.context();
+  AllocatorOptions Opts = improvedOptions(true, false, false);
+  Opts.CalleeModel = CalleeCostModel::Shared;
+  RoundResult RR = runOn(Ctx, Opts);
+  EXPECT_TRUE(RR.Assignment[A].isMemory());
+  EXPECT_TRUE(RR.Assignment[B].isMemory());
+  EXPECT_EQ(RR.VoluntarySpills, 2u);
+  EXPECT_EQ(RR.NewlyRefusedCalleeRegs.size(), 1u);
+}
+
+/// Figure 5 (§6), values adapted: lr_w deserves the single callee-save
+/// register (enormous caller-save cost); lr_x is colored first and would
+/// take it. The preference decision displaces lr_x by cost.
+struct Figure5 {
+  ScenarioBuilder S{RegisterConfig(2, 0, 1, 0), 100}; // calleeCost 200
+  unsigned W, X;
+
+  Figure5() {
+    // lr_w: refs 5000, callerCost 4800 -> benefitCaller 200 > 0.
+    W = S.addRange(RegBank::Int, 5000, 4800);
+    // lr_x: refs 1000, callerCost 2000 -> benefitCaller -1000 < 0,
+    // benefitCallee 800 > 0: prefers callee, but spilling beats caller.
+    X = S.addRange(RegBank::Int, 1000, 2000);
+    S.addEdge(W, X);
+    // Both cross the same high-frequency call: L = 2 > M = 1.
+    S.addCall(1000, {W, X});
+  }
+};
+
+TEST(PaperFigure5, WithoutPreferenceDecisionTheWrongRangeWins) {
+  Figure5 Fig;
+  AllocationContext &Ctx = Fig.S.context();
+  // SC only (no BS): removal in id order puts lr_x on top; it takes the
+  // callee-save register and lr_w pays 4800 at the calls.
+  RoundResult RR = runOn(Ctx, improvedOptions(true, false, false));
+  EXPECT_TRUE(RR.Assignment[Fig.X].isRegister());
+  EXPECT_TRUE(Ctx.MD.isCalleeSave(RR.Assignment[Fig.X].Reg));
+  EXPECT_DOUBLE_EQ(assignmentSavings(Ctx, RR), 1000.0); // 800 + 200
+}
+
+TEST(PaperFigure5, PreferenceDecisionDisplacesByCost) {
+  Figure5 Fig;
+  AllocationContext &Ctx = Fig.S.context();
+  RoundResult RR = runOn(Ctx, improvedOptions(true, false, true));
+  // lr_x is forced toward caller-save; storage-class analysis then spills
+  // it (benefitCaller < 0) and lr_w gets the callee-save register.
+  EXPECT_TRUE(RR.Assignment[Fig.X].isMemory());
+  EXPECT_TRUE(RR.Assignment[Fig.W].isRegister());
+  EXPECT_TRUE(Ctx.MD.isCalleeSave(RR.Assignment[Fig.W].Reg));
+  EXPECT_DOUBLE_EQ(assignmentSavings(Ctx, RR), 4800.0);
+}
+
+/// Figure 8 (§8): a C4 cycle with one caller-save and one callee-save
+/// register. Plain Chaitin spills lr_x (cheapest); optimistic coloring
+/// rescues it into the caller-save register whose cost (2000) dwarfs the
+/// avoided spill (400).
+struct Figure8 {
+  ScenarioBuilder S{RegisterConfig(1, 0, 1, 0), 50}; // calleeCost 100
+  unsigned U, V, W, X;
+
+  Figure8() {
+    U = S.addRange(RegBank::Int, 600, 300);
+    V = S.addRange(RegBank::Int, 600, 300);
+    W = S.addRange(RegBank::Int, 600, 300);
+    X = S.addRange(RegBank::Int, 400, 2000); // cheapest spill, huge caller cost
+    S.addEdge(U, V);
+    S.addEdge(V, W);
+    S.addEdge(W, X);
+    S.addEdge(X, U);
+  }
+};
+
+TEST(PaperFigure8, OptimisticColoringCanLose) {
+  Figure8 Fig;
+  AllocationContext &Ctx = Fig.S.context();
+
+  RoundResult Pessimistic = runOn(Ctx, baseChaitinOptions());
+  EXPECT_TRUE(Pessimistic.Assignment[Fig.X].isMemory());
+
+  RoundResult Optimistic = runOn(Ctx, optimisticOptions());
+  EXPECT_TRUE(Optimistic.Assignment[Fig.X].isRegister());
+
+  // Rescuing lr_x put it in the wrong kind of register: total overhead
+  // rises above the pessimistic allocation.
+  EXPECT_GT(overheadOf(Ctx, Optimistic), overheadOf(Ctx, Pessimistic));
+}
+
+TEST(PaperFigure8, StorageClassAnalysisFixesTheRescue) {
+  // Improved + optimistic: the rescue is vetoed (benefitCaller < 0), so
+  // lr_x is spilled after all — optimistic coloring "needs to take call
+  // cost into account" (§12).
+  Figure8 Fig;
+  AllocationContext &Ctx = Fig.S.context();
+  RoundResult RR = runOn(Ctx, improvedOptimisticOptions());
+  EXPECT_TRUE(RR.Assignment[Fig.X].isMemory());
+  RoundResult Pessimistic = runOn(Ctx, baseChaitinOptions());
+  EXPECT_LE(overheadOf(Ctx, RR), overheadOf(Ctx, Pessimistic));
+}
+
+} // namespace

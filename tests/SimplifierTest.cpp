@@ -1,0 +1,140 @@
+//===- tests/SimplifierTest.cpp - Simplification phase unit tests ---------===//
+
+#include "TestUtil.h"
+#include "regalloc/Simplifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ccra;
+
+namespace {
+
+TEST(Simplifier, UnconstrainedGraphFullySimplifies) {
+  ScenarioBuilder S(RegisterConfig(3, 0, 0, 0), 100);
+  unsigned A = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned B = S.addRange(RegBank::Int, 100, 0, false);
+  S.addEdge(A, B);
+  AllocationContext &Ctx = S.context();
+  SimplifyResult R = Simplifier::run(Ctx, /*Optimistic=*/false);
+  EXPECT_EQ(R.Stack.size(), 2u);
+  EXPECT_TRUE(R.SpilledNodes.empty());
+  EXPECT_FALSE(R.PushedOptimistically[A]);
+  EXPECT_FALSE(R.PushedOptimistically[B]);
+}
+
+TEST(Simplifier, KeyOrdersUnconstrainedRemovals) {
+  // Three independent nodes, all unconstrained: removal order follows the
+  // key ascending, so the largest key ends up on top of the stack.
+  ScenarioBuilder S(RegisterConfig(4, 0, 0, 0), 100);
+  unsigned A = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned B = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned C = S.addRange(RegBank::Int, 100, 0, false);
+  AllocationContext &Ctx = S.context();
+  std::vector<double> Keys = {2.0, 0.5, 1.0};
+  SimplifyResult R = Simplifier::run(
+      Ctx, false, [&](const LiveRange &LR) { return Keys[LR.Id]; });
+  EXPECT_EQ(R.Stack, (std::vector<unsigned>{B, C, A}));
+}
+
+TEST(Simplifier, CliqueBeyondRegistersSpillsCheapest) {
+  // 3-clique, 2 registers: exactly one node must be spilled — the one with
+  // the smallest spillCost/degree.
+  ScenarioBuilder S(RegisterConfig(2, 0, 0, 0), 100);
+  unsigned A = S.addRange(RegBank::Int, 900, 0, false);
+  unsigned B = S.addRange(RegBank::Int, 100, 0, false); // cheapest
+  unsigned C = S.addRange(RegBank::Int, 900, 0, false);
+  S.addEdge(A, B);
+  S.addEdge(B, C);
+  S.addEdge(A, C);
+  AllocationContext &Ctx = S.context();
+  SimplifyResult R = Simplifier::run(Ctx, false);
+  ASSERT_EQ(R.SpilledNodes.size(), 1u);
+  EXPECT_EQ(R.SpilledNodes[0], B);
+  EXPECT_EQ(R.Stack.size(), 2u);
+}
+
+TEST(Simplifier, OptimisticPushesInsteadOfSpilling) {
+  ScenarioBuilder S(RegisterConfig(2, 0, 0, 0), 100);
+  unsigned A = S.addRange(RegBank::Int, 900, 0, false);
+  unsigned B = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned C = S.addRange(RegBank::Int, 900, 0, false);
+  S.addEdge(A, B);
+  S.addEdge(B, C);
+  S.addEdge(A, C);
+  AllocationContext &Ctx = S.context();
+  SimplifyResult R = Simplifier::run(Ctx, /*Optimistic=*/true);
+  EXPECT_TRUE(R.SpilledNodes.empty());
+  EXPECT_EQ(R.Stack.size(), 3u);
+  EXPECT_TRUE(R.PushedOptimistically[B]);
+  EXPECT_FALSE(R.PushedOptimistically[A]);
+}
+
+TEST(Simplifier, NoSpillNodesAreNeverSpillVictims) {
+  ScenarioBuilder S(RegisterConfig(2, 0, 0, 0), 100);
+  unsigned A = S.addRange(RegBank::Int, 900, 0, false);
+  unsigned B = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned C = S.addRange(RegBank::Int, 900, 0, false);
+  AllocationContext &Ctx = S.context();
+  Ctx.LRS.range(B).NoSpill = true; // cheapest but untouchable
+  Ctx.IG.addEdge(A, B);
+  Ctx.IG.addEdge(B, C);
+  Ctx.IG.addEdge(A, C);
+  SimplifyResult R = Simplifier::run(Ctx, false);
+  for (unsigned Node : R.SpilledNodes)
+    EXPECT_NE(Node, B);
+}
+
+TEST(Simplifier, BanksHaveIndependentThresholds) {
+  // An int node with degree 2 is unconstrained when the int bank has 3
+  // registers, even if the float bank has only 1.
+  ScenarioBuilder S(RegisterConfig(3, 1, 0, 0), 100);
+  unsigned I1 = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned I2 = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned I3 = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned F1 = S.addRange(RegBank::Float, 100, 0, false);
+  unsigned F2 = S.addRange(RegBank::Float, 100, 0, false);
+  S.addEdge(I1, I2);
+  S.addEdge(I2, I3);
+  S.addEdge(I1, I3);
+  S.addEdge(F1, F2); // float 2-clique with 1 register: one spills
+  AllocationContext &Ctx = S.context();
+  SimplifyResult R = Simplifier::run(Ctx, false);
+  ASSERT_EQ(R.SpilledNodes.size(), 1u);
+  EXPECT_TRUE(R.SpilledNodes[0] == F1 || R.SpilledNodes[0] == F2);
+}
+
+TEST(Simplifier, RefusedRegistersLowerTheColorLimit) {
+  // 2 registers, a 2-clique — normally colorable. With one register
+  // refused, the effective limit is 1 and one node must be spilled (if it
+  // were pushed as guaranteed, color assignment would fail).
+  ScenarioBuilder S(RegisterConfig(0, 0, 2, 0), 100);
+  unsigned A = S.addRange(RegBank::Int, 900, 0, false);
+  unsigned B = S.addRange(RegBank::Int, 100, 0, false);
+  S.addEdge(A, B);
+  AllocationContext &Ctx = S.context();
+  Ctx.RefusedCalleeRegs.push_back(PhysReg(RegBank::Int, 1));
+  SimplifyResult R = Simplifier::run(Ctx, false);
+  ASSERT_EQ(R.SpilledNodes.size(), 1u);
+  EXPECT_EQ(R.SpilledNodes[0], B);
+}
+
+TEST(Simplifier, CascadingRemovalUnlocksNeighbors) {
+  // A path A-B-C-D with 2 registers: ends have degree 1 (< 2), and peeling
+  // them unlocks the middle — everything simplifies, nothing spills.
+  ScenarioBuilder S(RegisterConfig(2, 0, 0, 0), 100);
+  unsigned A = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned B = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned C = S.addRange(RegBank::Int, 100, 0, false);
+  unsigned D = S.addRange(RegBank::Int, 100, 0, false);
+  S.addEdge(A, B);
+  S.addEdge(B, C);
+  S.addEdge(C, D);
+  AllocationContext &Ctx = S.context();
+  SimplifyResult R = Simplifier::run(Ctx, false);
+  EXPECT_TRUE(R.SpilledNodes.empty());
+  EXPECT_EQ(R.Stack.size(), 4u);
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- tests/WorkloadTest.cpp - Workload generator tests ------------------===//
+
+#include "analysis/Frequency.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "workloads/RandomProgram.h"
+#include "workloads/SpecProxies.h"
+#include "workloads/SyntheticBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace ccra;
+
+namespace {
+
+std::string printToString(const Module &M) {
+  std::ostringstream OS;
+  printModule(M, OS);
+  return OS.str();
+}
+
+unsigned countCalls(const Module &M) {
+  unsigned Count = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const Instruction &I : BB->instructions())
+        Count += I.isCall() ? 1 : 0;
+  return Count;
+}
+
+// --- SyntheticFunctionBuilder -----------------------------------------------
+
+TEST(SyntheticBuilder, LoopShapesVerify) {
+  Module M("m");
+  Function &F = *M.createFunction("f");
+  SyntheticFunctionBuilder B(F, 1);
+  std::vector<VirtReg> Pool = B.makeValues(RegBank::Int, 4);
+  LoopHandles Outer = B.beginLoop(10);
+  LoopHandles Inner = B.beginLoop(20);
+  B.touch(Pool, 5);
+  B.endLoop(Inner);
+  B.endLoop(Outer);
+  B.useEach(Pool);
+  B.finish();
+  EXPECT_TRUE(verifyFunction(F, nullptr));
+  M.setEntryFunction(&F);
+  FrequencyInfo Freq = FrequencyInfo::compute(M, FrequencyMode::Profile);
+  // The inner loop body runs 200 times.
+  double MaxFreq = 0;
+  for (const auto &BB : F.blocks())
+    MaxFreq = std::max(MaxFreq, Freq.blockFrequency(*BB));
+  EXPECT_NEAR(MaxFreq, 200.0, 1e-6);
+}
+
+TEST(SyntheticBuilder, BranchShapesVerify) {
+  Module M("m");
+  Function &F = *M.createFunction("f");
+  SyntheticFunctionBuilder B(F, 2);
+  std::vector<VirtReg> Pool = B.makeValues(RegBank::Float, 3);
+  BranchHandles Br = B.beginBranch(0.3);
+  B.touch(Pool, 2);
+  B.elseBranch(Br);
+  B.localWork(RegBank::Float, 1, 2);
+  B.endBranch(Br);
+  B.useEach(Pool);
+  B.finish();
+  EXPECT_TRUE(verifyFunction(F, nullptr));
+}
+
+TEST(SyntheticBuilder, CirculantWebVerifiesAndBlocksChaitin) {
+  Module M("m");
+  Function &F = *M.createFunction("f");
+  SyntheticFunctionBuilder B(F, 3);
+  B.circulantWeb(RegBank::Int, 8, 3, 5, {});
+  B.finish();
+  EXPECT_TRUE(verifyFunction(F, nullptr));
+}
+
+TEST(SyntheticBuilder, UseEachReferencesEveryValue) {
+  Module M("m");
+  Function &F = *M.createFunction("f");
+  SyntheticFunctionBuilder B(F, 4);
+  std::vector<VirtReg> Pool = B.makeValues(RegBank::Int, 5);
+  B.useEach(Pool);
+  B.finish();
+  std::vector<unsigned> UseCount(F.numVRegs(), 0);
+  for (const auto &BB : F.blocks())
+    for (const Instruction &I : BB->instructions())
+      for (VirtReg U : I.Uses)
+        ++UseCount[U.Id];
+  for (VirtReg R : Pool)
+    EXPECT_GE(UseCount[R.Id], 1u) << R.Id;
+}
+
+// --- SPEC proxies ------------------------------------------------------------
+
+TEST(SpecProxies, FourteenPrograms) {
+  EXPECT_EQ(specProxyNames().size(), 14u);
+}
+
+TEST(SpecProxies, AllVerifyAndHaveEntry) {
+  for (const std::string &Name : specProxyNames()) {
+    SCOPED_TRACE(Name);
+    std::unique_ptr<Module> M = buildSpecProxy(Name);
+    EXPECT_TRUE(verifyModule(*M, nullptr));
+    ASSERT_NE(M->getEntryFunction(), nullptr);
+    EXPECT_GT(M->getEntryFunction()->countProgramInstructions(), 0u);
+  }
+}
+
+TEST(SpecProxies, Deterministic) {
+  for (const std::string &Name : specProxyNames()) {
+    std::unique_ptr<Module> A = buildSpecProxy(Name);
+    std::unique_ptr<Module> B = buildSpecProxy(Name);
+    EXPECT_EQ(printToString(*A), printToString(*B)) << Name;
+  }
+}
+
+TEST(SpecProxies, TomcatvHasNoCalls) {
+  std::unique_ptr<Module> M = buildSpecProxy("tomcatv");
+  EXPECT_EQ(M->functions().size(), 1u);
+  EXPECT_EQ(countCalls(*M), 0u);
+}
+
+TEST(SpecProxies, CallHeavyProgramsHaveCalls) {
+  EXPECT_GE(countCalls(*buildSpecProxy("eqntott")), 2u);
+  EXPECT_GE(countCalls(*buildSpecProxy("li")), 5u);
+  EXPECT_GE(countCalls(*buildSpecProxy("gcc")), 4u);
+}
+
+TEST(SpecProxies, HotFunctionsAreHot) {
+  // The frequency analysis must make the proxy's hot function orders of
+  // magnitude hotter than main.
+  std::unique_ptr<Module> M = buildSpecProxy("eqntott");
+  FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
+  Function *Cmppt = M->getFunction("cmppt");
+  ASSERT_NE(Cmppt, nullptr);
+  EXPECT_GT(Freq.entryFrequency(*Cmppt), 1e5);
+}
+
+TEST(SpecProxies, FloatProgramsUseTheFloatBank) {
+  for (const std::string &Name : {std::string("ear"), std::string("fpppp"),
+                                  std::string("tomcatv")}) {
+    std::unique_ptr<Module> M = buildSpecProxy(Name);
+    unsigned FloatRegs = 0;
+    for (const auto &F : M->functions())
+      for (unsigned V = 0; V < F->numVRegs(); ++V)
+        FloatRegs += F->vregBank(VirtReg(V)) == RegBank::Float ? 1 : 0;
+    EXPECT_GT(FloatRegs, 10u) << Name;
+  }
+}
+
+TEST(SpecProxies, BuildAllReturnsEverything) {
+  auto All = buildAllSpecProxies();
+  EXPECT_EQ(All.size(), 14u);
+  for (const auto &[Name, M] : All)
+    EXPECT_EQ(M->getName(), Name);
+}
+
+// --- Random programs ------------------------------------------------------------
+
+TEST(RandomProgram, VerifiesAcrossSeeds) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    RandomProgramParams Params;
+    Params.Seed = Seed;
+    std::unique_ptr<Module> M = generateRandomProgram(Params);
+    EXPECT_TRUE(verifyModule(*M, nullptr)) << Seed;
+  }
+}
+
+TEST(RandomProgram, DeterministicPerSeed) {
+  RandomProgramParams Params;
+  Params.Seed = 77;
+  auto A = generateRandomProgram(Params);
+  auto B = generateRandomProgram(Params);
+  EXPECT_EQ(printToString(*A), printToString(*B));
+}
+
+TEST(RandomProgram, SeedsProduceDifferentPrograms) {
+  RandomProgramParams A, B;
+  A.Seed = 1;
+  B.Seed = 2;
+  EXPECT_NE(printToString(*generateRandomProgram(A)),
+            printToString(*generateRandomProgram(B)));
+}
+
+TEST(RandomProgram, CallGraphIsAcyclicByConstruction) {
+  // Functions only call earlier-created functions; the frequency analysis
+  // must converge to stable invocation counts.
+  RandomProgramParams Params;
+  Params.Seed = 5;
+  Params.NumFunctions = 6;
+  Params.CallProbability = 0.8;
+  std::unique_ptr<Module> M = generateRandomProgram(Params);
+  FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
+  for (const auto &F : M->functions())
+    EXPECT_GE(Freq.entryFrequency(*F), 0.0);
+  EXPECT_NEAR(Freq.entryFrequency(*M->getEntryFunction()), 1.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,229 @@
+//===- tools/ccra_alloc.cpp - Command-line register allocator -------------===//
+//
+// The library as a command-line tool: read a program (a .ccra IR file, "-"
+// for stdin, or the name of a built-in SPEC proxy), run a chosen register
+// allocator under a chosen register configuration, and print the allocated
+// code and/or the cost breakdown.
+//
+//   ccra_alloc [options] <input>
+//     <input>                 IR file path, '-' (stdin), or a proxy name
+//                             (eqntott, ear, li, ... — see --list)
+//     --allocator=<name>      base | optimistic | improved | improved-opt |
+//                             priority | cbh              (default improved)
+//     --config=Ri,Rf,Ei,Ef    register configuration      (default 9,7,3,3)
+//     --static                use static frequency estimates (default:
+//                             profile-truth probabilities)
+//     --emit-ir               print the allocated module (with spill and
+//                             save/restore code)
+//     --locations             print every virtual register's location
+//     --list                  list built-in proxy programs
+//
+// Examples:
+//   ccra_alloc eqntott
+//   ccra_alloc --allocator=base --config=6,4,0,0 --emit-ir program.ccra
+//   build/examples/quickstart | ccra_alloc -          # (not valid IR; demo)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Frequency.h"
+#include "core/AllocatorFactory.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "support/Table.h"
+#include "workloads/SpecProxies.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace ccra;
+
+namespace {
+
+struct CliOptions {
+  std::string Input;
+  std::string Allocator = "improved";
+  RegisterConfig Config = RegisterConfig(9, 7, 3, 3);
+  FrequencyMode Mode = FrequencyMode::Profile;
+  bool EmitIr = false;
+  bool Locations = false;
+  bool List = false;
+};
+
+void printUsage() {
+  std::cerr << "usage: ccra_alloc [--allocator=NAME] [--config=Ri,Rf,Ei,Ef]\n"
+               "                  [--static] [--emit-ir] [--locations] "
+               "[--list] <input>\n"
+               "  input: IR file, '-' for stdin, or a proxy name "
+               "(try --list)\n";
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--list") {
+      Opts.List = true;
+    } else if (Arg == "--static") {
+      Opts.Mode = FrequencyMode::Static;
+    } else if (Arg == "--emit-ir") {
+      Opts.EmitIr = true;
+    } else if (Arg == "--locations") {
+      Opts.Locations = true;
+    } else if (Arg.rfind("--allocator=", 0) == 0) {
+      Opts.Allocator = Arg.substr(12);
+    } else if (Arg.rfind("--config=", 0) == 0) {
+      unsigned Ri, Rf, Ei, Ef;
+      if (std::sscanf(Arg.c_str() + 9, "%u,%u,%u,%u", &Ri, &Rf, &Ei, &Ef) !=
+          4) {
+        std::cerr << "bad --config, expected Ri,Rf,Ei,Ef\n";
+        return false;
+      }
+      Opts.Config = RegisterConfig(Ri, Rf, Ei, Ef);
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown option " << Arg << '\n';
+      return false;
+    } else if (Opts.Input.empty()) {
+      Opts.Input = Arg;
+    } else {
+      std::cerr << "multiple inputs given\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool allocatorOptionsFor(const std::string &Name, AllocatorOptions &Opts) {
+  if (Name == "base")
+    Opts = baseChaitinOptions();
+  else if (Name == "optimistic")
+    Opts = optimisticOptions();
+  else if (Name == "improved")
+    Opts = improvedOptions();
+  else if (Name == "improved-opt")
+    Opts = improvedOptimisticOptions();
+  else if (Name == "priority")
+    Opts = priorityOptions();
+  else if (Name == "cbh")
+    Opts = cbhOptions();
+  else
+    return false;
+  return true;
+}
+
+std::unique_ptr<Module> loadInput(const std::string &Input) {
+  const auto &Proxies = specProxyNames();
+  if (std::find(Proxies.begin(), Proxies.end(), Input) != Proxies.end())
+    return buildSpecProxy(Input);
+
+  std::string Text;
+  if (Input == "-") {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Text = Buffer.str();
+  } else {
+    std::ifstream File(Input);
+    if (!File) {
+      std::cerr << "cannot open '" << Input << "'\n";
+      return nullptr;
+    }
+    std::ostringstream Buffer;
+    Buffer << File.rdbuf();
+    Text = Buffer.str();
+  }
+  ParseResult R = parseModule(Text);
+  if (!R.ok()) {
+    for (const std::string &E : R.Errors)
+      std::cerr << Input << ": " << E << '\n';
+    return nullptr;
+  }
+  std::vector<std::string> Errors;
+  if (!verifyModule(*R.M, &Errors)) {
+    for (const std::string &E : Errors)
+      std::cerr << Input << ": " << E << '\n';
+    return nullptr;
+  }
+  return std::move(R.M);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    printUsage();
+    return 1;
+  }
+  if (Cli.List) {
+    for (const std::string &Name : specProxyNames())
+      std::cout << Name << '\n';
+    return 0;
+  }
+  if (Cli.Input.empty()) {
+    printUsage();
+    return 1;
+  }
+
+  AllocatorOptions AllocOpts;
+  if (!allocatorOptionsFor(Cli.Allocator, AllocOpts)) {
+    std::cerr << "unknown allocator '" << Cli.Allocator << "'\n";
+    return 1;
+  }
+
+  std::unique_ptr<Module> M = loadInput(Cli.Input);
+  if (!M)
+    return 1;
+
+  FrequencyInfo Freq = FrequencyInfo::compute(*M, Cli.Mode);
+  AllocationEngine Engine =
+      makeEngine(MachineDescription(Cli.Config), AllocOpts);
+  ModuleAllocationResult Result = Engine.allocateModule(*M, Freq);
+
+  if (Cli.EmitIr)
+    printModule(*M, std::cout);
+
+  if (Cli.Locations) {
+    for (const auto &F : M->functions()) {
+      if (F->isDeclaration())
+        continue;
+      const FunctionAllocation &FA = Result.PerFunction.at(F.get());
+      std::cout << "@" << F->getName() << ":\n";
+      for (unsigned V = 0; V < F->numVRegs(); ++V) {
+        auto It = FA.VRegLocations.find(V);
+        if (It == FA.VRegLocations.end())
+          continue;
+        std::cout << "  " << formatVReg(*F, VirtReg(V)) << " -> "
+                  << (It->second.isRegister() ? formatPhysReg(It->second.Reg)
+                                              : std::string("memory"))
+                  << '\n';
+      }
+    }
+  }
+
+  TextTable Table;
+  Table.setHeader({"function", "spill", "caller_sv", "callee_sv", "total",
+                   "rounds", "spilled"});
+  for (const auto &F : M->functions()) {
+    if (F->isDeclaration())
+      continue;
+    const FunctionAllocation &FA = Result.PerFunction.at(F.get());
+    Table.addRow({"@" + F->getName(), TextTable::formatCount(FA.Costs.Spill),
+                  TextTable::formatCount(FA.Costs.CallerSave),
+                  TextTable::formatCount(FA.Costs.CalleeSave),
+                  TextTable::formatCount(FA.Costs.total()),
+                  std::to_string(FA.Rounds),
+                  std::to_string(FA.SpilledRanges)});
+  }
+  Table.addRow({"TOTAL", TextTable::formatCount(Result.Totals.Spill),
+                TextTable::formatCount(Result.Totals.CallerSave),
+                TextTable::formatCount(Result.Totals.CalleeSave),
+                TextTable::formatCount(Result.Totals.total()), "", ""});
+  std::cout << "allocator=" << AllocOpts.describe()
+            << " config=" << Cli.Config.label() << " freq="
+            << frequencyModeName(Cli.Mode) << '\n';
+  Table.print(std::cout);
+  return 0;
+}
