@@ -2,18 +2,21 @@
 ///
 /// \file
 /// Small shared pieces for the reproduction benches: flag parsing (--csv
-/// for machine-readable output), ratio formatting, and the experiment-grid
-/// helpers every figure/table binary uses.
+/// for machine-readable output, --telemetry for the aggregate counters and
+/// phase timers on stderr, --jobs=N for parallel function allocation),
+/// ratio formatting, and the experiment-grid helpers every figure/table
+/// binary uses.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCRA_BENCH_BENCHUTIL_H
 #define CCRA_BENCH_BENCHUTIL_H
 
-#include "harness/Experiment.h"
+#include "ccra.h"
 #include "support/Table.h"
 #include "workloads/SpecProxies.h"
 
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -22,7 +25,9 @@ namespace ccra {
 
 struct BenchArgs {
   bool Csv = false;
-  bool Orderings = false; ///< fig10: also compare the §9.1 orderings.
+  bool Orderings = false;  ///< fig10: also compare the §9.1 orderings.
+  bool Telemetry = false;  ///< emit the aggregate telemetry on stderr
+  unsigned Jobs = 1;       ///< function allocations per experiment (0=hw)
 };
 
 inline BenchArgs parseBenchArgs(int Argc, char **Argv) {
@@ -32,9 +37,42 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv) {
       Args.Csv = true;
     else if (std::strcmp(Argv[I], "--orderings") == 0)
       Args.Orderings = true;
+    else if (std::strcmp(Argv[I], "--telemetry") == 0)
+      Args.Telemetry = true;
+    else if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
+      std::sscanf(Argv[I] + 7, "%u", &Args.Jobs);
   }
   return Args;
 }
+
+/// Runs a bench binary's experiment grid points and accumulates the
+/// telemetry of every run. Call emitTelemetry() once the grid is done;
+/// with --telemetry it prints the aggregate to stderr (JSON, or CSV when
+/// --csv is also given) so tables stay clean on stdout.
+class GridRunner {
+public:
+  explicit GridRunner(const BenchArgs &Args) : Args(Args) {}
+
+  ExperimentResult run(const Module &M, const RegisterConfig &Config,
+                       const AllocatorOptions &Opts, FrequencyMode Mode) {
+    ExperimentRun Run = runExperiment({&M, Config, Opts, Mode, Args.Jobs});
+    Total += Run.Telemetry;
+    return Run.Result;
+  }
+
+  void emitTelemetry() const {
+    if (!Args.Telemetry)
+      return;
+    if (Args.Csv)
+      Total.writeCsv(std::cerr);
+    else
+      Total.writeJson(std::cerr);
+  }
+
+private:
+  BenchArgs Args;
+  TelemetrySnapshot Total;
+};
 
 inline void emitTable(const TextTable &Table, const BenchArgs &Args) {
   if (Args.Csv)

@@ -14,6 +14,7 @@
 namespace ccra {
 
 inline void runOptimisticTable(FrequencyMode Mode, const BenchArgs &Args) {
+  GridRunner Grid(Args);
   // A compact config subset keeps the table readable.
   const std::vector<RegisterConfig> Configs = {
       RegisterConfig(6, 4, 0, 0),  RegisterConfig(8, 6, 0, 0),
@@ -32,14 +33,15 @@ inline void runOptimisticTable(FrequencyMode Mode, const BenchArgs &Args) {
     std::vector<std::string> Row = {Program};
     for (const RegisterConfig &Config : Configs) {
       ExperimentResult Base =
-          runExperiment(*M, Config, baseChaitinOptions(), Mode);
+          Grid.run(*M, Config, baseChaitinOptions(), Mode);
       ExperimentResult Optimistic =
-          runExperiment(*M, Config, optimisticOptions(), Mode);
+          Grid.run(*M, Config, optimisticOptions(), Mode);
       Row.push_back(TextTable::formatDouble(overheadRatio(Base, Optimistic)));
     }
     Table.addRow(Row);
   }
   emitTable(Table, Args);
+  Grid.emitTelemetry();
 }
 
 } // namespace ccra

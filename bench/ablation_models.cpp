@@ -29,15 +29,15 @@ namespace {
 void runAblation(const std::string &Title, const AllocatorOptions &VariantA,
                  const std::string &NameA, const AllocatorOptions &VariantB,
                  const std::string &NameB, const RegisterConfig &Config,
-                 const BenchArgs &Args) {
+                 const BenchArgs &Args, GridRunner &Grid) {
   TextTable Table;
   Table.setHeader({"program", NameA, NameB, NameA + "/" + NameB});
   for (const std::string &Program : specProxyNames()) {
     std::unique_ptr<Module> M = buildSpecProxy(Program);
     ExperimentResult A =
-        runExperiment(*M, Config, VariantA, FrequencyMode::Profile);
+        Grid.run(*M, Config, VariantA, FrequencyMode::Profile);
     ExperimentResult B =
-        runExperiment(*M, Config, VariantB, FrequencyMode::Profile);
+        Grid.run(*M, Config, VariantB, FrequencyMode::Profile);
     Table.addRow({Program, TextTable::formatCount(A.Costs.total()),
                   TextTable::formatCount(B.Costs.total()),
                   TextTable::formatDouble(
@@ -53,6 +53,7 @@ void runAblation(const std::string &Title, const AllocatorOptions &VariantA,
 
 int main(int Argc, char **Argv) {
   BenchArgs Args = parseBenchArgs(Argc, Argv);
+  GridRunner Grid(Args);
   RegisterConfig Config(9, 7, 3, 3);
 
   AllocatorOptions FirstUser = improvedOptions();
@@ -60,20 +61,21 @@ int main(int Argc, char **Argv) {
   AllocatorOptions Shared = improvedOptions();
   Shared.CalleeModel = CalleeCostModel::Shared;
   runAblation("callee-save cost model (§4)", FirstUser, "first_user",
-              Shared, "shared", Config, Args);
+              Shared, "shared", Config, Args, Grid);
 
   AllocatorOptions MaxKey = improvedOptions();
   MaxKey.BSKey = BenefitKeyStrategy::MaxBenefit;
   AllocatorOptions DeltaKey = improvedOptions();
   DeltaKey.BSKey = BenefitKeyStrategy::Delta;
   runAblation("benefit-simplification key (§5)", MaxKey, "max_key",
-              DeltaKey, "delta_key", Config, Args);
+              DeltaKey, "delta_key", Config, Args, Grid);
 
   AllocatorOptions Conservative = improvedOptions();
   AllocatorOptions Aggressive = improvedOptions();
   Aggressive.AggressiveCoalescing = true;
   runAblation("coalescing aggressiveness", Aggressive, "aggressive",
-              Conservative, "conservative", Config, Args);
+              Conservative, "conservative", Config, Args, Grid);
 
+  Grid.emitTelemetry();
   return 0;
 }

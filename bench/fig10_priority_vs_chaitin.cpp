@@ -20,6 +20,7 @@ using namespace ccra;
 
 int main(int Argc, char **Argv) {
   BenchArgs Args = parseBenchArgs(Argc, Argv);
+  GridRunner Grid(Args);
 
   const std::vector<std::string> Programs = {"alvinn", "nasa7", "fpppp",
                                              "espresso", "gcc", "tomcatv"};
@@ -31,11 +32,11 @@ int main(int Argc, char **Argv) {
       Table.setHeader({"config", "priority", "improved"});
       for (const RegisterConfig &Config : standardConfigSweep()) {
         ExperimentResult Base =
-            runExperiment(*M, Config, baseChaitinOptions(), Mode);
+            Grid.run(*M, Config, baseChaitinOptions(), Mode);
         ExperimentResult Priority =
-            runExperiment(*M, Config, priorityOptions(), Mode);
+            Grid.run(*M, Config, priorityOptions(), Mode);
         ExperimentResult Improved =
-            runExperiment(*M, Config, improvedOptions(), Mode);
+            Grid.run(*M, Config, improvedOptions(), Mode);
         Table.addRow({Config.label(),
                       TextTable::formatDouble(overheadRatio(Base, Priority)),
                       TextTable::formatDouble(overheadRatio(Base, Improved))});
@@ -57,13 +58,13 @@ int main(int Argc, char **Argv) {
     for (const std::string &Program : specProxyNames()) {
       std::unique_ptr<Module> M = buildSpecProxy(Program);
       RegisterConfig Config(9, 7, 3, 3);
-      ExperimentResult Remove = runExperiment(
+      ExperimentResult Remove = Grid.run(
           *M, Config, priorityOptions(PriorityOrdering::RemoveUnconstrained),
           FrequencyMode::Profile);
-      ExperimentResult Sorted = runExperiment(
+      ExperimentResult Sorted = Grid.run(
           *M, Config, priorityOptions(PriorityOrdering::SortUnconstrained),
           FrequencyMode::Profile);
-      ExperimentResult Full = runExperiment(
+      ExperimentResult Full = Grid.run(
           *M, Config, priorityOptions(PriorityOrdering::FullSort),
           FrequencyMode::Profile);
       Table.addRow({Program, TextTable::formatCount(Remove.Costs.total()),
@@ -72,5 +73,6 @@ int main(int Argc, char **Argv) {
     }
     emitTable(Table, Args);
   }
+  Grid.emitTelemetry();
   return 0;
 }

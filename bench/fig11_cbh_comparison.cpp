@@ -22,6 +22,7 @@ using namespace ccra;
 
 int main(int Argc, char **Argv) {
   BenchArgs Args = parseBenchArgs(Argc, Argv);
+  GridRunner Grid(Args);
 
   const std::vector<std::string> Programs = {"alvinn", "ear",   "li",
                                              "matrix300", "nasa7", "gcc",
@@ -34,10 +35,10 @@ int main(int Argc, char **Argv) {
       Table.setHeader({"config", "CBH", "improved"});
       for (const RegisterConfig &Config : standardConfigSweep()) {
         ExperimentResult Base =
-            runExperiment(*M, Config, baseChaitinOptions(), Mode);
-        ExperimentResult Cbh = runExperiment(*M, Config, cbhOptions(), Mode);
+            Grid.run(*M, Config, baseChaitinOptions(), Mode);
+        ExperimentResult Cbh = Grid.run(*M, Config, cbhOptions(), Mode);
         ExperimentResult Improved =
-            runExperiment(*M, Config, improvedOptions(), Mode);
+            Grid.run(*M, Config, improvedOptions(), Mode);
         Table.addRow({Config.label(),
                       TextTable::formatDouble(overheadRatio(Base, Cbh)),
                       TextTable::formatDouble(overheadRatio(Base, Improved))});
@@ -49,5 +50,6 @@ int main(int Argc, char **Argv) {
       std::cout << '\n';
     }
   }
+  Grid.emitTelemetry();
   return 0;
 }

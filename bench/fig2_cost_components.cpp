@@ -18,6 +18,7 @@ using namespace ccra;
 
 int main(int Argc, char **Argv) {
   BenchArgs Args = parseBenchArgs(Argc, Argv);
+  GridRunner Grid(Args);
 
   for (const std::string &Program : {std::string("eqntott"),
                                      std::string("ear")}) {
@@ -25,8 +26,8 @@ int main(int Argc, char **Argv) {
     TextTable Table;
     Table.setHeader({"config", "spill", "caller_sv", "callee_sv", "total"});
     for (const RegisterConfig &Config : standardConfigSweep()) {
-      ExperimentResult R = runExperiment(*M, Config, baseChaitinOptions(),
-                                         FrequencyMode::Profile);
+      ExperimentResult R = Grid.run(*M, Config, baseChaitinOptions(),
+                                    FrequencyMode::Profile);
       Table.addRow({Config.label(), TextTable::formatCount(R.Costs.Spill),
                     TextTable::formatCount(R.Costs.CallerSave),
                     TextTable::formatCount(R.Costs.CalleeSave),
@@ -37,5 +38,6 @@ int main(int Argc, char **Argv) {
     emitTable(Table, Args);
     std::cout << '\n';
   }
+  Grid.emitTelemetry();
   return 0;
 }

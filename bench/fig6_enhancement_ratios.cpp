@@ -20,24 +20,25 @@ using namespace ccra;
 
 int main(int Argc, char **Argv) {
   BenchArgs Args = parseBenchArgs(Argc, Argv);
+  GridRunner Grid(Args);
 
   for (const std::string &Program : specProxyNames()) {
     std::unique_ptr<Module> M = buildSpecProxy(Program);
     TextTable Table;
     Table.setHeader({"config", "SC", "SC+PR", "SC+BS", "SC+BS+PR"});
     for (const RegisterConfig &Config : standardConfigSweep()) {
-      ExperimentResult Base = runExperiment(*M, Config, baseChaitinOptions(),
-                                            FrequencyMode::Profile);
-      ExperimentResult Sc = runExperiment(
+      ExperimentResult Base = Grid.run(*M, Config, baseChaitinOptions(),
+                                       FrequencyMode::Profile);
+      ExperimentResult Sc = Grid.run(
           *M, Config, improvedOptions(true, false, false),
           FrequencyMode::Profile);
-      ExperimentResult ScPr = runExperiment(
+      ExperimentResult ScPr = Grid.run(
           *M, Config, improvedOptions(true, false, true),
           FrequencyMode::Profile);
-      ExperimentResult ScBs = runExperiment(
+      ExperimentResult ScBs = Grid.run(
           *M, Config, improvedOptions(true, true, false),
           FrequencyMode::Profile);
-      ExperimentResult ScBsPr = runExperiment(
+      ExperimentResult ScBsPr = Grid.run(
           *M, Config, improvedOptions(true, true, true),
           FrequencyMode::Profile);
       Table.addRow({Config.label(),
@@ -51,5 +52,6 @@ int main(int Argc, char **Argv) {
     emitTable(Table, Args);
     std::cout << '\n';
   }
+  Grid.emitTelemetry();
   return 0;
 }

@@ -17,6 +17,7 @@ using namespace ccra;
 
 int main(int Argc, char **Argv) {
   BenchArgs Args = parseBenchArgs(Argc, Argv);
+  GridRunner Grid(Args);
 
   for (const std::string &Program : {std::string("ear"),
                                      std::string("eqntott")}) {
@@ -26,10 +27,10 @@ int main(int Argc, char **Argv) {
                      "improved_total", "base_total", "base/improved"});
     double BestRatio = 0.0;
     for (const RegisterConfig &Config : standardConfigSweep()) {
-      ExperimentResult Improved = runExperiment(
+      ExperimentResult Improved = Grid.run(
           *M, Config, improvedOptions(), FrequencyMode::Profile);
-      ExperimentResult Base = runExperiment(*M, Config, baseChaitinOptions(),
-                                            FrequencyMode::Profile);
+      ExperimentResult Base = Grid.run(*M, Config, baseChaitinOptions(),
+                                       FrequencyMode::Profile);
       double Ratio = overheadRatio(Base, Improved);
       BestRatio = std::max(BestRatio, Ratio);
       Table.addRow({Config.label(),
@@ -47,5 +48,6 @@ int main(int Argc, char **Argv) {
               << TextTable::formatDouble(BestRatio, 1) << "  (paper: "
               << (Program == "ear" ? "45" : "66") << "x)\n\n";
   }
+  Grid.emitTelemetry();
   return 0;
 }

@@ -16,18 +16,19 @@ using namespace ccra;
 
 int main(int Argc, char **Argv) {
   BenchArgs Args = parseBenchArgs(Argc, Argv);
+  GridRunner Grid(Args);
 
   std::unique_ptr<Module> M = buildSpecProxy("fpppp");
   TextTable Table;
   Table.setHeader({"config", "optimistic", "improved", "improved+opt"});
   for (const RegisterConfig &Config : standardConfigSweep()) {
     ExperimentResult Base =
-        runExperiment(*M, Config, baseChaitinOptions(), FrequencyMode::Static);
+        Grid.run(*M, Config, baseChaitinOptions(), FrequencyMode::Static);
     ExperimentResult Optimistic =
-        runExperiment(*M, Config, optimisticOptions(), FrequencyMode::Static);
+        Grid.run(*M, Config, optimisticOptions(), FrequencyMode::Static);
     ExperimentResult Improved =
-        runExperiment(*M, Config, improvedOptions(), FrequencyMode::Static);
-    ExperimentResult Hybrid = runExperiment(
+        Grid.run(*M, Config, improvedOptions(), FrequencyMode::Static);
+    ExperimentResult Hybrid = Grid.run(
         *M, Config, improvedOptimisticOptions(), FrequencyMode::Static);
     Table.addRow({Config.label(),
                   TextTable::formatDouble(overheadRatio(Base, Optimistic)),
@@ -37,5 +38,6 @@ int main(int Argc, char **Argv) {
   std::cout << "== Figure 9: fpppp, ratios over base Chaitin (static; "
                ">1.00 = better than base) ==\n";
   emitTable(Table, Args);
+  Grid.emitTelemetry();
   return 0;
 }

@@ -4,14 +4,15 @@
 // construction, graph construction, coalescing) and of whole-module
 // allocation per allocator, over randomized programs of increasing size.
 // This is the compile-time dimension the paper's framework optimizes with
-// graph reconstruction (rebuilding only what spilling changed).
+// graph reconstruction (rebuilding only what spilling changed), and that
+// the parallel engine scales across functions (BM_AllocateModuleJobs).
+// Telemetry counters from the engine are surfaced as benchmark counters.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Frequency.h"
+#include "ccra.h"
+
 #include "analysis/Liveness.h"
-#include "core/AllocatorFactory.h"
-#include "ir/Cloner.h"
 #include "regalloc/InterferenceGraph.h"
 #include "regalloc/LiveRange.h"
 #include "regalloc/VRegClasses.h"
@@ -60,14 +61,27 @@ BENCHMARK(BM_GraphConstruction)->Arg(1)->Arg(2)->Arg(4);
 
 void allocateWith(benchmark::State &State, const AllocatorOptions &Opts) {
   auto M = generateRandomProgram(sizedParams(2));
+  Telemetry T;
   for (auto _ : State) {
     (void)_;
     auto Clone = cloneModule(*M);
     FrequencyInfo Freq =
         FrequencyInfo::compute(*Clone, FrequencyMode::Profile);
-    AllocationEngine Engine =
-        makeEngine(MachineDescription(RegisterConfig(8, 6, 2, 2)), Opts);
+    AllocationEngine Engine = EngineBuilder(RegisterConfig(8, 6, 2, 2))
+                                  .options(Opts)
+                                  .telemetry(&T)
+                                  .build();
     benchmark::DoNotOptimize(Engine.allocateModule(*Clone, Freq));
+  }
+  // Per-iteration allocation telemetry as benchmark counters.
+  TelemetrySnapshot Snap = T.snapshot();
+  auto PerIteration = benchmark::Counter(
+      0, benchmark::Counter::kAvgIterations);
+  for (const char *Name : {telemetry::Rounds, telemetry::SpilledRanges,
+                           telemetry::CoalescedMoves,
+                           telemetry::CalleeRegsPaid}) {
+    PerIteration.value = Snap.count(Name);
+    State.counters[Name] = PerIteration;
   }
 }
 
@@ -109,13 +123,41 @@ void BM_ReconstructionOnOff(benchmark::State &State) {
     auto Clone = cloneModule(*M);
     FrequencyInfo Freq =
         FrequencyInfo::compute(*Clone, FrequencyMode::Profile);
-    AllocationEngine Engine =
-        makeEngine(MachineDescription(RegisterConfig(6, 4, 1, 1)), Opts);
+    AllocationEngine Engine = EngineBuilder(RegisterConfig(6, 4, 1, 1))
+                                  .options(Opts)
+                                  .build();
     benchmark::DoNotOptimize(Engine.allocateModule(*Clone, Freq));
   }
   State.SetLabel(State.range(0) ? "incremental" : "from-scratch");
 }
 BENCHMARK(BM_ReconstructionOnOff)->Arg(0)->Arg(1);
+
+void BM_AllocateModuleJobs(benchmark::State &State) {
+  // Scaling of the parallel engine across a many-function module. Jobs=1
+  // is the serial baseline; results are bit-identical at every setting
+  // (tests/ParallelTest.cpp), so this measures pure wall-clock scaling.
+  RandomProgramParams Params;
+  Params.Seed = 7;
+  Params.NumFunctions = 16;
+  Params.RegionsPerFunction = 6;
+  Params.IntValues = 10;
+  Params.FloatValues = 6;
+  auto M = generateRandomProgram(Params);
+  unsigned Jobs = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    (void)_;
+    auto Clone = cloneModule(*M);
+    FrequencyInfo Freq =
+        FrequencyInfo::compute(*Clone, FrequencyMode::Profile);
+    AllocationEngine Engine = EngineBuilder(RegisterConfig(8, 6, 2, 2))
+                                  .options(improvedOptions())
+                                  .jobs(Jobs)
+                                  .build();
+    benchmark::DoNotOptimize(Engine.allocateModule(*Clone, Freq));
+  }
+  State.SetLabel("jobs=" + std::to_string(Jobs));
+}
+BENCHMARK(BM_AllocateModuleJobs)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_AllocateSpecProxy(benchmark::State &State) {
   auto All = buildAllSpecProxies();
@@ -125,8 +167,9 @@ void BM_AllocateSpecProxy(benchmark::State &State) {
     auto Clone = cloneModule(M);
     FrequencyInfo Freq =
         FrequencyInfo::compute(*Clone, FrequencyMode::Profile);
-    AllocationEngine Engine = makeEngine(
-        MachineDescription(RegisterConfig(9, 7, 3, 3)), improvedOptions());
+    AllocationEngine Engine = EngineBuilder(RegisterConfig(9, 7, 3, 3))
+                                  .options(improvedOptions())
+                                  .build();
     benchmark::DoNotOptimize(Engine.allocateModule(*Clone, Freq));
   }
   State.SetLabel(All[static_cast<size_t>(State.range(0))].first);

@@ -15,6 +15,7 @@ using namespace ccra;
 
 int main(int Argc, char **Argv) {
   BenchArgs Args = parseBenchArgs(Argc, Argv);
+  GridRunner Grid(Args);
 
   TextTable Table;
   Table.setHeader({"program", "optimistic_cycles", "improved_cycles",
@@ -23,9 +24,9 @@ int main(int Argc, char **Argv) {
                                      std::string("eqntott"), std::string("li"),
                                      std::string("sc"), std::string("spice")}) {
     std::unique_ptr<Module> M = buildSpecProxy(Program);
-    ExperimentResult Optimistic = runExperiment(
+    ExperimentResult Optimistic = Grid.run(
         *M, fullMipsConfig(), optimisticOptions(), FrequencyMode::Profile);
-    ExperimentResult Improved = runExperiment(
+    ExperimentResult Improved = Grid.run(
         *M, fullMipsConfig(), improvedOptions(), FrequencyMode::Profile);
     double SpeedupPercent =
         (Optimistic.Cycles / Improved.Cycles - 1.0) * 100.0;
@@ -38,5 +39,6 @@ int main(int Argc, char **Argv) {
   emitTable(Table, Args);
   std::cout << "(paper: compress 2.9, eqntott 2.2, li 2.8, sc 4.4, "
                "spice 1.0)\n";
+  Grid.emitTelemetry();
   return 0;
 }

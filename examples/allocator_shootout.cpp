@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "ccra.h"
 #include "support/Table.h"
 #include "workloads/SpecProxies.h"
 
@@ -42,20 +42,30 @@ int main(int Argc, char **Argv) {
       cbhOptions(),
   };
 
+  // One grid point per contender, run concurrently; the telemetry half of
+  // each run supplies the allocation wall-clock column.
+  std::vector<ExperimentSpec> Specs;
+  for (const AllocatorOptions &Opts : Contenders)
+    Specs.push_back({M.get(), Config, Opts, FrequencyMode::Profile,
+                     /*Jobs=*/1});
+  std::vector<ExperimentRun> Runs = runExperiments(Specs, /*Jobs=*/0);
+
   TextTable Table;
   Table.setHeader({"allocator", "spill", "caller_sv", "callee_sv", "total",
-                   "spilled", "voluntary", "coalesced", "rounds"});
-  for (const AllocatorOptions &Opts : Contenders) {
-    ExperimentResult R =
-        runExperiment(*M, Config, Opts, FrequencyMode::Profile);
-    Table.addRow({Opts.describe(), TextTable::formatCount(R.Costs.Spill),
+                   "spilled", "voluntary", "coalesced", "rounds", "alloc_ms"});
+  for (std::size_t I = 0; I < Contenders.size(); ++I) {
+    const ExperimentResult &R = Runs[I].Result;
+    Table.addRow({Contenders[I].describe(),
+                  TextTable::formatCount(R.Costs.Spill),
                   TextTable::formatCount(R.Costs.CallerSave),
                   TextTable::formatCount(R.Costs.CalleeSave),
                   TextTable::formatCount(R.Costs.total()),
                   std::to_string(R.SpilledRanges),
                   std::to_string(R.VoluntarySpills),
                   std::to_string(R.CoalescedMoves),
-                  std::to_string(R.MaxRounds)});
+                  std::to_string(R.MaxRounds),
+                  TextTable::formatDouble(
+                      Runs[I].Telemetry.timeMs(telemetry::AllocateTotal), 2)});
   }
   std::cout << "allocator shootout on " << Program << " at " << Config.label()
             << " (dynamic frequencies):\n";

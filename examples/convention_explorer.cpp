@@ -5,13 +5,15 @@
 // (default: eqntott; pass another SPEC proxy name as argv[1]) and sweeps
 // the (Ri,Rf,Ei,Ef) split, printing the total overhead of the base and the
 // improved allocator at each point — the experiment behind the paper's
-// Figure 2/7 pair, usable for any workload.
+// Figure 2/7 pair, usable for any workload. The whole grid is described as
+// ExperimentSpecs up front and fanned across the hardware threads with
+// runExperiments.
 //
 // Run:  ./convention_explorer [program]
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "ccra.h"
 #include "support/Table.h"
 #include "workloads/SpecProxies.h"
 
@@ -32,16 +34,28 @@ int main(int Argc, char **Argv) {
   }
 
   std::unique_ptr<Module> M = buildSpecProxy(Program);
+
+  // Describe the whole grid (two allocators per register split), then run
+  // it with one grid point per hardware thread.
+  const std::vector<RegisterConfig> Sweep = standardConfigSweep();
+  std::vector<ExperimentSpec> Specs;
+  for (const RegisterConfig &Config : Sweep) {
+    Specs.push_back({M.get(), Config, baseChaitinOptions(),
+                     FrequencyMode::Profile, /*Jobs=*/1});
+    Specs.push_back({M.get(), Config, improvedOptions(),
+                     FrequencyMode::Profile, /*Jobs=*/1});
+  }
+  std::vector<ExperimentRun> Runs = runExperiments(Specs, /*Jobs=*/0);
+
   TextTable Table;
   Table.setHeader({"config", "base_total", "improved_total", "ratio",
                    "best"});
   std::string BestLabel;
   double BestCost = -1.0;
-  for (const RegisterConfig &Config : standardConfigSweep()) {
-    ExperimentResult Base = runExperiment(*M, Config, baseChaitinOptions(),
-                                          FrequencyMode::Profile);
-    ExperimentResult Improved = runExperiment(*M, Config, improvedOptions(),
-                                              FrequencyMode::Profile);
+  for (std::size_t I = 0; I < Sweep.size(); ++I) {
+    const RegisterConfig &Config = Sweep[I];
+    const ExperimentResult &Base = Runs[2 * I].Result;
+    const ExperimentResult &Improved = Runs[2 * I + 1].Result;
     if (BestCost < 0.0 || Improved.Costs.total() < BestCost) {
       BestCost = Improved.Costs.total();
       BestLabel = Config.label();

@@ -12,9 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Frequency.h"
-#include "core/AllocatorFactory.h"
-#include "ir/Cloner.h"
+#include "ccra.h"
 #include "regalloc/CostAccounting.h"
 #include "support/Table.h"
 #include "workloads/SpecProxies.h"
@@ -31,8 +29,9 @@ namespace {
 CostBreakdown allocateAndMeasure(const Module &M, FrequencyMode DecisionMode) {
   std::unique_ptr<Module> Clone = cloneModule(M);
   FrequencyInfo DecisionFreq = FrequencyInfo::compute(*Clone, DecisionMode);
-  AllocationEngine Engine = makeEngine(
-      MachineDescription(RegisterConfig(9, 7, 3, 3)), improvedOptions());
+  AllocationEngine Engine = EngineBuilder(RegisterConfig(9, 7, 3, 3))
+                                .options(improvedOptions())
+                                .build();
   Engine.allocateModule(*Clone, DecisionFreq);
 
   // The allocated clone now contains every overhead instruction (spill,

@@ -3,19 +3,16 @@
 // The smallest end-to-end use of the library:
 //  1. build a function with IRBuilder (a hot loop plus a cold error call),
 //  2. compute execution frequencies,
-//  3. run the paper's improved Chaitin-style allocator,
-//  4. print the allocated code, the storage decisions, and the §3 cost
-//     breakdown.
+//  3. assemble the paper's improved Chaitin-style allocator with
+//     EngineBuilder (telemetry attached) and allocate,
+//  4. print the allocated code, the storage decisions, the §3 cost
+//     breakdown, and the telemetry the run recorded.
 //
 // Run:  ./quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Frequency.h"
-#include "core/AllocatorFactory.h"
-#include "ir/IRBuilder.h"
-#include "ir/IRPrinter.h"
-#include "ir/Verifier.h"
+#include "ccra.h"
 
 #include <iostream>
 
@@ -71,7 +68,11 @@ int main() {
   // --- 2. Frequencies, 3. allocation --------------------------------------
   FrequencyInfo Freq = FrequencyInfo::compute(M, FrequencyMode::Profile);
   MachineDescription Machine(RegisterConfig(4, 2, 2, 2));
-  AllocationEngine Engine = makeEngine(Machine, improvedOptions());
+  Telemetry T;
+  AllocationEngine Engine = EngineBuilder(Machine)
+                                .options(improvedOptions())
+                                .telemetry(&T)
+                                .build();
   ModuleAllocationResult Result = Engine.allocateModule(M, Freq);
 
   // --- 4. Inspect ----------------------------------------------------------
@@ -96,5 +97,8 @@ int main() {
             << "  caller-save: " << FA.Costs.CallerSave << '\n'
             << "  callee-save: " << FA.Costs.CalleeSave << '\n'
             << "  total:       " << FA.Costs.total() << '\n';
+
+  std::cout << "\n=== telemetry (counters + per-phase timers) ===\n";
+  T.snapshot().writeJson(std::cout);
   return 0;
 }

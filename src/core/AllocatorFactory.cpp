@@ -2,6 +2,7 @@
 
 #include "core/AllocatorFactory.h"
 
+#include "core/EngineBuilder.h"
 #include "core/ImprovedChaitinAllocator.h"
 #include "regalloc/CBHAllocator.h"
 #include "regalloc/ChaitinAllocator.h"
@@ -29,5 +30,5 @@ ccra::createAllocator(const AllocatorOptions &Opts) {
 
 AllocationEngine ccra::makeEngine(MachineDescription MD,
                                   const AllocatorOptions &Opts) {
-  return AllocationEngine(MD, Opts, createAllocator(Opts));
+  return EngineBuilder(MD).options(Opts).build();
 }

@@ -1,15 +1,9 @@
 //===- core/AllocatorFactory.h - Options -> allocator + engine --*- C++ -*-===//
 ///
 /// \file
-/// Maps an AllocatorOptions value to the allocator implementing it, and
-/// builds ready-to-run AllocationEngines. This is the one-stop entry point
-/// the examples and benchmarks use:
-///
-/// \code
-///   AllocationEngine Engine = makeEngine(MachineDescription(Config),
-///                                        improvedOptions());
-///   ModuleAllocationResult R = Engine.allocateModule(M, Freq);
-/// \endcode
+/// Maps an AllocatorOptions value to the allocator implementing it. This
+/// is the factory EngineBuilder plugs into every engine it assembles; use
+/// it directly only when hand-building an engine from parts.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,10 +16,13 @@
 
 namespace ccra {
 
-/// Creates the allocator implementing \p Opts.
+/// Creates the allocator implementing \p Opts. Stateless and safe to call
+/// concurrently; matches the AllocatorFactory signature.
 std::unique_ptr<RegAllocBase> createAllocator(const AllocatorOptions &Opts);
 
-/// Convenience: engine with the matching allocator plugged in.
+/// \deprecated Thin shim over EngineBuilder (core/EngineBuilder.h), the
+/// preferred construction API:
+///   EngineBuilder(Config).options(Opts).jobs(N).telemetry(&T).build()
 AllocationEngine makeEngine(MachineDescription MD,
                             const AllocatorOptions &Opts);
 

@@ -1,0 +1,13 @@
+//===- core/EngineBuilder.cpp ---------------------------------------------===//
+
+#include "core/EngineBuilder.h"
+
+#include "core/AllocatorFactory.h"
+
+using namespace ccra;
+
+AllocationEngine EngineBuilder::build() const {
+  AllocationEngine Engine(MD, Opts, &createAllocator);
+  Engine.setTelemetry(Telem);
+  return Engine;
+}

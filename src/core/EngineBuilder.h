@@ -1,0 +1,72 @@
+//===- core/EngineBuilder.h - Fluent engine construction --------*- C++ -*-===//
+///
+/// \file
+/// The single public way to assemble an AllocationEngine. The builder owns
+/// the option-to-allocator mapping (createAllocator), so every engine it
+/// produces can mint per-task allocators and run parallel module
+/// allocation:
+///
+/// \code
+///   Telemetry T;
+///   AllocationEngine Engine = EngineBuilder(RegisterConfig(9, 7, 3, 3))
+///                                 .options(improvedOptions())
+///                                 .jobs(8)
+///                                 .telemetry(&T)
+///                                 .build();
+///   ModuleAllocationResult R = Engine.allocateModule(M, Freq);
+///   T.snapshot().writeJson(std::cout);
+/// \endcode
+///
+/// Defaults: improvedOptions(), serial (jobs(1)), no telemetry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_CORE_ENGINEBUILDER_H
+#define CCRA_CORE_ENGINEBUILDER_H
+
+#include "regalloc/AllocationEngine.h"
+
+namespace ccra {
+
+class EngineBuilder {
+public:
+  /// Starts from a register configuration (the common case) or a full
+  /// machine description.
+  explicit EngineBuilder(RegisterConfig Config) : MD(Config) {}
+  explicit EngineBuilder(MachineDescription MD) : MD(MD) {}
+
+  /// Selects the allocator point in the option space (see
+  /// regalloc/AllocatorOptions.h's named factories). Replaces any options
+  /// set so far, including a previous jobs() call's value.
+  EngineBuilder &options(AllocatorOptions O) {
+    Opts = std::move(O);
+    return *this;
+  }
+
+  /// Concurrent function allocations in allocateModule: 1 = serial,
+  /// 0 = one per hardware thread. Overrides Opts.Jobs.
+  EngineBuilder &jobs(unsigned N) {
+    Opts.Jobs = N;
+    return *this;
+  }
+
+  /// Attaches a telemetry recorder to the built engine. Not owned; must
+  /// outlive the engine's allocate calls. Null detaches.
+  EngineBuilder &telemetry(Telemetry *T) {
+    Telem = T;
+    return *this;
+  }
+
+  /// Assembles the engine: the matching allocator factory is plugged in,
+  /// so the engine honors Jobs > 1.
+  AllocationEngine build() const;
+
+private:
+  MachineDescription MD;
+  AllocatorOptions Opts; // defaults == improvedOptions()
+  Telemetry *Telem = nullptr;
+};
+
+} // namespace ccra
+
+#endif // CCRA_CORE_ENGINEBUILDER_H

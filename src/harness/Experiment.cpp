@@ -2,37 +2,73 @@
 
 #include "harness/Experiment.h"
 
-#include "core/AllocatorFactory.h"
+#include "core/EngineBuilder.h"
 #include "ir/Cloner.h"
 #include "ir/Module.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace ccra;
+
+ExperimentRun ccra::runExperiment(const ExperimentSpec &Spec) {
+  assert(Spec.Program && "experiment needs a program");
+  ExperimentRun Run;
+
+  std::unique_ptr<Module> Clone = cloneModule(*Spec.Program);
+  FrequencyInfo Freq = FrequencyInfo::compute(*Clone, Spec.Mode);
+
+  Telemetry T;
+  AllocationEngine Engine = EngineBuilder(Spec.Config)
+                                .options(Spec.Options)
+                                .jobs(Spec.Jobs)
+                                .telemetry(&T)
+                                .build();
+  ModuleAllocationResult Alloc = Engine.allocateModule(*Clone, Freq);
+
+  Run.Result.Costs = Alloc.Totals;
+  for (const auto &[F, FA] : Alloc.PerFunction) {
+    (void)F;
+    Run.Result.SpilledRanges += FA.SpilledRanges;
+    Run.Result.VoluntarySpills += FA.VoluntarySpills;
+    Run.Result.CoalescedMoves += FA.CoalescedMoves;
+    Run.Result.CalleeRegsPaid += FA.CalleeRegsPaid;
+    Run.Result.MaxRounds = std::max(Run.Result.MaxRounds, FA.Rounds);
+  }
+  Run.Result.Cycles = estimateDynamicCycles(*Clone, Freq);
+
+  T.addCount(telemetry::Experiments);
+  Run.Telemetry = T.snapshot();
+  return Run;
+}
+
+std::vector<ExperimentRun>
+ccra::runExperiments(const std::vector<ExperimentSpec> &Specs, unsigned Jobs) {
+  std::vector<ExperimentRun> Runs(Specs.size());
+  if (Jobs == 0)
+    Jobs = ThreadPool::defaultParallelism();
+  Jobs = static_cast<unsigned>(
+      std::min<std::size_t>(Jobs, Specs.size() ? Specs.size() : 1));
+  if (Jobs <= 1) {
+    for (std::size_t I = 0; I < Specs.size(); ++I)
+      Runs[I] = runExperiment(Specs[I]);
+    return Runs;
+  }
+
+  // Each grid point clones its program and owns its telemetry, so tasks
+  // share nothing; results land at their spec's index.
+  ThreadPool Pool(Jobs);
+  Pool.parallelForEach(Specs.size(),
+                       [&](std::size_t I) { Runs[I] = runExperiment(Specs[I]); });
+  return Runs;
+}
 
 ExperimentResult ccra::runExperiment(const Module &M,
                                      const RegisterConfig &Config,
                                      const AllocatorOptions &Opts,
                                      FrequencyMode Mode) {
-  ExperimentResult Result;
-
-  std::unique_ptr<Module> Clone = cloneModule(M);
-  FrequencyInfo Freq = FrequencyInfo::compute(*Clone, Mode);
-
-  AllocationEngine Engine = makeEngine(MachineDescription(Config), Opts);
-  ModuleAllocationResult Alloc = Engine.allocateModule(*Clone, Freq);
-
-  Result.Costs = Alloc.Totals;
-  for (const auto &[F, FA] : Alloc.PerFunction) {
-    (void)F;
-    Result.SpilledRanges += FA.SpilledRanges;
-    Result.VoluntarySpills += FA.VoluntarySpills;
-    Result.CoalescedMoves += FA.CoalescedMoves;
-    Result.CalleeRegsPaid += FA.CalleeRegsPaid;
-    Result.MaxRounds = std::max(Result.MaxRounds, FA.Rounds);
-  }
-  Result.Cycles = estimateDynamicCycles(*Clone, Freq);
-  return Result;
+  return runExperiment({&M, Config, Opts, Mode, /*Jobs=*/1}).Result;
 }
 
 /// Per-instruction cycle costs, loosely following the MIPS R3000 the paper

@@ -6,6 +6,12 @@
 /// workload, and the Table 4 execution-time model. Every bench binary is a
 /// thin loop over this.
 ///
+/// A grid point is described by an ExperimentSpec and produces an
+/// ExperimentRun: the cost/statistics summary plus the telemetry the
+/// allocation recorded (per-phase timers and counters). runExperiments
+/// fans a whole grid across a thread pool; each spec can additionally
+/// parallelize its own function allocations via Spec.Jobs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCRA_HARNESS_EXPERIMENT_H
@@ -14,9 +20,11 @@
 #include "analysis/Frequency.h"
 #include "regalloc/AllocationResult.h"
 #include "regalloc/AllocatorOptions.h"
+#include "support/Telemetry.h"
 #include "target/MachineDescription.h"
 
 #include <string>
+#include <vector>
 
 namespace ccra {
 
@@ -32,8 +40,36 @@ struct ExperimentResult {
   double Cycles = 0.0;
 };
 
-/// Allocates a clone of \p M with \p Opts under \p Config, using \p Mode
-/// execution-frequency estimates. \p M itself is never modified.
+/// One evaluation grid point. The program is never modified: each run
+/// allocates a private clone.
+struct ExperimentSpec {
+  const Module *Program = nullptr;
+  RegisterConfig Config;
+  AllocatorOptions Options;
+  FrequencyMode Mode = FrequencyMode::Profile;
+  /// Function allocations run concurrently within this experiment
+  /// (AllocatorOptions::Jobs semantics: 1 = serial, 0 = hardware).
+  unsigned Jobs = 1;
+};
+
+/// What one grid point produced: the summary plus everything the engine's
+/// telemetry recorded while allocating (phase timers, counters).
+struct ExperimentRun {
+  ExperimentResult Result;
+  TelemetrySnapshot Telemetry;
+};
+
+/// Runs one grid point. Results are identical for any Spec.Jobs setting.
+ExperimentRun runExperiment(const ExperimentSpec &Spec);
+
+/// Runs a grid of experiments, \p Jobs specs concurrently (1 = serial,
+/// 0 = one per hardware thread). Output order matches input order and
+/// every run is bit-identical to running its spec alone.
+std::vector<ExperimentRun> runExperiments(const std::vector<ExperimentSpec> &Specs,
+                                          unsigned Jobs = 1);
+
+/// \deprecated Positional shim over the ExperimentSpec overload; drops the
+/// telemetry half of the result.
 ExperimentResult runExperiment(const Module &M, const RegisterConfig &Config,
                                const AllocatorOptions &Opts,
                                FrequencyMode Mode);

@@ -11,12 +11,23 @@
 #include "regalloc/OverheadMaterializer.h"
 #include "regalloc/SpillCodeInserter.h"
 #include "regalloc/VRegClasses.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace ccra;
+
+AllocationEngine::AllocationEngine(MachineDescription MD,
+                                   AllocatorOptions Opts,
+                                   AllocatorFactory Factory)
+    : MD(MD), Opts(Opts), Factory(std::move(Factory)) {
+  assert(this->Factory && "engine needs an allocator factory");
+  Allocator = this->Factory(this->Opts);
+  assert(Allocator && "factory returned no allocator");
+}
 
 AllocationEngine::AllocationEngine(MachineDescription MD,
                                    AllocatorOptions Opts,
@@ -28,9 +39,18 @@ AllocationEngine::AllocationEngine(MachineDescription MD,
 FunctionAllocation
 AllocationEngine::allocateFunction(Function &F,
                                    const FrequencyInfo &Freq) const {
+  return allocateWith(*Allocator, F, Freq, Telem);
+}
+
+FunctionAllocation
+AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
+                               const FrequencyInfo &Freq,
+                               Telemetry *T) const {
   FunctionAllocation Out;
   if (F.isDeclaration())
     return Out;
+
+  Telemetry::ScopedTimer TotalTimer(T, telemetry::AllocateTotal);
 
   VRegClasses Classes(F.numVRegs());
   std::vector<PhysReg> RefusedCalleeRegs;
@@ -51,6 +71,7 @@ AllocationEngine::allocateFunction(Function &F,
                           Freq.entryFrequency(F), {}};
     if (!ReconstructIds.empty()) {
       // Incremental path: nothing to coalesce, patch last round's state.
+      Telemetry::ScopedTimer Timer(T, telemetry::ReconstructPhase);
       GraphReconstructor::apply(F, Freq, CarriedLV, CarriedLRS, CarriedIG,
                                 ReconstructIds, ReconstructOldVRegs);
       Classes.grow(F.numVRegs());
@@ -58,18 +79,30 @@ AllocationEngine::allocateFunction(Function &F,
       Ctx.LRS = std::move(CarriedLRS);
       Ctx.IG = std::move(CarriedIG);
     } else {
-      CoalesceStats CS = Coalescer::run(F, Classes, MD, Freq, Ctx.LV,
-                                        Opts.AggressiveCoalescing);
-      Out.CoalescedMoves += CS.CoalescedMoves;
+      {
+        Telemetry::ScopedTimer Timer(T, telemetry::CoalescePhase);
+        CoalesceStats CS = Coalescer::run(F, Classes, MD, Freq, Ctx.LV,
+                                          Opts.AggressiveCoalescing);
+        Out.CoalescedMoves += CS.CoalescedMoves;
+      }
       Classes.grow(F.numVRegs());
-      Ctx.LRS = LiveRangeSet::build(F, Ctx.LV, Freq, Classes);
-      Ctx.IG = InterferenceGraph::build(F, Ctx.LV, Ctx.LRS);
+      {
+        Telemetry::ScopedTimer Timer(T, telemetry::BuildRangesPhase);
+        Ctx.LRS = LiveRangeSet::build(F, Ctx.LV, Freq, Classes);
+      }
+      {
+        Telemetry::ScopedTimer Timer(T, telemetry::BuildGraphPhase);
+        Ctx.IG = InterferenceGraph::build(F, Ctx.LV, Ctx.LRS);
+      }
     }
     ReconstructIds.clear();
     Ctx.RefusedCalleeRegs = RefusedCalleeRegs;
 
     RoundResult RR;
-    Allocator->runRound(Ctx, RR);
+    {
+      Telemetry::ScopedTimer Timer(T, telemetry::ColorPhase);
+      Alloc.runRound(Ctx, RR);
+    }
     RefusedCalleeRegs.insert(RefusedCalleeRegs.end(),
                              RR.NewlyRefusedCalleeRegs.begin(),
                              RR.NewlyRefusedCalleeRegs.end());
@@ -111,7 +144,10 @@ AllocationEngine::allocateFunction(Function &F,
         CarriedLRS = std::move(Ctx.LRS);
         CarriedIG = std::move(Ctx.IG);
       }
-      SpillCodeInserter::run(F, SpilledClasses);
+      {
+        Telemetry::ScopedTimer Timer(T, telemetry::SpillInsertPhase);
+        SpillCodeInserter::run(F, SpilledClasses);
+      }
       continue;
     }
 
@@ -126,10 +162,13 @@ AllocationEngine::allocateFunction(Function &F,
     Out.Costs = computeAnalyticCost(Ctx, RR);
     Out.CalleeRegsPaid = static_cast<unsigned>(
         OverheadMaterializer::paidCalleeRegs(Ctx, RR).size());
-    if (Opts.MaterializeSaveRestore)
+    if (Opts.MaterializeSaveRestore) {
+      Telemetry::ScopedTimer Timer(T, telemetry::MaterializePhase);
       OverheadMaterializer::run(Ctx, RR);
+    }
 
     if (Opts.Verify) {
+      Telemetry::ScopedTimer Timer(T, telemetry::VerifyPhase);
       AllocationVerifyReport Report =
           verifyAllocation(Ctx, RR, Opts.MaterializeSaveRestore);
       if (!Report.ok()) {
@@ -137,6 +176,15 @@ AllocationEngine::allocateFunction(Function &F,
           std::fprintf(stderr, "allocation verifier: %s\n", Message.c_str());
         std::abort();
       }
+    }
+
+    if (T) {
+      T->addCount(telemetry::Functions);
+      T->addCount(telemetry::Rounds, Out.Rounds);
+      T->addCount(telemetry::SpilledRanges, Out.SpilledRanges);
+      T->addCount(telemetry::VoluntarySpills, Out.VoluntarySpills);
+      T->addCount(telemetry::CoalescedMoves, Out.CoalescedMoves);
+      T->addCount(telemetry::CalleeRegsPaid, Out.CalleeRegsPaid);
     }
     return Out;
   }
@@ -147,13 +195,51 @@ AllocationEngine::allocateFunction(Function &F,
 
 ModuleAllocationResult
 AllocationEngine::allocateModule(Module &M, const FrequencyInfo &Freq) const {
+  std::vector<Function *> Bodies;
+  for (const auto &F : M.functions())
+    if (!F->isDeclaration())
+      Bodies.push_back(F.get());
+
+  unsigned Jobs = Opts.Jobs == 0 ? ThreadPool::defaultParallelism()
+                                 : Opts.Jobs;
+  // Without a factory there is exactly one allocator instance; and one
+  // function cannot be split.
+  if (!Factory)
+    Jobs = 1;
+  Jobs = static_cast<unsigned>(
+      std::min<std::size_t>(Jobs, Bodies.size() ? Bodies.size() : 1));
+
   ModuleAllocationResult Result;
-  for (const auto &F : M.functions()) {
-    if (F->isDeclaration())
-      continue;
-    FunctionAllocation FA = allocateFunction(*F, Freq);
-    Result.Totals += FA.Costs;
-    Result.PerFunction[F.get()] = std::move(FA);
+  if (Jobs <= 1) {
+    for (Function *F : Bodies) {
+      FunctionAllocation FA = allocateWith(*Allocator, *F, Freq, Telem);
+      Result.Totals += FA.Costs;
+      Result.PerFunction[F] = std::move(FA);
+    }
+    return Result;
+  }
+
+  // Parallel path: one task per function, each with a private allocator
+  // and a task-local telemetry recorder. The reduction below walks tasks
+  // in function order, so totals accumulate in exactly the serial order
+  // (bit-identical results) and telemetry merges deterministically.
+  std::vector<FunctionAllocation> PerTask(Bodies.size());
+  std::vector<TelemetrySnapshot> TaskTelemetry(Bodies.size());
+  ThreadPool Pool(Jobs);
+  Pool.parallelForEach(Bodies.size(), [&](std::size_t I) {
+    std::unique_ptr<RegAllocBase> TaskAlloc = Factory(Opts);
+    Telemetry Local;
+    PerTask[I] = allocateWith(*TaskAlloc, *Bodies[I], Freq,
+                              Telem ? &Local : nullptr);
+    if (Telem)
+      TaskTelemetry[I] = Local.snapshot();
+  });
+
+  for (std::size_t I = 0; I < Bodies.size(); ++I) {
+    Result.Totals += PerTask[I].Costs;
+    Result.PerFunction[Bodies[I]] = std::move(PerTask[I]);
+    if (Telem)
+      Telem->merge(TaskTelemetry[I]);
   }
   return Result;
 }

@@ -7,9 +7,15 @@
 ///   allocator round -> (spill-code insertion, repeat) -> save/restore
 ///   materialization -> cost accounting -> verification.
 ///
-/// The engine is allocator-agnostic: any RegAllocBase implementation plugs
-/// in. src/core provides the factory that maps AllocatorOptions to the
-/// right allocator (including the paper's improved Chaitin allocator).
+/// The engine is allocator-agnostic: it is built around an *allocator
+/// factory* so that every concurrent allocation task gets a private
+/// allocator instance. allocateModule fans the functions of a module
+/// across a thread pool when AllocatorOptions::Jobs allows it; results are
+/// reduced in function order, so parallel allocation is bit-identical to
+/// the serial path (equivalence-tested in tests/ParallelTest.cpp).
+///
+/// Attach a Telemetry recorder (EngineBuilder::telemetry or setTelemetry)
+/// to collect per-phase wall-clock timers and allocation counters.
 ///
 /// NOTE: allocation mutates the function (spill and save/restore code).
 /// Benchmarks clone the module per run (see ir/Cloner.h).
@@ -22,8 +28,10 @@
 #include "regalloc/AllocationResult.h"
 #include "regalloc/AllocatorOptions.h"
 #include "regalloc/RegAllocBase.h"
+#include "support/Telemetry.h"
 #include "target/MachineDescription.h"
 
+#include <functional>
 #include <memory>
 
 namespace ccra {
@@ -31,18 +39,37 @@ namespace ccra {
 class FrequencyInfo;
 class Module;
 
+/// Creates a fresh allocator implementing \p Opts. Must be safe to call
+/// concurrently (core/AllocatorFactory.h's createAllocator is).
+using AllocatorFactory =
+    std::function<std::unique_ptr<RegAllocBase>(const AllocatorOptions &)>;
+
 class AllocationEngine {
 public:
-  /// \p Allocator decides colors each round; the engine owns it.
+  /// Preferred constructor: \p Factory mints one allocator per concurrent
+  /// allocation task, enabling Jobs > 1.
+  AllocationEngine(MachineDescription MD, AllocatorOptions Opts,
+                   AllocatorFactory Factory);
+
+  /// Single-allocator constructor, kept for callers that hand-build one
+  /// allocator instance. The engine owns it; with no factory to mint more,
+  /// allocateModule always runs serially.
   AllocationEngine(MachineDescription MD, AllocatorOptions Opts,
                    std::unique_ptr<RegAllocBase> Allocator);
+
+  /// Attaches (or detaches, with null) a telemetry recorder. Not owned;
+  /// must outlive every allocate call.
+  void setTelemetry(Telemetry *T) { Telem = T; }
+  Telemetry *telemetry() const { return Telem; }
 
   /// Allocates registers for \p F (mutating it) and returns locations,
   /// statistics, and the §3 cost breakdown.
   FunctionAllocation allocateFunction(Function &F,
                                       const FrequencyInfo &Freq) const;
 
-  /// Allocates every function with a body.
+  /// Allocates every function with a body. Runs Opts.Jobs function
+  /// allocations concurrently (0 = one per hardware thread); results are
+  /// identical to Jobs == 1 bit for bit.
   ModuleAllocationResult allocateModule(Module &M,
                                         const FrequencyInfo &Freq) const;
 
@@ -50,9 +77,17 @@ public:
   const AllocatorOptions &options() const { return Opts; }
 
 private:
+  /// One whole-function allocation with an explicit allocator instance and
+  /// telemetry sink (both per-task in the parallel path).
+  FunctionAllocation allocateWith(RegAllocBase &Alloc, Function &F,
+                                  const FrequencyInfo &Freq,
+                                  Telemetry *T) const;
+
   MachineDescription MD;
   AllocatorOptions Opts;
-  std::unique_ptr<RegAllocBase> Allocator;
+  AllocatorFactory Factory; ///< null when built from a single allocator
+  std::unique_ptr<RegAllocBase> Allocator; ///< serial-path instance
+  Telemetry *Telem = nullptr;
 };
 
 } // namespace ccra

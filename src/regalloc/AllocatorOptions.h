@@ -89,6 +89,12 @@ struct AllocatorOptions {
   /// Safety cap on spill-and-retry rounds.
   unsigned MaxRounds = 64;
 
+  /// Concurrent function allocations in allocateModule: 1 = serial (the
+  /// escape hatch; default), 0 = one job per hardware thread, N = exactly
+  /// N jobs. Results are bit-identical at any setting; the engine reduces
+  /// per-function results in function order.
+  unsigned Jobs = 1;
+
   /// Short human-readable tag ("base", "opt", "SC+BS+PR", ...).
   std::string describe() const;
 };

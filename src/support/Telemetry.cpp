@@ -1,0 +1,197 @@
+//===- support/Telemetry.cpp ----------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+using namespace ccra;
+
+// --- TelemetrySnapshot ------------------------------------------------------
+
+double TelemetrySnapshot::count(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0.0 : It->second;
+}
+
+double TelemetrySnapshot::timeMs(const std::string &Name) const {
+  auto It = TimersMs.find(Name);
+  return It == TimersMs.end() ? 0.0 : It->second;
+}
+
+TelemetrySnapshot &
+TelemetrySnapshot::operator+=(const TelemetrySnapshot &Other) {
+  for (const auto &[Name, Value] : Other.Counters)
+    Counters[Name] += Value;
+  for (const auto &[Name, Value] : Other.TimersMs)
+    TimersMs[Name] += Value;
+  return *this;
+}
+
+/// %.17g: enough digits that a double survives the text round trip.
+static std::string formatNumber(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  return Buffer;
+}
+
+static void writeJsonMap(std::ostream &OS,
+                         const std::map<std::string, double> &Map) {
+  OS << '{';
+  bool First = true;
+  for (const auto &[Name, Value] : Map) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << '"' << Name << "\": " << formatNumber(Value);
+  }
+  OS << '}';
+}
+
+void TelemetrySnapshot::writeJson(std::ostream &OS) const {
+  OS << "{\"counters\": ";
+  writeJsonMap(OS, Counters);
+  OS << ", \"timers_ms\": ";
+  writeJsonMap(OS, TimersMs);
+  OS << "}\n";
+}
+
+std::string TelemetrySnapshot::toJson() const {
+  std::ostringstream OS;
+  writeJson(OS);
+  return OS.str();
+}
+
+void TelemetrySnapshot::writeCsv(std::ostream &OS) const {
+  OS << "kind,name,value\n";
+  for (const auto &[Name, Value] : Counters)
+    OS << "counter," << Name << ',' << formatNumber(Value) << '\n';
+  for (const auto &[Name, Value] : TimersMs)
+    OS << "timer_ms," << Name << ',' << formatNumber(Value) << '\n';
+}
+
+// A minimal recursive-descent parser for exactly the JSON this file emits
+// (an object of objects of numbers). Whitespace-tolerant; rejects
+// everything else.
+namespace {
+
+struct JsonCursor {
+  const char *P;
+  const char *End;
+
+  void skipSpace() {
+    while (P != End && std::isspace(static_cast<unsigned char>(*P)))
+      ++P;
+  }
+  bool consume(char C) {
+    skipSpace();
+    if (P == End || *P != C)
+      return false;
+    ++P;
+    return true;
+  }
+  bool parseString(std::string &Out) {
+    skipSpace();
+    if (P == End || *P != '"')
+      return false;
+    ++P;
+    Out.clear();
+    while (P != End && *P != '"') {
+      if (*P == '\\') // no escapes in emitted keys
+        return false;
+      Out.push_back(*P++);
+    }
+    if (P == End)
+      return false;
+    ++P; // closing quote
+    return true;
+  }
+  bool parseNumber(double &Out) {
+    skipSpace();
+    char *NumEnd = nullptr;
+    Out = std::strtod(P, &NumEnd);
+    if (NumEnd == P)
+      return false;
+    P = NumEnd;
+    return true;
+  }
+  bool parseNumberMap(std::map<std::string, double> &Out) {
+    Out.clear();
+    if (!consume('{'))
+      return false;
+    skipSpace();
+    if (consume('}'))
+      return true;
+    while (true) {
+      std::string Key;
+      double Value;
+      if (!parseString(Key) || !consume(':') || !parseNumber(Value))
+        return false;
+      Out[Key] = Value;
+      if (consume(','))
+        continue;
+      return consume('}');
+    }
+  }
+};
+
+} // namespace
+
+bool TelemetrySnapshot::fromJson(const std::string &Text,
+                                 TelemetrySnapshot &Out) {
+  JsonCursor C{Text.data(), Text.data() + Text.size()};
+  Out = TelemetrySnapshot();
+  if (!C.consume('{'))
+    return false;
+  std::string Key;
+  if (!C.parseString(Key) || Key != "counters" || !C.consume(':') ||
+      !C.parseNumberMap(Out.Counters))
+    return false;
+  if (!C.consume(',') || !C.parseString(Key) || Key != "timers_ms" ||
+      !C.consume(':') || !C.parseNumberMap(Out.TimersMs))
+    return false;
+  if (!C.consume('}'))
+    return false;
+  C.skipSpace();
+  return C.P == C.End;
+}
+
+// --- Telemetry --------------------------------------------------------------
+
+void Telemetry::addCount(const std::string &Name, double Delta) {
+  std::lock_guard<std::mutex> Lock(M);
+  Data.Counters[Name] += Delta;
+}
+
+void Telemetry::addTimeMs(const std::string &Name, double Ms) {
+  std::lock_guard<std::mutex> Lock(M);
+  Data.TimersMs[Name] += Ms;
+}
+
+void Telemetry::merge(const TelemetrySnapshot &Other) {
+  std::lock_guard<std::mutex> Lock(M);
+  Data += Other;
+}
+
+double Telemetry::count(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Data.count(Name);
+}
+
+double Telemetry::timeMs(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Data.timeMs(Name);
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Data;
+}
+
+void Telemetry::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  Data = TelemetrySnapshot();
+}

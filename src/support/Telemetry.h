@@ -1,0 +1,137 @@
+//===- support/Telemetry.h - Phase timers and counters ----------*- C++ -*-===//
+///
+/// \file
+/// The measurement layer of the allocation engine: named counters (rounds,
+/// spills, coalesces, callee registers paid, ...) and per-phase wall-clock
+/// timers, with JSON and CSV emitters so bench output is machine-comparable
+/// across runs and PRs.
+///
+/// Two types split the concerns:
+///
+/// - TelemetrySnapshot: a plain, copyable value — two sorted name->value
+///   maps plus (de)serialization. What gets emitted, diffed, and asserted
+///   on in tests.
+/// - Telemetry: a thread-safe recorder. Worker threads record into
+///   task-local recorders; the engine merges their snapshots in task order
+///   so aggregate counters are deterministic.
+///
+/// JSON schema (all values doubles; timers in milliseconds):
+///
+///   {
+///     "counters": {"functions": 14, "rounds": 19, ...},
+///     "timers_ms": {"coalesce": 0.51, "color": 1.74, ...}
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_SUPPORT_TELEMETRY_H
+#define CCRA_SUPPORT_TELEMETRY_H
+
+#include <chrono>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ccra {
+
+/// A copyable sample of telemetry state. Keys are sorted (std::map), so
+/// emission order is stable.
+struct TelemetrySnapshot {
+  std::map<std::string, double> Counters;
+  std::map<std::string, double> TimersMs;
+
+  bool empty() const { return Counters.empty() && TimersMs.empty(); }
+
+  double count(const std::string &Name) const;
+  double timeMs(const std::string &Name) const;
+
+  /// Adds every counter and timer of \p Other into this snapshot.
+  TelemetrySnapshot &operator+=(const TelemetrySnapshot &Other);
+
+  bool operator==(const TelemetrySnapshot &Other) const = default;
+
+  /// Emits the schema documented above. Numbers use max precision, so a
+  /// write -> parse round trip reproduces the snapshot exactly.
+  void writeJson(std::ostream &OS) const;
+  std::string toJson() const;
+
+  /// Emits "kind,name,value" rows (kind is "counter" or "timer_ms") with a
+  /// header row.
+  void writeCsv(std::ostream &OS) const;
+
+  /// Parses text produced by writeJson/toJson. Returns false (leaving
+  /// \p Out in an unspecified state) on malformed input.
+  static bool fromJson(const std::string &Text, TelemetrySnapshot &Out);
+};
+
+/// A thread-safe telemetry recorder.
+class Telemetry {
+public:
+  Telemetry() = default;
+
+  void addCount(const std::string &Name, double Delta = 1.0);
+  void addTimeMs(const std::string &Name, double Ms);
+  void merge(const TelemetrySnapshot &Other);
+
+  double count(const std::string &Name) const;
+  double timeMs(const std::string &Name) const;
+
+  TelemetrySnapshot snapshot() const;
+  void reset();
+
+  /// Adds the elapsed wall-clock time to timer \p Name on destruction.
+  /// Null-safe: a null recorder makes the timer a no-op.
+  class ScopedTimer {
+  public:
+    ScopedTimer(Telemetry *T, const char *Name) : T(T), Name(Name) {
+      if (T)
+        Start = std::chrono::steady_clock::now();
+    }
+    ~ScopedTimer() {
+      if (!T)
+        return;
+      std::chrono::duration<double, std::milli> Elapsed =
+          std::chrono::steady_clock::now() - Start;
+      T->addTimeMs(Name, Elapsed.count());
+    }
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Telemetry *T;
+    const char *Name;
+    std::chrono::steady_clock::time_point Start;
+  };
+
+private:
+  mutable std::mutex M;
+  TelemetrySnapshot Data;
+};
+
+/// Canonical names used by the allocation engine, so every reporter (tool,
+/// benches, tests) keys on the same strings.
+namespace telemetry {
+// Counters.
+inline constexpr const char *Functions = "functions";
+inline constexpr const char *Rounds = "rounds";
+inline constexpr const char *SpilledRanges = "spilled_ranges";
+inline constexpr const char *VoluntarySpills = "voluntary_spills";
+inline constexpr const char *CoalescedMoves = "coalesced_moves";
+inline constexpr const char *CalleeRegsPaid = "callee_regs_paid";
+inline constexpr const char *Experiments = "experiments";
+// Phase timers.
+inline constexpr const char *CoalescePhase = "coalesce";
+inline constexpr const char *BuildRangesPhase = "build_ranges";
+inline constexpr const char *BuildGraphPhase = "build_graph";
+inline constexpr const char *ReconstructPhase = "reconstruct";
+inline constexpr const char *ColorPhase = "color";
+inline constexpr const char *SpillInsertPhase = "spill_insert";
+inline constexpr const char *MaterializePhase = "materialize";
+inline constexpr const char *VerifyPhase = "verify";
+inline constexpr const char *AllocateTotal = "allocate_total";
+} // namespace telemetry
+
+} // namespace ccra
+
+#endif // CCRA_SUPPORT_TELEMETRY_H

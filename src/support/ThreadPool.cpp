@@ -1,0 +1,86 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace ccra;
+
+unsigned ThreadPool::defaultParallelism() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = defaultParallelism();
+  // The caller participates in every batch, so N-way parallelism needs
+  // only N-1 workers.
+  for (unsigned I = 0; I + 1 < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::drainCurrentBatch(std::unique_lock<std::mutex> &Lock) {
+  while (Body && NextIndex < BatchCount) {
+    std::size_t Claimed = NextIndex++;
+    const std::function<void(std::size_t)> *Task = Body;
+    Lock.unlock();
+    try {
+      (*Task)(Claimed);
+      Lock.lock();
+    } catch (...) {
+      Lock.lock();
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    if (--Remaining == 0)
+      BatchDone.notify_all();
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (true) {
+    WorkReady.wait(Lock, [this] {
+      return ShuttingDown || (Body && NextIndex < BatchCount);
+    });
+    if (Body && NextIndex < BatchCount)
+      drainCurrentBatch(Lock);
+    else if (ShuttingDown)
+      return;
+  }
+}
+
+void ThreadPool::parallelForEach(
+    std::size_t Count, const std::function<void(std::size_t)> &Body) {
+  if (Count == 0)
+    return;
+  std::unique_lock<std::mutex> Lock(M);
+  this->Body = &Body;
+  NextIndex = 0;
+  Remaining = Count;
+  BatchCount = Count;
+  FirstError = nullptr;
+  WorkReady.notify_all();
+
+  // The caller works the batch too, then waits for stragglers.
+  drainCurrentBatch(Lock);
+  BatchDone.wait(Lock, [this] { return Remaining == 0; });
+
+  this->Body = nullptr;
+  BatchCount = 0;
+  std::exception_ptr Error = FirstError;
+  FirstError = nullptr;
+  Lock.unlock();
+  if (Error)
+    std::rethrow_exception(Error);
+}

@@ -1,0 +1,79 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+///
+/// \file
+/// A deliberately simple parallel-for engine for the allocation pipeline:
+/// a fixed number of worker threads pull indices [0, Count) off a shared
+/// counter and run the same body on each. No work stealing, no futures, no
+/// task graph — the workloads this repo fans out (per-function allocation,
+/// experiment grid points) are uniform enough that a shared counter is
+/// both the fastest and the simplest correct scheduler.
+///
+/// Determinism note: the pool schedules *which thread* runs an index
+/// nondeterministically, but callers index their outputs by task id, so
+/// results are position-stable regardless of scheduling. Engine-level
+/// reductions then happen in index order on the calling thread, which is
+/// what makes parallel allocation bit-identical to the serial path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_SUPPORT_THREADPOOL_H
+#define CCRA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccra {
+
+class ThreadPool {
+public:
+  /// A pool giving \p Threads-way parallelism (0 = defaultParallelism()).
+  /// The caller participates in every batch, so only Threads - 1 worker
+  /// threads are actually spawned.
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Degree of parallelism parallelForEach delivers (workers + caller).
+  unsigned size() const { return static_cast<unsigned>(Workers.size()) + 1; }
+
+  /// Runs \p Body(I) for every I in [0, Count), fanning indices across the
+  /// workers, and blocks until all of them finished. The calling thread
+  /// participates too, so parallelForEach works even on a zero-worker
+  /// pool. If any task throws, the first exception is rethrown here after
+  /// the batch drains.
+  void parallelForEach(std::size_t Count,
+                       const std::function<void(std::size_t)> &Body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned defaultParallelism();
+
+private:
+  void workerLoop();
+  /// Claims and runs indices of the current batch until it is exhausted.
+  void drainCurrentBatch(std::unique_lock<std::mutex> &Lock);
+
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable WorkReady; ///< workers: a batch arrived / shutdown
+  std::condition_variable BatchDone; ///< caller: all indices completed
+
+  // State of the in-flight batch (guarded by M).
+  const std::function<void(std::size_t)> *Body = nullptr;
+  std::size_t NextIndex = 0;  ///< next unclaimed task index
+  std::size_t BatchCount = 0; ///< total tasks in the batch
+  std::size_t Remaining = 0;  ///< tasks not yet finished
+  std::exception_ptr FirstError;
+  bool ShuttingDown = false;
+};
+
+} // namespace ccra
+
+#endif // CCRA_SUPPORT_THREADPOOL_H

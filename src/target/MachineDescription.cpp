@@ -1,0 +1,38 @@
+//===- target/MachineDescription.cpp --------------------------------------===//
+
+#include "target/MachineDescription.h"
+
+using namespace ccra;
+
+std::string RegisterConfig::label() const {
+  return "(" + std::to_string(IntCallerSave) + "," +
+         std::to_string(FloatCallerSave) + "," +
+         std::to_string(IntCalleeSave) + "," +
+         std::to_string(FloatCalleeSave) + ")";
+}
+
+RegisterConfig ccra::minimalMipsConfig() { return RegisterConfig(6, 4, 0, 0); }
+
+RegisterConfig ccra::fullMipsConfig() { return RegisterConfig(18, 10, 8, 6); }
+
+std::vector<RegisterConfig> ccra::standardConfigSweep() {
+  return {
+      RegisterConfig(6, 4, 0, 0),   // minimalMipsConfig()
+      RegisterConfig(7, 5, 0, 0),   //
+      RegisterConfig(8, 6, 0, 0),   //
+      RegisterConfig(6, 4, 1, 1),   //
+      RegisterConfig(7, 5, 1, 1),   //
+      RegisterConfig(8, 6, 1, 1),   //
+      RegisterConfig(8, 6, 2, 2),   //
+      RegisterConfig(9, 7, 2, 2),   //
+      RegisterConfig(9, 7, 3, 3),   //
+      RegisterConfig(10, 8, 3, 3),  //
+      RegisterConfig(10, 8, 4, 4),  //
+      RegisterConfig(11, 8, 5, 4),  //
+      RegisterConfig(12, 9, 5, 5),  //
+      RegisterConfig(14, 9, 6, 5),  //
+      RegisterConfig(16, 10, 7, 6), //
+      RegisterConfig(17, 10, 8, 6), //
+      RegisterConfig(18, 10, 8, 6), // fullMipsConfig()
+  };
+}

@@ -1,0 +1,210 @@
+//===- tests/ParallelTest.cpp - Thread pool and parallel determinism ------===//
+//
+// The contract of the parallel allocation engine: allocateModule with any
+// Jobs setting produces bit-identical results to the serial path, because
+// every task allocates with a private allocator instance and the engine
+// reduces per-function results in function order. Plus unit tests of the
+// ThreadPool primitive itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ccra.h"
+#include "workloads/RandomProgram.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+using namespace ccra;
+
+namespace {
+
+// --- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, SizeIsRequestedThreadCount) {
+  ThreadPool Pool(3);
+  EXPECT_EQ(Pool.size(), 3u);
+  ThreadPool Auto(0);
+  EXPECT_EQ(Auto.size(), ThreadPool::defaultParallelism());
+  EXPECT_GE(ThreadPool::defaultParallelism(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr std::size_t Count = 1000;
+  std::vector<std::atomic<unsigned>> Hits(Count);
+  Pool.parallelForEach(Count, [&](std::size_t I) { Hits[I]++; });
+  for (std::size_t I = 0; I < Count; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  ThreadPool Pool(2);
+  Pool.parallelForEach(0, [&](std::size_t) { FAIL() << "body ran"; });
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool Pool(2);
+  std::atomic<std::size_t> Total{0};
+  for (int Batch = 0; Batch < 10; ++Batch)
+    Pool.parallelForEach(100, [&](std::size_t) { Total++; });
+  EXPECT_EQ(Total.load(), 1000u);
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  ThreadPool Pool(3);
+  std::atomic<unsigned> Ran{0};
+  EXPECT_THROW(Pool.parallelForEach(64,
+                                    [&](std::size_t I) {
+                                      Ran++;
+                                      if (I == 7)
+                                        throw std::runtime_error("boom");
+                                    }),
+               std::runtime_error);
+  EXPECT_GE(Ran.load(), 1u);
+  // The pool must still be usable after a failed batch.
+  std::atomic<unsigned> After{0};
+  Pool.parallelForEach(16, [&](std::size_t) { After++; });
+  EXPECT_EQ(After.load(), 16u);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillRunsAllTasks) {
+  ThreadPool Pool(1);
+  std::set<std::size_t> Seen;
+  Pool.parallelForEach(20, [&](std::size_t I) { Seen.insert(I); });
+  EXPECT_EQ(Seen.size(), 20u);
+}
+
+// --- Parallel allocation determinism ------------------------------------
+
+RandomProgramParams manyFunctionParams(uint64_t Seed) {
+  RandomProgramParams Params;
+  Params.Seed = Seed;
+  Params.NumFunctions = 7;
+  Params.RegionsPerFunction = 5;
+  Params.IntValues = 10;
+  Params.FloatValues = 5;
+  return Params;
+}
+
+ModuleAllocationResult allocateClone(const Module &M, unsigned Jobs,
+                                     const AllocatorOptions &Opts,
+                                     std::unique_ptr<Module> &CloneOut,
+                                     Telemetry *T = nullptr) {
+  CloneOut = cloneModule(M);
+  FrequencyInfo Freq = FrequencyInfo::compute(*CloneOut, FrequencyMode::Profile);
+  AllocationEngine Engine = EngineBuilder(RegisterConfig(6, 4, 2, 2))
+                                .options(Opts)
+                                .jobs(Jobs)
+                                .telemetry(T)
+                                .build();
+  return Engine.allocateModule(*CloneOut, Freq);
+}
+
+void expectIdenticalAllocations(const Module &Serial,
+                                const ModuleAllocationResult &A,
+                                const Module &Parallel,
+                                const ModuleAllocationResult &B) {
+  // Costs must match bit for bit, not just approximately: the parallel
+  // reduction runs in function order exactly like the serial loop.
+  EXPECT_EQ(A.Totals.Spill, B.Totals.Spill);
+  EXPECT_EQ(A.Totals.CallerSave, B.Totals.CallerSave);
+  EXPECT_EQ(A.Totals.CalleeSave, B.Totals.CalleeSave);
+  EXPECT_EQ(A.Totals.Shuffle, B.Totals.Shuffle);
+
+  ASSERT_EQ(A.PerFunction.size(), B.PerFunction.size());
+  auto SerialIt = Serial.functions().begin();
+  auto ParallelIt = Parallel.functions().begin();
+  for (; SerialIt != Serial.functions().end(); ++SerialIt, ++ParallelIt) {
+    const Function *FA = SerialIt->get();
+    const Function *FB = ParallelIt->get();
+    ASSERT_EQ(FA->getName(), FB->getName());
+    if (FA->isDeclaration())
+      continue;
+    const FunctionAllocation &RA = A.PerFunction.at(FA);
+    const FunctionAllocation &RB = B.PerFunction.at(FB);
+    EXPECT_EQ(RA.Rounds, RB.Rounds);
+    EXPECT_EQ(RA.SpilledRanges, RB.SpilledRanges);
+    EXPECT_EQ(RA.VoluntarySpills, RB.VoluntarySpills);
+    EXPECT_EQ(RA.CoalescedMoves, RB.CoalescedMoves);
+    EXPECT_EQ(RA.CalleeRegsPaid, RB.CalleeRegsPaid);
+    EXPECT_EQ(RA.Costs.total(), RB.Costs.total());
+    ASSERT_EQ(RA.VRegLocations.size(), RB.VRegLocations.size())
+        << "@" << FA->getName();
+    for (const auto &[VReg, LocA] : RA.VRegLocations) {
+      auto It = RB.VRegLocations.find(VReg);
+      ASSERT_NE(It, RB.VRegLocations.end());
+      const Location &LocB = It->second;
+      EXPECT_EQ(LocA.isRegister(), LocB.isRegister());
+      if (LocA.isRegister() && LocB.isRegister()) {
+        EXPECT_EQ(LocA.Reg, LocB.Reg);
+      }
+    }
+  }
+}
+
+TEST(ParallelAllocation, JobsSettingDoesNotChangeResults) {
+  for (uint64_t Seed : {11u, 22u, 33u}) {
+    std::unique_ptr<Module> M = generateRandomProgram(manyFunctionParams(Seed));
+    for (const AllocatorOptions &Opts :
+         {improvedOptions(), baseChaitinOptions(), cbhOptions()}) {
+      std::unique_ptr<Module> SerialClone, ParallelClone;
+      ModuleAllocationResult Serial =
+          allocateClone(*M, 1, Opts, SerialClone);
+      ModuleAllocationResult Parallel =
+          allocateClone(*M, 4, Opts, ParallelClone);
+      expectIdenticalAllocations(*SerialClone, Serial, *ParallelClone,
+                                 Parallel);
+    }
+  }
+}
+
+TEST(ParallelAllocation, HardwareJobsMatchesSerial) {
+  std::unique_ptr<Module> M = generateRandomProgram(manyFunctionParams(77));
+  std::unique_ptr<Module> SerialClone, ParallelClone;
+  ModuleAllocationResult Serial =
+      allocateClone(*M, 1, improvedOptions(), SerialClone);
+  ModuleAllocationResult Parallel =
+      allocateClone(*M, 0, improvedOptions(), ParallelClone); // 0 = hardware
+  expectIdenticalAllocations(*SerialClone, Serial, *ParallelClone, Parallel);
+}
+
+TEST(ParallelAllocation, TelemetryCountersMatchSerial) {
+  // Timers are wall-clock and may differ; every counter is a deterministic
+  // function of the allocation and must not.
+  std::unique_ptr<Module> M = generateRandomProgram(manyFunctionParams(5));
+  Telemetry SerialT, ParallelT;
+  std::unique_ptr<Module> C1, C2;
+  allocateClone(*M, 1, improvedOptions(), C1, &SerialT);
+  allocateClone(*M, 3, improvedOptions(), C2, &ParallelT);
+  EXPECT_EQ(SerialT.snapshot().Counters, ParallelT.snapshot().Counters);
+  EXPECT_GT(SerialT.count(telemetry::Functions), 0.0);
+}
+
+TEST(ParallelAllocation, ExperimentGridIsDeterministic) {
+  std::unique_ptr<Module> M = generateRandomProgram(manyFunctionParams(42));
+  std::vector<ExperimentSpec> Specs;
+  for (const RegisterConfig &Config :
+       {RegisterConfig(6, 4, 0, 0), RegisterConfig(8, 6, 2, 2)})
+    for (unsigned Jobs : {1u, 2u})
+      Specs.push_back({M.get(), Config, improvedOptions(),
+                       FrequencyMode::Profile, Jobs});
+
+  std::vector<ExperimentRun> Serial = runExperiments(Specs, 1);
+  std::vector<ExperimentRun> Parallel = runExperiments(Specs, 4);
+  ASSERT_EQ(Serial.size(), Specs.size());
+  ASSERT_EQ(Parallel.size(), Specs.size());
+  for (std::size_t I = 0; I < Specs.size(); ++I) {
+    EXPECT_EQ(Serial[I].Result.Costs.total(), Parallel[I].Result.Costs.total());
+    EXPECT_EQ(Serial[I].Result.Cycles, Parallel[I].Result.Cycles);
+    EXPECT_EQ(Serial[I].Result.SpilledRanges, Parallel[I].Result.SpilledRanges);
+    EXPECT_EQ(Serial[I].Telemetry.Counters, Parallel[I].Telemetry.Counters);
+  }
+  // The two specs that differ only in per-experiment Jobs agree too.
+  EXPECT_EQ(Serial[0].Result.Costs.total(), Serial[1].Result.Costs.total());
+  EXPECT_EQ(Serial[2].Result.Costs.total(), Serial[3].Result.Costs.total());
+}
+
+} // namespace

@@ -13,23 +13,25 @@
 //     --config=Ri,Rf,Ei,Ef    register configuration      (default 9,7,3,3)
 //     --static                use static frequency estimates (default:
 //                             profile-truth probabilities)
+//     --jobs=N                allocate N functions concurrently (default 1;
+//                             0 = one per hardware thread; same results at
+//                             any setting)
 //     --emit-ir               print the allocated module (with spill and
 //                             save/restore code)
 //     --locations             print every virtual register's location
+//     --telemetry[=json|csv]  print allocation telemetry (counters and
+//                             per-phase timers) to stderr
 //     --list                  list built-in proxy programs
 //
 // Examples:
 //   ccra_alloc eqntott
 //   ccra_alloc --allocator=base --config=6,4,0,0 --emit-ir program.ccra
+//   ccra_alloc --jobs=0 --telemetry=json li
 //   build/examples/quickstart | ccra_alloc -          # (not valid IR; demo)
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Frequency.h"
-#include "core/AllocatorFactory.h"
-#include "ir/IRParser.h"
-#include "ir/IRPrinter.h"
-#include "ir/Verifier.h"
+#include "ccra.h"
 #include "support/Table.h"
 #include "workloads/SpecProxies.h"
 
@@ -49,15 +51,19 @@ struct CliOptions {
   std::string Allocator = "improved";
   RegisterConfig Config = RegisterConfig(9, 7, 3, 3);
   FrequencyMode Mode = FrequencyMode::Profile;
+  unsigned Jobs = 1;
   bool EmitIr = false;
   bool Locations = false;
   bool List = false;
+  bool EmitTelemetry = false;
+  std::string TelemetryFormat = "json";
 };
 
 void printUsage() {
   std::cerr << "usage: ccra_alloc [--allocator=NAME] [--config=Ri,Rf,Ei,Ef]\n"
-               "                  [--static] [--emit-ir] [--locations] "
-               "[--list] <input>\n"
+               "                  [--static] [--jobs=N] [--emit-ir] "
+               "[--locations]\n"
+               "                  [--telemetry[=json|csv]] [--list] <input>\n"
                "  input: IR file, '-' for stdin, or a proxy name "
                "(try --list)\n";
 }
@@ -73,6 +79,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.EmitIr = true;
     } else if (Arg == "--locations") {
       Opts.Locations = true;
+    } else if (Arg == "--telemetry") {
+      Opts.EmitTelemetry = true;
+    } else if (Arg.rfind("--telemetry=", 0) == 0) {
+      Opts.EmitTelemetry = true;
+      Opts.TelemetryFormat = Arg.substr(12);
+      if (Opts.TelemetryFormat != "json" && Opts.TelemetryFormat != "csv") {
+        std::cerr << "bad --telemetry, expected json or csv\n";
+        return false;
+      }
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (std::sscanf(Arg.c_str() + 7, "%u", &Opts.Jobs) != 1) {
+        std::cerr << "bad --jobs, expected a number\n";
+        return false;
+      }
     } else if (Arg.rfind("--allocator=", 0) == 0) {
       Opts.Allocator = Arg.substr(12);
     } else if (Arg.rfind("--config=", 0) == 0) {
@@ -178,8 +198,12 @@ int main(int Argc, char **Argv) {
     return 1;
 
   FrequencyInfo Freq = FrequencyInfo::compute(*M, Cli.Mode);
-  AllocationEngine Engine =
-      makeEngine(MachineDescription(Cli.Config), AllocOpts);
+  Telemetry T;
+  AllocationEngine Engine = EngineBuilder(Cli.Config)
+                                .options(AllocOpts)
+                                .jobs(Cli.Jobs)
+                                .telemetry(Cli.EmitTelemetry ? &T : nullptr)
+                                .build();
   ModuleAllocationResult Result = Engine.allocateModule(*M, Freq);
 
   if (Cli.EmitIr)
@@ -225,5 +249,13 @@ int main(int Argc, char **Argv) {
             << " config=" << Cli.Config.label() << " freq="
             << frequencyModeName(Cli.Mode) << '\n';
   Table.print(std::cout);
+
+  if (Cli.EmitTelemetry) {
+    TelemetrySnapshot Snap = T.snapshot();
+    if (Cli.TelemetryFormat == "csv")
+      Snap.writeCsv(std::cerr);
+    else
+      Snap.writeJson(std::cerr);
+  }
   return 0;
 }

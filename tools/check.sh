@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repository check: configure, build, and run the full test suite; then
+# rebuild with ThreadSanitizer (-DCCRA_TSAN=ON) and rerun the
+# concurrency-sensitive tests — the thread pool, the parallel-vs-serial
+# determinism suite, and the telemetry recorder — under it.
+#
+# Usage: tools/check.sh [extra cmake args...]
+#   JOBS=N   parallel build jobs (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== build + full test suite =="
+cmake -B build -S . "$@"
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure
+
+echo "== ThreadSanitizer: thread pool / parallel determinism / telemetry =="
+cmake -B build-tsan -S . -DCCRA_TSAN=ON "$@"
+cmake --build build-tsan -j "$JOBS" --target test_parallel test_telemetry
+ctest --test-dir build-tsan --output-on-failure \
+      -R 'ThreadPool|ParallelAllocation|Telemetry'
+
+echo "check.sh: all green"
