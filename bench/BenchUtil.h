@@ -49,13 +49,26 @@ inline BenchArgs parseBenchArgs(int Argc, char **Argv) {
 /// telemetry of every run. Call emitTelemetry() once the grid is done;
 /// with --telemetry it prints the aggregate to stderr (JSON, or CSV when
 /// --csv is also given) so tables stay clean on stdout.
+///
+/// The runner owns a ModuleAnalysisCache scoped to the module currently
+/// being swept, so a bench running many configurations over one program
+/// computes each frequency analysis and baseline liveness once, not once
+/// per grid point. The cache is dropped when the module changes (benches
+/// sweep one program at a time and may destroy it afterwards, so holding
+/// entries for a dead module's address would be unsound).
 class GridRunner {
 public:
   explicit GridRunner(const BenchArgs &Args) : Args(Args) {}
 
   ExperimentResult run(const Module &M, const RegisterConfig &Config,
                        const AllocatorOptions &Opts, FrequencyMode Mode) {
-    ExperimentRun Run = runExperiment({&M, Config, Opts, Mode, Args.Jobs});
+    if (&M != LastModule || M.getName() != LastName) {
+      Cache = std::make_unique<ModuleAnalysisCache>();
+      LastModule = &M;
+      LastName = M.getName();
+    }
+    ExperimentRun Run =
+        runExperiment({&M, Config, Opts, Mode, Args.Jobs}, Cache.get());
     Total += Run.Telemetry;
     return Run.Result;
   }
@@ -71,6 +84,9 @@ public:
 
 private:
   BenchArgs Args;
+  std::unique_ptr<ModuleAnalysisCache> Cache;
+  const Module *LastModule = nullptr;
+  std::string LastName;
   TelemetrySnapshot Total;
 };
 

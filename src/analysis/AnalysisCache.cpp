@@ -1,0 +1,47 @@
+//===- analysis/AnalysisCache.cpp -----------------------------------------===//
+
+#include "analysis/AnalysisCache.h"
+
+#include <cassert>
+
+using namespace ccra;
+
+const FrequencyInfo &ModuleAnalysisCache::frequencies(const Module &Mod,
+                                                      FrequencyMode Mode,
+                                                      bool *WasHit) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto [It, Inserted] = Frequencies.try_emplace({&Mod, Mode});
+  if (Inserted) {
+    ++Counts.FrequencyMisses;
+    It->second =
+        std::make_unique<FrequencyInfo>(FrequencyInfo::compute(Mod, Mode));
+  } else {
+    ++Counts.FrequencyHits;
+  }
+  if (WasHit)
+    *WasHit = !Inserted;
+  return *It->second;
+}
+
+const Liveness &ModuleAnalysisCache::baselineLiveness(const Module &Mod,
+                                                      unsigned FnIdx,
+                                                      bool *WasHit) {
+  assert(FnIdx < Mod.functions().size() && "function index out of range");
+  std::lock_guard<std::mutex> Lock(M);
+  auto [It, Inserted] = Baselines.try_emplace({&Mod, FnIdx});
+  if (Inserted) {
+    ++Counts.LivenessMisses;
+    It->second = std::make_unique<Liveness>(
+        Liveness::compute(*Mod.functions()[FnIdx]));
+  } else {
+    ++Counts.LivenessHits;
+  }
+  if (WasHit)
+    *WasHit = !Inserted;
+  return *It->second;
+}
+
+ModuleAnalysisCache::Stats ModuleAnalysisCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counts;
+}

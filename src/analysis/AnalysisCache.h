@@ -1,0 +1,89 @@
+//===- analysis/AnalysisCache.h - Shared per-module analyses ----*- C++ -*-===//
+///
+/// \file
+/// A concurrency-safe cache of the two expensive module-level analyses the
+/// experiment grid recomputes per grid point today:
+///
+/// - FrequencyInfo, keyed by (module, FrequencyMode). One per-function
+///   Gaussian solve + one interprocedural call-graph iteration per mode,
+///   shared by every grid point of that mode; each point rekeys the result
+///   onto its private clone with FrequencyInfo::remappedTo (cheap copies,
+///   identical doubles).
+/// - Baseline Liveness, keyed by (module, function index). Computed on the
+///   pristine source function, and exact for function index I of any
+///   pristine clone too: cloneModule preserves block ids and vreg
+///   numbering, so the dataflow solution carries over bit for bit. Engines
+///   use it to seed round 1 instead of re-running the fixpoint.
+///
+/// Keying rules (what makes sharing sound): entries are keyed by the
+/// *source* module pointer — the immutable original that grid points clone
+/// — never by a clone. Clones are mutated by allocation, so their analyses
+/// go stale; the source module must stay unmodified for the cache's
+/// lifetime, which the harness guarantees by allocating only clones.
+///
+/// Misses compute under the cache lock. That serializes first-computation,
+/// which is the point: when 24 grid points race for the same key, one
+/// computes and 23 wait, instead of 24 threads duplicating the work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_ANALYSIS_ANALYSISCACHE_H
+#define CCRA_ANALYSIS_ANALYSISCACHE_H
+
+#include "analysis/Frequency.h"
+#include "analysis/Liveness.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace ccra {
+
+class ModuleAnalysisCache {
+public:
+  ModuleAnalysisCache() = default;
+  ModuleAnalysisCache(const ModuleAnalysisCache &) = delete;
+  ModuleAnalysisCache &operator=(const ModuleAnalysisCache &) = delete;
+
+  /// Returns the shared FrequencyInfo for \p M under \p Mode, computing it
+  /// on the first request. The reference stays valid (and the object
+  /// unmodified) for the cache's lifetime. \p WasHit, if non-null, reports
+  /// whether the entry already existed.
+  const FrequencyInfo &frequencies(const Module &M, FrequencyMode Mode,
+                                   bool *WasHit = nullptr);
+
+  /// Returns the baseline liveness of `M.functions()[FnIdx]`, computing it
+  /// on the first request. Valid as a round-1 seed for the same-index
+  /// function of any pristine clone of \p M.
+  const Liveness &baselineLiveness(const Module &M, unsigned FnIdx,
+                                   bool *WasHit = nullptr);
+
+  /// Occupancy counters (monotone since construction). Scheduling-
+  /// dependent: hit/miss split varies with which grid point gets to a key
+  /// first, so these feed the "sched." telemetry namespace only.
+  struct Stats {
+    std::uint64_t FrequencyHits = 0;
+    std::uint64_t FrequencyMisses = 0;
+    std::uint64_t LivenessHits = 0;
+    std::uint64_t LivenessMisses = 0;
+
+    std::uint64_t hits() const { return FrequencyHits + LivenessHits; }
+    std::uint64_t misses() const { return FrequencyMisses + LivenessMisses; }
+  };
+  Stats stats() const;
+
+private:
+  mutable std::mutex M;
+  // unique_ptr values: returned references survive map growth.
+  std::map<std::pair<const Module *, FrequencyMode>,
+           std::unique_ptr<FrequencyInfo>>
+      Frequencies;
+  std::map<std::pair<const Module *, unsigned>, std::unique_ptr<Liveness>>
+      Baselines;
+  Stats Counts;
+};
+
+} // namespace ccra
+
+#endif // CCRA_ANALYSIS_ANALYSISCACHE_H

@@ -186,6 +186,20 @@ FrequencyInfo FrequencyInfo::compute(const Module &M, FrequencyMode Mode,
   return Info;
 }
 
+FrequencyInfo FrequencyInfo::remappedTo(const Module &Source,
+                                        const Module &Target) const {
+  assert(Source.functions().size() == Target.functions().size() &&
+         "target is not a clone of source");
+  FrequencyInfo Info;
+  Info.Mode = Mode;
+  for (size_t I = 0; I < Source.functions().size(); ++I) {
+    auto It = PerFunction.find(Source.functions()[I].get());
+    assert(It != PerFunction.end() && "source function missing frequencies");
+    Info.PerFunction[Target.functions()[I].get()] = It->second;
+  }
+  return Info;
+}
+
 double FrequencyInfo::blockFrequency(const BasicBlock &BB) const {
   auto It = PerFunction.find(BB.getParent());
   assert(It != PerFunction.end() && "unknown function");

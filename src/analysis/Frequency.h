@@ -39,6 +39,16 @@ public:
   static FrequencyInfo compute(const Module &M, FrequencyMode Mode,
                                double EntryInvocations = 1.0);
 
+  /// Returns a copy of this FrequencyInfo rekeyed onto \p Target, a clone
+  /// of \p Source (the module this info was computed for). cloneModule
+  /// preserves function order, block ids, and edge probabilities, so the
+  /// clone's frequencies are the *same doubles* — pairing functions by
+  /// position transfers them without re-running the per-function linear
+  /// solves or the interprocedural iteration. This is what lets a shared
+  /// analysis cache serve every grid point despite each point allocating
+  /// its own clone.
+  FrequencyInfo remappedTo(const Module &Source, const Module &Target) const;
+
   /// Expected number of executions of \p BB over the whole program run.
   double blockFrequency(const BasicBlock &BB) const;
 

@@ -68,6 +68,54 @@ void Liveness::growUniverse(unsigned NewNumVRegs) {
     Set.resize(NewNumVRegs);
 }
 
+void Liveness::renameRegister(VirtReg From, VirtReg To) {
+  assert(From.Id < NumVRegs && To.Id < NumVRegs && "register outside universe");
+  assert(From.Id != To.Id && "rename to self");
+  for (BitVector &Set : In)
+    if (Set.test(From.Id)) {
+      Set.set(To.Id);
+      Set.reset(From.Id);
+    }
+  for (BitVector &Set : Out)
+    if (Set.test(From.Id)) {
+      Set.set(To.Id);
+      Set.reset(From.Id);
+    }
+}
+
+void Liveness::recomputeRegister(const Function &F, VirtReg R,
+                                 const std::vector<unsigned char> &UEVar,
+                                 const std::vector<unsigned char> &Kill) {
+  assert(R.Id < NumVRegs && "register outside universe");
+  assert(UEVar.size() == In.size() && Kill.size() == In.size() &&
+         "per-block bits do not match block count");
+  for (BitVector &Set : In)
+    Set.reset(R.Id);
+  for (BitVector &Set : Out)
+    Set.reset(R.Id);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = F.blocks().rbegin(); It != F.blocks().rend(); ++It) {
+      const BasicBlock &BB = **It;
+      unsigned Id = BB.getId();
+      bool OutBit = Out[Id].test(R.Id);
+      for (const CfgEdge &E : BB.successors())
+        OutBit |= In[E.Succ->getId()].test(R.Id);
+      if (OutBit && !Out[Id].test(R.Id)) {
+        Out[Id].set(R.Id);
+        Changed = true;
+      }
+      bool InBit = UEVar[Id] || (OutBit && !Kill[Id]);
+      if (InBit && !In[Id].test(R.Id)) {
+        In[Id].set(R.Id);
+        Changed = true;
+      }
+    }
+  }
+}
+
 bool Liveness::liveIntoEntry(const Function &F, VirtReg R) const {
   const BasicBlock *Entry = F.getEntryBlock();
   assert(Entry && "function has no body");

@@ -36,7 +36,9 @@
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 
-// Execution-frequency estimation (profile-derived or static).
+// Execution-frequency estimation (profile-derived or static) and the
+// shared analysis cache grids use to compute each analysis once.
+#include "analysis/AnalysisCache.h"
 #include "analysis/Frequency.h"
 
 // Target model: register banks, caller/callee-save split, named configs.

@@ -9,5 +9,6 @@ using namespace ccra;
 AllocationEngine EngineBuilder::build() const {
   AllocationEngine Engine(MD, Opts, &createAllocator);
   Engine.setTelemetry(Telem);
+  Engine.setPool(SharedPool);
   return Engine;
 }

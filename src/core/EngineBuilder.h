@@ -57,6 +57,15 @@ public:
     return *this;
   }
 
+  /// Attaches an external shared thread pool for parallel module
+  /// allocation (see AllocationEngine::setPool). Not owned; must outlive
+  /// the engine's allocate calls. Null (the default) lets the engine spawn
+  /// a private pool when Jobs asks for parallelism.
+  EngineBuilder &pool(ThreadPool *P) {
+    SharedPool = P;
+    return *this;
+  }
+
   /// Assembles the engine: the matching allocator factory is plugged in,
   /// so the engine honors Jobs > 1.
   AllocationEngine build() const;
@@ -65,6 +74,7 @@ private:
   MachineDescription MD;
   AllocatorOptions Opts; // defaults == improvedOptions()
   Telemetry *Telem = nullptr;
+  ThreadPool *SharedPool = nullptr;
 };
 
 } // namespace ccra

@@ -9,8 +9,12 @@
 /// A grid point is described by an ExperimentSpec and produces an
 /// ExperimentRun: the cost/statistics summary plus the telemetry the
 /// allocation recorded (per-phase timers and counters). runExperiments
-/// fans a whole grid across a thread pool; each spec can additionally
-/// parallelize its own function allocations via Spec.Jobs.
+/// fans a whole grid across ONE shared thread pool that also serves each
+/// spec's per-function fan-out (Spec.Jobs) — nested batches on the shared
+/// pool, never nested pools — and shares one ModuleAnalysisCache across
+/// the grid so frequencies and baseline liveness are computed once per
+/// (module, mode) / (module, function) instead of once per grid point.
+/// Neither sharing changes any result bit.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +31,9 @@
 #include <vector>
 
 namespace ccra {
+
+class ModuleAnalysisCache;
+class ThreadPool;
 
 struct ExperimentResult {
   CostBreakdown Costs;
@@ -60,13 +67,27 @@ struct ExperimentRun {
 };
 
 /// Runs one grid point. Results are identical for any Spec.Jobs setting.
-ExperimentRun runExperiment(const ExperimentSpec &Spec);
+/// \p Cache, when given, supplies shared frequencies (rekeyed onto the
+/// run's private clone) and baseline-liveness seeds; \p Pool, when given,
+/// carries the spec's function fan-out instead of a private pool. Both are
+/// pure compute-sharing: results are bit-identical with or without them.
+ExperimentRun runExperiment(const ExperimentSpec &Spec,
+                            ModuleAnalysisCache *Cache,
+                            ThreadPool *Pool = nullptr);
+inline ExperimentRun runExperiment(const ExperimentSpec &Spec) {
+  return runExperiment(Spec, nullptr, nullptr);
+}
 
 /// Runs a grid of experiments, \p Jobs specs concurrently (1 = serial,
 /// 0 = one per hardware thread). Output order matches input order and
-/// every run is bit-identical to running its spec alone.
+/// every run is bit-identical to running its spec alone. One analysis
+/// cache and (when anything is parallel) one thread pool are shared by
+/// the whole grid; \p GridTelemetry, if non-null, receives the grid-level
+/// scheduling counters (cache hit/miss totals, pool batch/task counts,
+/// the busiest slot's share of tasks).
 std::vector<ExperimentRun> runExperiments(const std::vector<ExperimentSpec> &Specs,
-                                          unsigned Jobs = 1);
+                                          unsigned Jobs = 1,
+                                          TelemetrySnapshot *GridTelemetry = nullptr);
 
 /// \deprecated Positional shim over the ExperimentSpec overload; drops the
 /// telemetry half of the result.

@@ -4,6 +4,7 @@
 
 #include "analysis/Frequency.h"
 #include "ir/Module.h"
+#include "regalloc/AllocationScratch.h"
 #include "regalloc/AllocationVerifier.h"
 #include "regalloc/Coalescer.h"
 #include "regalloc/CostAccounting.h"
@@ -17,6 +18,8 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <numeric>
+#include <optional>
 
 using namespace ccra;
 
@@ -39,18 +42,23 @@ AllocationEngine::AllocationEngine(MachineDescription MD,
 FunctionAllocation
 AllocationEngine::allocateFunction(Function &F,
                                    const FrequencyInfo &Freq) const {
-  return allocateWith(*Allocator, F, Freq, Telem);
+  return allocateWith(*Allocator, F, Freq, Telem, /*SeedLV=*/nullptr,
+                      /*Scratch=*/nullptr);
 }
 
 FunctionAllocation
 AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
-                               const FrequencyInfo &Freq,
-                               Telemetry *T) const {
+                               const FrequencyInfo &Freq, Telemetry *T,
+                               const Liveness *SeedLV,
+                               AllocationScratch *Scratch) const {
   FunctionAllocation Out;
   if (F.isDeclaration())
     return Out;
 
   Telemetry::ScopedTimer TotalTimer(T, telemetry::AllocateTotal);
+
+  if (!Opts.ScratchArenas)
+    Scratch = nullptr;
 
   VRegClasses Classes(F.numVRegs());
   std::vector<PhysReg> RefusedCalleeRegs;
@@ -62,6 +70,16 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
   InterferenceGraph CarriedIG;
   std::vector<unsigned> ReconstructIds;
   unsigned ReconstructOldVRegs = 0;
+
+  // Liveness seed for the next coalescing round: the shared baseline at
+  // round 1 (copied — the cached original stays pristine), the
+  // spill-maintained solution at later rounds.
+  bool CarriedLVValid = false;
+  if (SeedLV && Opts.IncrementalLiveness) {
+    CarriedLV = *SeedLV;
+    CarriedLVValid = true;
+  }
+  unsigned LivenessComputes = 0, IncrementalLVUpdates = 0;
 
   for (unsigned Round = 1; Round <= Opts.MaxRounds; ++Round) {
     Out.Rounds = Round;
@@ -79,20 +97,40 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
       Ctx.LRS = std::move(CarriedLRS);
       Ctx.IG = std::move(CarriedIG);
     } else {
+      // The coalescer's final pass builds the live-range set and graph the
+      // allocator needs, so no rebuild follows it.
       {
         Telemetry::ScopedTimer Timer(T, telemetry::CoalescePhase);
-        CoalesceStats CS = Coalescer::run(F, Classes, MD, Freq, Ctx.LV,
-                                          Opts.AggressiveCoalescing);
+        CoalesceRequest Req;
+        Req.Aggressive = Opts.AggressiveCoalescing;
+        Req.IncrementalLiveness = Opts.IncrementalLiveness;
+        Req.SeededLV = CarriedLVValid;
+        Req.Scratch = Scratch;
+        Req.T = T;
+        if (CarriedLVValid) {
+          Ctx.LV = std::move(CarriedLV);
+          CarriedLVValid = false;
+        }
+        CoalesceStats CS =
+            Coalescer::run(F, Classes, MD, Freq, Ctx.LV, Req, Ctx.LRS, Ctx.IG);
         Out.CoalescedMoves += CS.CoalescedMoves;
+        LivenessComputes += CS.LivenessComputes;
+        IncrementalLVUpdates += CS.IncrementalLVUpdates;
       }
       Classes.grow(F.numVRegs());
-      {
-        Telemetry::ScopedTimer Timer(T, telemetry::BuildRangesPhase);
-        Ctx.LRS = LiveRangeSet::build(F, Ctx.LV, Freq, Classes);
-      }
-      {
-        Telemetry::ScopedTimer Timer(T, telemetry::BuildGraphPhase);
-        Ctx.IG = InterferenceGraph::build(F, Ctx.LV, Ctx.LRS);
+      if (!Opts.IncrementalLiveness) {
+        // Comparison mode: reproduce the historical compute pattern, where
+        // the engine rebuilt the live-range set and graph from scratch
+        // after coalescing (the coalescer's final-pass builds were
+        // discarded). State is identical either way; only time differs.
+        {
+          Telemetry::ScopedTimer Timer(T, telemetry::BuildRangesPhase);
+          Ctx.LRS = LiveRangeSet::build(F, Ctx.LV, Freq, Classes);
+        }
+        {
+          Telemetry::ScopedTimer Timer(T, telemetry::BuildGraphPhase);
+          Ctx.IG = InterferenceGraph::build(F, Ctx.LV, Ctx.LRS, Scratch);
+        }
       }
     }
     ReconstructIds.clear();
@@ -112,7 +150,12 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
 
     // Collect the member registers of every spilled live range.
     std::vector<std::vector<VirtReg>> SpilledClasses;
-    std::vector<int> SpillIndexOfRange(Ctx.LRS.numRanges(), -1);
+    std::vector<int> LocalSpillIndex;
+    if (!Scratch)
+      LocalSpillIndex.assign(Ctx.LRS.numRanges(), -1);
+    std::vector<int> &SpillIndexOfRange =
+        Scratch ? Scratch->spillIndexOfRange(Ctx.LRS.numRanges())
+                : LocalSpillIndex;
     for (unsigned I = 0; I < Ctx.LRS.numRanges(); ++I) {
       if (!RR.Assignment[I].isMemory())
         continue;
@@ -143,11 +186,23 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
         CarriedLV = std::move(Ctx.LV);
         CarriedLRS = std::move(Ctx.LRS);
         CarriedIG = std::move(Ctx.IG);
+      } else if (Opts.IncrementalLiveness) {
+        // Copies remain, so the next round coalesces — but its liveness
+        // seed survives the spill rewrite exactly: spilled registers
+        // vanish from the code, and reload temporaries never live across
+        // block boundaries (the same argument GraphReconstructor uses).
+        CarriedLV = std::move(Ctx.LV);
+        for (const auto &Members : SpilledClasses)
+          for (VirtReg V : Members)
+            CarriedLV.eraseRegister(V);
+        CarriedLVValid = true;
       }
       {
         Telemetry::ScopedTimer Timer(T, telemetry::SpillInsertPhase);
         SpillCodeInserter::run(F, SpilledClasses);
       }
+      if (CarriedLVValid)
+        CarriedLV.growUniverse(F.numVRegs());
       continue;
     }
 
@@ -185,6 +240,8 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
       T->addCount(telemetry::VoluntarySpills, Out.VoluntarySpills);
       T->addCount(telemetry::CoalescedMoves, Out.CoalescedMoves);
       T->addCount(telemetry::CalleeRegsPaid, Out.CalleeRegsPaid);
+      T->addCount(telemetry::LivenessComputes, LivenessComputes);
+      T->addCount(telemetry::LivenessIncrementalUpdates, IncrementalLVUpdates);
     }
     return Out;
   }
@@ -194,11 +251,18 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
 }
 
 ModuleAllocationResult
-AllocationEngine::allocateModule(Module &M, const FrequencyInfo &Freq) const {
+AllocationEngine::allocateModule(Module &M, const FrequencyInfo &Freq,
+                                 const AnalysisSeeds *Seeds) const {
   std::vector<Function *> Bodies;
   for (const auto &F : M.functions())
     if (!F->isDeclaration())
       Bodies.push_back(F.get());
+  assert((!Seeds || Seeds->BaselineLiveness.size() == Bodies.size()) &&
+         "one baseline seed per function body");
+  auto SeedOf = [&](std::size_t I) -> const Liveness * {
+    return Seeds && Opts.IncrementalLiveness ? Seeds->BaselineLiveness[I]
+                                             : nullptr;
+  };
 
   unsigned Jobs = Opts.Jobs == 0 ? ThreadPool::defaultParallelism()
                                  : Opts.Jobs;
@@ -211,11 +275,16 @@ AllocationEngine::allocateModule(Module &M, const FrequencyInfo &Freq) const {
 
   ModuleAllocationResult Result;
   if (Jobs <= 1) {
-    for (Function *F : Bodies) {
-      FunctionAllocation FA = allocateWith(*Allocator, *F, Freq, Telem);
+    AllocationScratch Scratch;
+    for (std::size_t I = 0; I < Bodies.size(); ++I) {
+      FunctionAllocation FA = allocateWith(*Allocator, *Bodies[I], Freq,
+                                           Telem, SeedOf(I), &Scratch);
       Result.Totals += FA.Costs;
-      Result.PerFunction[F] = std::move(FA);
+      Result.PerFunction[Bodies[I]] = std::move(FA);
     }
+    if (Telem && Opts.ScratchArenas)
+      Telem->addCount(telemetry::SchedScratchReuses,
+                      static_cast<double>(Scratch.reuses()));
     return Result;
   }
 
@@ -223,23 +292,72 @@ AllocationEngine::allocateModule(Module &M, const FrequencyInfo &Freq) const {
   // and a task-local telemetry recorder. The reduction below walks tasks
   // in function order, so totals accumulate in exactly the serial order
   // (bit-identical results) and telemetry merges deterministically.
+  //
+  // Tasks are handed out biggest-function-first: the pool's shared counter
+  // serves indices in order, so fronting the heavy functions prevents the
+  // long-tail stall where one of them starts last and every other worker
+  // idles behind it. Outputs are indexed by body position, so the order
+  // cannot change any result.
+  std::vector<std::size_t> Sizes(Bodies.size(), 0);
+  for (std::size_t I = 0; I < Bodies.size(); ++I)
+    for (const auto &BB : Bodies[I]->blocks())
+      Sizes[I] += BB->instructions().size();
+  std::vector<std::size_t> Order(Bodies.size());
+  std::iota(Order.begin(), Order.end(), std::size_t{0});
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](std::size_t A, std::size_t B) {
+                     return Sizes[A] > Sizes[B];
+                   });
+
+  // A shared external pool serves this batch with its own workers (nested
+  // submission is safe — the submitter drains its own batch); otherwise
+  // spawn a private pool of the requested width.
+  std::optional<ThreadPool> Owned;
+  ThreadPool *P = Pool;
+  if (!P) {
+    Owned.emplace(Jobs);
+    P = &*Owned;
+  }
+
   std::vector<FunctionAllocation> PerTask(Bodies.size());
   std::vector<TelemetrySnapshot> TaskTelemetry(Bodies.size());
-  ThreadPool Pool(Jobs);
-  Pool.parallelForEach(Bodies.size(), [&](std::size_t I) {
-    std::unique_ptr<RegAllocBase> TaskAlloc = Factory(Opts);
-    Telemetry Local;
-    PerTask[I] = allocateWith(*TaskAlloc, *Bodies[I], Freq,
-                              Telem ? &Local : nullptr);
-    if (Telem)
-      TaskTelemetry[I] = Local.snapshot();
-  });
+  // One scratch arena per worker slot. Slots are unique among the threads
+  // executing one batch, so arenas are never shared between concurrent
+  // tasks even on a pool serving several engines at once.
+  std::vector<AllocationScratch> Scratches(P->size());
+  P->parallelForEachSlot(
+      Order.size(), [&](std::size_t TaskIdx, unsigned Slot) {
+        std::size_t I = Order[TaskIdx];
+        std::unique_ptr<RegAllocBase> TaskAlloc = Factory(Opts);
+        Telemetry Local;
+        PerTask[I] = allocateWith(*TaskAlloc, *Bodies[I], Freq,
+                                  Telem ? &Local : nullptr, SeedOf(I),
+                                  &Scratches[Slot]);
+        if (Telem)
+          TaskTelemetry[I] = Local.snapshot();
+      });
 
   for (std::size_t I = 0; I < Bodies.size(); ++I) {
     Result.Totals += PerTask[I].Costs;
     Result.PerFunction[Bodies[I]] = std::move(PerTask[I]);
     if (Telem)
       Telem->merge(TaskTelemetry[I]);
+  }
+  if (Telem) {
+    if (Opts.ScratchArenas) {
+      std::uint64_t Reuses = 0;
+      for (const AllocationScratch &S : Scratches)
+        Reuses += S.reuses();
+      Telem->addCount(telemetry::SchedScratchReuses,
+                      static_cast<double>(Reuses));
+    }
+    if (Owned) {
+      ThreadPool::Stats PS = Owned->stats();
+      Telem->addCount(telemetry::SchedPoolBatches,
+                      static_cast<double>(PS.Batches));
+      Telem->addCount(telemetry::SchedPoolTasks,
+                      static_cast<double>(PS.Tasks));
+    }
   }
   return Result;
 }

@@ -33,11 +33,27 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace ccra {
 
+class AllocationScratch;
 class FrequencyInfo;
+class Liveness;
 class Module;
+class ThreadPool;
+
+/// Optional shared-analysis seeds for allocateModule. BaselineLiveness[I]
+/// is the exact pre-allocation liveness of the I-th function *body*
+/// (functions with a definition, in module order); entries may be null.
+/// The harness fills this from a ModuleAnalysisCache computed on the
+/// pristine source module — valid for its clones too, since cloning
+/// preserves block ids and vreg numbering. Honored only when
+/// AllocatorOptions::IncrementalLiveness is on; each allocation copies its
+/// seed, never mutates it.
+struct AnalysisSeeds {
+  std::vector<const Liveness *> BaselineLiveness;
+};
 
 /// Creates a fresh allocator implementing \p Opts. Must be safe to call
 /// concurrently (core/AllocatorFactory.h's createAllocator is).
@@ -62,6 +78,16 @@ public:
   void setTelemetry(Telemetry *T) { Telem = T; }
   Telemetry *telemetry() const { return Telem; }
 
+  /// Attaches (or detaches, with null) an external thread pool for
+  /// allocateModule's parallel path. Not owned; must outlive every
+  /// allocate call. With a shared pool the engine submits its functions as
+  /// one batch instead of spawning a private pool — the fix for
+  /// grid-level x module-level parallelism oversubscribing the machine
+  /// with nested pools. The pool's size then governs parallelism (Jobs
+  /// only selects serial vs parallel).
+  void setPool(ThreadPool *P) { Pool = P; }
+  ThreadPool *pool() const { return Pool; }
+
   /// Allocates registers for \p F (mutating it) and returns locations,
   /// statistics, and the §3 cost breakdown.
   FunctionAllocation allocateFunction(Function &F,
@@ -69,25 +95,35 @@ public:
 
   /// Allocates every function with a body. Runs Opts.Jobs function
   /// allocations concurrently (0 = one per hardware thread); results are
-  /// identical to Jobs == 1 bit for bit.
+  /// identical to Jobs == 1 bit for bit. The parallel path hands tasks out
+  /// biggest-function-first (long-tail load balancing) and keeps one
+  /// scratch arena per worker slot; \p Seeds optionally provides shared
+  /// baseline liveness per body. None of this changes any result.
+  ModuleAllocationResult allocateModule(Module &M, const FrequencyInfo &Freq,
+                                        const AnalysisSeeds *Seeds) const;
   ModuleAllocationResult allocateModule(Module &M,
-                                        const FrequencyInfo &Freq) const;
+                                        const FrequencyInfo &Freq) const {
+    return allocateModule(M, Freq, nullptr);
+  }
 
   const MachineDescription &machine() const { return MD; }
   const AllocatorOptions &options() const { return Opts; }
 
 private:
-  /// One whole-function allocation with an explicit allocator instance and
-  /// telemetry sink (both per-task in the parallel path).
+  /// One whole-function allocation with an explicit allocator instance,
+  /// telemetry sink, optional baseline-liveness seed, and optional scratch
+  /// arena (all per-task in the parallel path).
   FunctionAllocation allocateWith(RegAllocBase &Alloc, Function &F,
-                                  const FrequencyInfo &Freq,
-                                  Telemetry *T) const;
+                                  const FrequencyInfo &Freq, Telemetry *T,
+                                  const Liveness *SeedLV,
+                                  AllocationScratch *Scratch) const;
 
   MachineDescription MD;
   AllocatorOptions Opts;
   AllocatorFactory Factory; ///< null when built from a single allocator
   std::unique_ptr<RegAllocBase> Allocator; ///< serial-path instance
   Telemetry *Telem = nullptr;
+  ThreadPool *Pool = nullptr; ///< external shared pool (not owned)
 };
 
 } // namespace ccra

@@ -1,0 +1,101 @@
+//===- regalloc/AllocationScratch.h - Per-worker scratch arena --*- C++ -*-===//
+///
+/// \file
+/// A bundle of reusable buffers for the allocation hot path. Small-function
+/// allocation is dominated by malloc churn: every block scanned by
+/// InterferenceGraph::scanBlockForEdges used to allocate a fresh BitVector
+/// and two vectors, every coalescing pass a Touched array, every round a
+/// spill-index map. An AllocationScratch owns those buffers and hands them
+/// out re-initialized, so the capacity acquired on the first function is
+/// recycled across blocks, passes, rounds, and functions.
+///
+/// Lifetime and invalidation: a scratch holds no allocation *state*, only
+/// capacity — every accessor fully re-initializes the buffer it returns
+/// (cleared bits, zeroed counts, empty lists) before handing it out, so a
+/// scratch carries nothing from one use to the next and never needs
+/// explicit invalidation. The one rule is exclusivity: one scratch, one
+/// thread — the engine keeps one per worker slot (ThreadPool slots are
+/// unique per concurrent task), the harness one per engine on the serial
+/// path.
+///
+/// Determinism: buffers start each use in a state independent of history,
+/// so scratch on/off cannot change any allocation result — only the number
+/// of allocations. Reuses (a buffer handed out without growing) is
+/// scheduling-dependent and feeds the "sched." telemetry namespace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_REGALLOC_ALLOCATIONSCRATCH_H
+#define CCRA_REGALLOC_ALLOCATIONSCRATCH_H
+
+#include "support/BitVector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccra {
+
+class AllocationScratch {
+public:
+  /// scanBlockForEdges: the vreg-granularity live set. Returned resized to
+  /// \p NumVRegs with every bit clear.
+  BitVector &liveBits(unsigned NumVRegs) {
+    noteReuse(LiveBits.size() >= NumVRegs);
+    LiveBits.resize(NumVRegs);
+    LiveBits.resetAll();
+    return LiveBits;
+  }
+
+  /// scanBlockForEdges: live-vreg count per live range, zeroed.
+  std::vector<unsigned> &rangeLiveCount(unsigned NumRanges) {
+    noteReuse(RangeLiveCount.capacity() >= NumRanges);
+    RangeLiveCount.assign(NumRanges, 0);
+    return RangeLiveCount;
+  }
+
+  /// scanBlockForEdges: dense list of currently live ranges, emptied.
+  std::vector<unsigned> &rangeLiveList() {
+    noteReuse(RangeLiveList.capacity() > 0);
+    RangeLiveList.clear();
+    return RangeLiveList;
+  }
+
+  /// Coalescer: one-merge-per-range-per-pass marks, zeroed.
+  std::vector<char> &touchedRanges(unsigned NumRanges) {
+    noteReuse(TouchedRanges.capacity() >= NumRanges);
+    TouchedRanges.assign(NumRanges, 0);
+    return TouchedRanges;
+  }
+
+  /// Coalescer: per-instruction deletion marks for one pass, zeroed.
+  std::vector<char> &deleteFlags(std::size_t NumInsts) {
+    noteReuse(DeleteFlags.capacity() >= NumInsts);
+    DeleteFlags.assign(NumInsts, 0);
+    return DeleteFlags;
+  }
+
+  /// Engine round: spill index per live range, reset to -1.
+  std::vector<int> &spillIndexOfRange(unsigned NumRanges) {
+    noteReuse(SpillIndexOfRange.capacity() >= NumRanges);
+    SpillIndexOfRange.assign(NumRanges, -1);
+    return SpillIndexOfRange;
+  }
+
+  /// Number of times a buffer was handed out without having to grow.
+  std::uint64_t reuses() const { return Reuses; }
+
+private:
+  void noteReuse(bool Reused) { Reuses += Reused ? 1 : 0; }
+
+  BitVector LiveBits;
+  std::vector<unsigned> RangeLiveCount;
+  std::vector<unsigned> RangeLiveList;
+  std::vector<char> TouchedRanges;
+  std::vector<char> DeleteFlags;
+  std::vector<int> SpillIndexOfRange;
+  std::uint64_t Reuses = 0;
+};
+
+} // namespace ccra
+
+#endif // CCRA_REGALLOC_ALLOCATIONSCRATCH_H

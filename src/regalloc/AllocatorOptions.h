@@ -86,6 +86,20 @@ struct AllocatorOptions {
   /// identical either way (equivalence-tested).
   bool IncrementalReconstruction = true;
 
+  /// Maintain liveness incrementally: the coalescer renames/patches the
+  /// solution across its passes (at most one full dataflow run per round,
+  /// zero when the harness seeds the baseline from a ModuleAnalysisCache),
+  /// and the engine carries it across spill rewrites. Results are
+  /// identical either way (equivalence-tested); off reproduces the
+  /// recompute-per-pass behavior for comparison benchmarks.
+  bool IncrementalLiveness = true;
+
+  /// Recycle per-worker scratch buffers (block-scan bit vectors and lists,
+  /// coalescer sweep marks, spill-index maps) across blocks, passes,
+  /// rounds, and functions instead of allocating them per use. Purely an
+  /// allocation-churn optimization; results are bit-identical.
+  bool ScratchArenas = true;
+
   /// Safety cap on spill-and-retry rounds.
   unsigned MaxRounds = 64;
 

@@ -7,6 +7,23 @@
 /// must have fewer than N neighbors of significant degree, so coalescing
 /// can never cause a spill); aggressive mode skips the degree test.
 ///
+/// Each pass canonicalizes operands, derives liveness, builds the live
+/// ranges and the interference graph, and sweeps the code merging safe
+/// copies — so the final (no-change) pass leaves behind exactly the
+/// live-range set and graph the allocator needs next, which run() returns
+/// instead of making the caller rebuild them.
+///
+/// Liveness per pass is the dominant cost, and with IncrementalLiveness on
+/// it is *maintained* instead of recomputed: merging two non-interfering
+/// ranges unions their solutions (Liveness::renameRegister is exact for
+/// that case), and deleting a copy can only change a block's transfer
+/// function in ways a local upward-exposed-use/kill comparison detects —
+/// the rare register that fails the comparison gets a surgical
+/// single-register re-solve (Liveness::recomputeRegister). A run seeded
+/// with valid liveness (SeededLV) therefore does *zero* full
+/// Liveness::compute calls, and an unseeded one does exactly one;
+/// CoalesceStats reports both so telemetry can prove it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCRA_REGALLOC_COALESCER_H
@@ -16,21 +33,57 @@
 
 namespace ccra {
 
+class AllocationScratch;
 class FrequencyInfo;
 class Function;
+class InterferenceGraph;
+class LiveRangeSet;
 class MachineDescription;
+class Telemetry;
 class VRegClasses;
 
 struct CoalesceStats {
   unsigned CoalescedMoves = 0;
   unsigned Passes = 0;
+  /// Full Liveness::compute runs (0 when seeded, 1 otherwise, barring the
+  /// never-taken pass-cap fallback).
+  unsigned LivenessComputes = 0;
+  /// Passes whose liveness came from incremental maintenance (renames and
+  /// targeted per-register re-solves) instead of a full recompute.
+  unsigned IncrementalLVUpdates = 0;
+};
+
+/// Per-run configuration of the coalescer.
+struct CoalesceRequest {
+  bool Aggressive = false;
+  /// Maintain liveness across passes by renaming/patching instead of
+  /// re-running the dataflow each pass. Bit-identical either way.
+  bool IncrementalLiveness = true;
+  /// The Liveness passed to run() already holds the exact solution for the
+  /// incoming code (the cached baseline at round 1, the spill-maintained
+  /// solution at later rounds), so the first pass skips its compute too.
+  bool SeededLV = false;
+  /// Optional per-worker buffer arena for the internal graph builds.
+  AllocationScratch *Scratch = nullptr;
+  /// Optional recorder for the build_ranges / build_graph phase timers.
+  Telemetry *T = nullptr;
 };
 
 class Coalescer {
 public:
-  /// Coalesces to a fixpoint. Merged copies are deleted from \p F and their
-  /// classes merged in \p Classes. On return \p LV holds liveness for the
-  /// final code.
+  /// Coalesces to a fixpoint. Merged copies are deleted from \p F and
+  /// their classes merged in \p Classes. On return \p LV holds exact
+  /// liveness for the final code, and \p OutLRS / \p OutIG hold the final
+  /// pass's live-range set and interference graph (already valid for the
+  /// final code — the caller must not rebuild them).
+  static CoalesceStats run(Function &F, VRegClasses &Classes,
+                           const MachineDescription &MD,
+                           const FrequencyInfo &Freq, Liveness &LV,
+                           const CoalesceRequest &Req, LiveRangeSet &OutLRS,
+                           InterferenceGraph &OutIG);
+
+  /// Compatibility entry point: full liveness recompute every pass, built
+  /// live ranges and graph discarded.
   static CoalesceStats run(Function &F, VRegClasses &Classes,
                            const MachineDescription &MD,
                            const FrequencyInfo &Freq, Liveness &LV,

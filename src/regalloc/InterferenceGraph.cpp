@@ -3,6 +3,7 @@
 #include "regalloc/InterferenceGraph.h"
 
 #include "analysis/Liveness.h"
+#include "regalloc/AllocationScratch.h"
 
 #include <cassert>
 
@@ -32,6 +33,7 @@ void InterferenceGraph::addEdge(unsigned A, unsigned B) {
   Matrix.set(static_cast<unsigned>(Idx));
   Adj[A].push_back(B);
   Adj[B].push_back(A);
+  ++NumEdges;
 }
 
 bool InterferenceGraph::interfere(unsigned A, unsigned B) const {
@@ -40,24 +42,20 @@ bool InterferenceGraph::interfere(unsigned A, unsigned B) const {
   return Matrix.test(static_cast<unsigned>(matrixIndex(A, B)));
 }
 
-size_t InterferenceGraph::numEdges() const {
-  size_t Total = 0;
-  for (const auto &Neighbors : Adj)
-    Total += Neighbors.size();
-  return Total / 2;
-}
-
 void InterferenceGraph::scanBlockForEdges(const Function &F,
                                           const BasicBlock &BB,
                                           const BitVector &LiveOut,
                                           const LiveRangeSet &LRS,
-                                          InterferenceGraph &IG) {
+                                          InterferenceGraph &IG,
+                                          AllocationScratch *Scratch) {
   // Liveness is tracked at vreg granularity (Live); a live *range* is live
   // while any member vreg is, maintained as a per-range count plus a dense
   // list of currently live ranges for fast iteration at defs.
-  BitVector Live(F.numVRegs());
-  std::vector<unsigned> LiveCount(LRS.numRanges(), 0);
-  std::vector<unsigned> LiveList;
+  AllocationScratch Local;
+  AllocationScratch &S = Scratch ? *Scratch : Local;
+  BitVector &Live = S.liveBits(F.numVRegs());
+  std::vector<unsigned> &LiveCount = S.rangeLiveCount(LRS.numRanges());
+  std::vector<unsigned> &LiveList = S.rangeLiveList();
 
   auto VRegBecameLive = [&](unsigned V) {
     unsigned R = static_cast<unsigned>(LRS.rangeIdOf(VirtReg(V)));
@@ -126,9 +124,14 @@ void InterferenceGraph::scanBlockForEdges(const Function &F,
 
 InterferenceGraph InterferenceGraph::build(const Function &F,
                                            const Liveness &LV,
-                                           const LiveRangeSet &LRS) {
+                                           const LiveRangeSet &LRS,
+                                           AllocationScratch *Scratch) {
+  // Even without a caller-provided arena, share one across the blocks of
+  // this build instead of allocating per block.
+  AllocationScratch Local;
+  AllocationScratch &S = Scratch ? *Scratch : Local;
   InterferenceGraph IG(LRS.numRanges());
   for (const auto &BB : F.blocks())
-    scanBlockForEdges(F, *BB, LV.liveOut(*BB), LRS, IG);
+    scanBlockForEdges(F, *BB, LV.liveOut(*BB), LRS, IG, &S);
   return IG;
 }

@@ -22,6 +22,7 @@
 
 namespace ccra {
 
+class AllocationScratch;
 class Liveness;
 
 class InterferenceGraph {
@@ -43,26 +44,32 @@ public:
     return static_cast<unsigned>(Adj[Node].size());
   }
 
-  /// Total number of undirected edges.
-  size_t numEdges() const;
+  /// Total number of undirected edges. O(1): addEdge maintains the count.
+  size_t numEdges() const { return NumEdges; }
 
   /// Builds the graph for \p F from liveness and the live-range set.
+  /// \p Scratch, when given, supplies the per-block scan buffers (one
+  /// internal arena is used otherwise).
   static InterferenceGraph build(const Function &F, const Liveness &LV,
-                                 const LiveRangeSet &LRS);
+                                 const LiveRangeSet &LRS,
+                                 AllocationScratch *Scratch = nullptr);
 
   /// Adds every interference edge arising within \p BB (given its live-out
   /// set) to \p IG. Idempotent; the incremental graph reconstruction uses
-  /// it to rescan only the blocks spill code touched.
+  /// it to rescan only the blocks spill code touched. \p Scratch, when
+  /// given, supplies the scan buffers instead of per-call allocations.
   static void scanBlockForEdges(const Function &F, const BasicBlock &BB,
                                 const BitVector &LiveOut,
                                 const LiveRangeSet &LRS,
-                                InterferenceGraph &IG);
+                                InterferenceGraph &IG,
+                                AllocationScratch *Scratch = nullptr);
 
 private:
   size_t matrixIndex(unsigned A, unsigned B) const;
 
   std::vector<std::vector<unsigned>> Adj;
   BitVector Matrix; // strict lower triangle
+  size_t NumEdges = 0;
 };
 
 } // namespace ccra

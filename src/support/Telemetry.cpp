@@ -73,6 +73,18 @@ void TelemetrySnapshot::writeCsv(std::ostream &OS) const {
     OS << "timer_ms," << Name << ',' << formatNumber(Value) << '\n';
 }
 
+TelemetrySnapshot TelemetrySnapshot::withoutSchedulingCounters() const {
+  TelemetrySnapshot Out = *this;
+  const std::string Prefix = telemetry::SchedPrefix;
+  for (auto It = Out.Counters.begin(); It != Out.Counters.end();) {
+    if (It->first.compare(0, Prefix.size(), Prefix) == 0)
+      It = Out.Counters.erase(It);
+    else
+      ++It;
+  }
+  return Out;
+}
+
 // A minimal recursive-descent parser for exactly the JSON this file emits
 // (an object of objects of numbers). Whitespace-tolerant; rejects
 // everything else.

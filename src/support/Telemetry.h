@@ -63,6 +63,14 @@ struct TelemetrySnapshot {
   /// Parses text produced by writeJson/toJson. Returns false (leaving
   /// \p Out in an unspecified state) on malformed input.
   static bool fromJson(const std::string &Text, TelemetrySnapshot &Out);
+
+  /// Returns a copy without the "sched." counter namespace. Counters
+  /// outside that namespace are deterministic functions of the allocation
+  /// inputs (identical at any Jobs setting and with any cache/scratch
+  /// configuration); "sched." counters describe scheduling, cache and
+  /// arena occupancy and legitimately vary run to run. Equality assertions
+  /// across Jobs settings must compare this view.
+  TelemetrySnapshot withoutSchedulingCounters() const;
 };
 
 /// A thread-safe telemetry recorder.
@@ -120,6 +128,27 @@ inline constexpr const char *VoluntarySpills = "voluntary_spills";
 inline constexpr const char *CoalescedMoves = "coalesced_moves";
 inline constexpr const char *CalleeRegsPaid = "callee_regs_paid";
 inline constexpr const char *Experiments = "experiments";
+/// Full liveness dataflow runs during allocation. With the analysis cache
+/// and incremental liveness on, at most one per allocation round (usually
+/// zero: rounds start from a seeded or incrementally-maintained solution).
+inline constexpr const char *LivenessComputes = "liveness_computes";
+/// Incremental liveness updates that replaced a full recompute.
+inline constexpr const char *LivenessIncrementalUpdates =
+    "liveness_incremental_updates";
+
+// Scheduling/occupancy counters ("sched." namespace): excluded from the
+// determinism guarantee — they depend on which thread ran what and on
+// cache warm-up order. See TelemetrySnapshot::withoutSchedulingCounters.
+inline constexpr const char *SchedPrefix = "sched.";
+inline constexpr const char *SchedAnalysisCacheHits =
+    "sched.analysis_cache_hits";
+inline constexpr const char *SchedAnalysisCacheMisses =
+    "sched.analysis_cache_misses";
+inline constexpr const char *SchedScratchReuses = "sched.scratch_reuses";
+inline constexpr const char *SchedPoolBatches = "sched.pool_batches";
+inline constexpr const char *SchedPoolTasks = "sched.pool_tasks";
+inline constexpr const char *SchedPoolMaxSlotShare =
+    "sched.pool_max_slot_share";
 // Phase timers.
 inline constexpr const char *CoalescePhase = "coalesce";
 inline constexpr const char *BuildRangesPhase = "build_ranges";

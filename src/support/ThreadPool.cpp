@@ -13,10 +13,11 @@ unsigned ThreadPool::defaultParallelism() {
 ThreadPool::ThreadPool(unsigned Threads) {
   if (Threads == 0)
     Threads = defaultParallelism();
-  // The caller participates in every batch, so N-way parallelism needs
-  // only N-1 workers.
+  Totals.TasksPerSlot.assign(Threads, 0);
+  // The submitting thread participates in every batch (slot 0), so N-way
+  // parallelism needs only N-1 workers.
   for (unsigned I = 0; I + 1 < Threads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I + 1); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -29,58 +30,79 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
-void ThreadPool::drainCurrentBatch(std::unique_lock<std::mutex> &Lock) {
-  while (Body && NextIndex < BatchCount) {
-    std::size_t Claimed = NextIndex++;
-    const std::function<void(std::size_t)> *Task = Body;
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Totals;
+}
+
+void ThreadPool::drainBatch(Batch &B, unsigned Slot,
+                            std::unique_lock<std::mutex> &Lock) {
+  while (B.Next < B.Count) {
+    std::size_t Claimed = B.Next++;
+    if (B.Next == B.Count) {
+      // Last index claimed: the batch no longer offers work.
+      auto It = std::find(Open.begin(), Open.end(), &B);
+      if (It != Open.end())
+        Open.erase(It);
+    }
+    ++Totals.Tasks;
+    ++Totals.TasksPerSlot[Slot];
     Lock.unlock();
     try {
-      (*Task)(Claimed);
+      (*B.Body)(Claimed, Slot);
       Lock.lock();
     } catch (...) {
       Lock.lock();
-      if (!FirstError)
-        FirstError = std::current_exception();
+      if (!B.FirstError)
+        B.FirstError = std::current_exception();
     }
-    if (--Remaining == 0)
+    if (--B.Remaining == 0)
       BatchDone.notify_all();
   }
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(unsigned Slot) {
   std::unique_lock<std::mutex> Lock(M);
   while (true) {
-    WorkReady.wait(Lock, [this] {
-      return ShuttingDown || (Body && NextIndex < BatchCount);
-    });
-    if (Body && NextIndex < BatchCount)
-      drainCurrentBatch(Lock);
+    WorkReady.wait(Lock, [this] { return ShuttingDown || !Open.empty(); });
+    if (!Open.empty())
+      drainBatch(*Open.front(), Slot, Lock);
     else if (ShuttingDown)
       return;
   }
 }
 
-void ThreadPool::parallelForEach(
-    std::size_t Count, const std::function<void(std::size_t)> &Body) {
+void ThreadPool::parallelForEachSlot(
+    std::size_t Count, const std::function<void(std::size_t, unsigned)> &Body) {
   if (Count == 0)
     return;
+
+  Batch B;
+  B.Body = &Body;
+  B.Count = Count;
+  B.Remaining = Count;
+
   std::unique_lock<std::mutex> Lock(M);
-  this->Body = &Body;
-  NextIndex = 0;
-  Remaining = Count;
-  BatchCount = Count;
-  FirstError = nullptr;
+  ++Totals.Batches;
+  Open.push_back(&B);
   WorkReady.notify_all();
 
-  // The caller works the batch too, then waits for stragglers.
-  drainCurrentBatch(Lock);
-  BatchDone.wait(Lock, [this] { return Remaining == 0; });
+  // The submitter works its own batch (slot 0 from outside the pool; a
+  // nested submission keeps running under its worker's slot — drainBatch
+  // below only touches *this* batch, and an index of it may equally be
+  // claimed by any worker), then waits for stragglers.
+  drainBatch(B, /*Slot=*/0, Lock);
+  BatchDone.wait(Lock, [&B] { return B.Remaining == 0; });
 
-  this->Body = nullptr;
-  BatchCount = 0;
-  std::exception_ptr Error = FirstError;
-  FirstError = nullptr;
+  std::exception_ptr Error = B.FirstError;
   Lock.unlock();
   if (Error)
     std::rethrow_exception(Error);
+}
+
+void ThreadPool::parallelForEach(
+    std::size_t Count, const std::function<void(std::size_t)> &Body) {
+  const std::function<void(std::size_t, unsigned)> Wrapped =
+      [&Body](std::size_t I, unsigned) { Body(I); };
+  parallelForEachSlot(Count, Wrapped);
 }

@@ -1,18 +1,32 @@
-//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//===- support/ThreadPool.h - Shared work-sharing worker pool ---*- C++ -*-===//
 ///
 /// \file
-/// A deliberately simple parallel-for engine for the allocation pipeline:
-/// a fixed number of worker threads pull indices [0, Count) off a shared
-/// counter and run the same body on each. No work stealing, no futures, no
-/// task graph — the workloads this repo fans out (per-function allocation,
-/// experiment grid points) are uniform enough that a shared counter is
-/// both the fastest and the simplest correct scheduler.
+/// The parallel-for engine of the allocation pipeline. A fixed set of
+/// worker threads services *batches*: a batch is one parallelForEach call,
+/// whose indices [0, Count) are claimed off a shared counter. Unlike the
+/// classic single-batch pool, any number of batches may be in flight at
+/// once and batches may be submitted from *inside* a running task — which
+/// is what lets one shared pool serve both the experiment grid and the
+/// per-function fan-out of every engine inside it, instead of every engine
+/// spawning its own nested pool and oversubscribing the machine.
+///
+/// Deadlock freedom: the submitting thread always participates in its own
+/// batch, so a batch completes even if every worker is busy elsewhere.
+/// Batches are serviced oldest-first; within a batch, indices ascend.
 ///
 /// Determinism note: the pool schedules *which thread* runs an index
 /// nondeterministically, but callers index their outputs by task id, so
 /// results are position-stable regardless of scheduling. Engine-level
 /// reductions then happen in index order on the calling thread, which is
 /// what makes parallel allocation bit-identical to the serial path.
+///
+/// Worker slots: every thread that can execute tasks of a pool has a
+/// stable slot in [0, size()): the pool's workers get slots 1..size()-1
+/// and the thread that constructed batches from outside the pool drains
+/// under slot 0. Slot-indexed state (e.g. per-worker scratch arenas) is
+/// therefore race-free as long as at most one non-worker thread submits
+/// concurrently — which holds for the engine/harness usage, where outside
+/// submissions come only from the single grid-driving thread.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +35,8 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -32,8 +48,8 @@ namespace ccra {
 class ThreadPool {
 public:
   /// A pool giving \p Threads-way parallelism (0 = defaultParallelism()).
-  /// The caller participates in every batch, so only Threads - 1 worker
-  /// threads are actually spawned.
+  /// The caller participates in every batch it submits, so only
+  /// Threads - 1 worker threads are actually spawned.
   explicit ThreadPool(unsigned Threads);
   ~ThreadPool();
 
@@ -46,31 +62,56 @@ public:
   /// Runs \p Body(I) for every I in [0, Count), fanning indices across the
   /// workers, and blocks until all of them finished. The calling thread
   /// participates too, so parallelForEach works even on a zero-worker
-  /// pool. If any task throws, the first exception is rethrown here after
+  /// pool, and the call may be issued from inside a task running on this
+  /// pool (nested batches share the same workers instead of spawning
+  /// more). If any task throws, the first exception is rethrown here after
   /// the batch drains.
   void parallelForEach(std::size_t Count,
                        const std::function<void(std::size_t)> &Body);
+
+  /// Same, but the body also receives the executing thread's worker slot
+  /// (stable, in [0, size())), for slot-indexed state like scratch arenas.
+  void parallelForEachSlot(
+      std::size_t Count,
+      const std::function<void(std::size_t, unsigned)> &Body);
+
+  /// Scheduler observability: totals since construction. TasksPerSlot
+  /// exposes how evenly work spread across the caller (slot 0) and the
+  /// workers — the imbalance the size-descending task ordering targets.
+  struct Stats {
+    std::uint64_t Batches = 0;
+    std::uint64_t Tasks = 0;
+    std::vector<std::uint64_t> TasksPerSlot;
+  };
+  Stats stats() const;
 
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned defaultParallelism();
 
 private:
-  void workerLoop();
-  /// Claims and runs indices of the current batch until it is exhausted.
-  void drainCurrentBatch(std::unique_lock<std::mutex> &Lock);
+  /// One in-flight parallelForEach call.
+  struct Batch {
+    const std::function<void(std::size_t, unsigned)> *Body = nullptr;
+    std::size_t Next = 0;      ///< next unclaimed index
+    std::size_t Count = 0;     ///< total indices
+    std::size_t Remaining = 0; ///< indices not yet finished
+    std::exception_ptr FirstError;
+  };
+
+  void workerLoop(unsigned Slot);
+  /// Claims and runs indices of \p B until none are unclaimed. Expects M
+  /// held; returns with M held.
+  void drainBatch(Batch &B, unsigned Slot, std::unique_lock<std::mutex> &Lock);
 
   std::vector<std::thread> Workers;
 
-  std::mutex M;
-  std::condition_variable WorkReady; ///< workers: a batch arrived / shutdown
-  std::condition_variable BatchDone; ///< caller: all indices completed
+  mutable std::mutex M;
+  std::condition_variable WorkReady; ///< workers: work arrived / shutdown
+  std::condition_variable BatchDone; ///< submitters: some batch completed
 
-  // State of the in-flight batch (guarded by M).
-  const std::function<void(std::size_t)> *Body = nullptr;
-  std::size_t NextIndex = 0;  ///< next unclaimed task index
-  std::size_t BatchCount = 0; ///< total tasks in the batch
-  std::size_t Remaining = 0;  ///< tasks not yet finished
-  std::exception_ptr FirstError;
+  // Guarded by M.
+  std::deque<Batch *> Open; ///< batches with unclaimed indices, oldest first
+  Stats Totals;
   bool ShuttingDown = false;
 };
 

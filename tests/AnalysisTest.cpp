@@ -1,12 +1,15 @@
 //===- tests/AnalysisTest.cpp - CFG/dominator/loop/liveness/frequency -----===//
 
+#include "analysis/AnalysisCache.h"
 #include "analysis/CfgTraversal.h"
 #include "analysis/Dominators.h"
 #include "analysis/Frequency.h"
 #include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
+#include "ir/Cloner.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
+#include "workloads/RandomProgram.h"
 
 #include <gtest/gtest.h>
 
@@ -299,6 +302,77 @@ TEST(Frequency, EntryInvocationsScale) {
 TEST(Frequency, ModeNames) {
   EXPECT_STREQ(frequencyModeName(FrequencyMode::Static), "static");
   EXPECT_STREQ(frequencyModeName(FrequencyMode::Profile), "dynamic");
+}
+
+// The grid path computes frequencies once on the source module and rekeys
+// them onto each private clone. The remap must be a pure re-keying: every
+// block and entry frequency bit-identical (same doubles, not just close)
+// to a fresh computation on the clone.
+TEST(Frequency, RemappedToCloneIsBitIdentical) {
+  RandomProgramParams Params;
+  Params.Seed = 11;
+  Params.NumFunctions = 4;
+  auto M = generateRandomProgram(Params);
+  auto Clone = cloneModule(*M);
+
+  for (FrequencyMode Mode : {FrequencyMode::Static, FrequencyMode::Profile}) {
+    FrequencyInfo Source = FrequencyInfo::compute(*M, Mode);
+    FrequencyInfo Remapped = Source.remappedTo(*M, *Clone);
+    FrequencyInfo Fresh = FrequencyInfo::compute(*Clone, Mode);
+    for (const auto &F : Clone->functions()) {
+      if (F->isDeclaration())
+        continue;
+      EXPECT_EQ(Remapped.entryFrequency(*F), Fresh.entryFrequency(*F));
+      for (const auto &BB : F->blocks())
+        EXPECT_EQ(Remapped.blockFrequency(*BB), Fresh.blockFrequency(*BB));
+    }
+  }
+}
+
+// One compute per key, hits afterwards, and the cached baseline liveness
+// is exact for the same-index function of a pristine clone (cloneModule
+// preserves block ids and vreg numbering).
+TEST(AnalysisCache, SharesFrequenciesAndBaselineLiveness) {
+  RandomProgramParams Params;
+  Params.Seed = 23;
+  Params.NumFunctions = 3;
+  auto M = generateRandomProgram(Params);
+  auto Clone = cloneModule(*M);
+
+  ModuleAnalysisCache Cache;
+  bool Hit = true;
+  const FrequencyInfo &F1 =
+      Cache.frequencies(*M, FrequencyMode::Profile, &Hit);
+  EXPECT_FALSE(Hit);
+  const FrequencyInfo &F2 =
+      Cache.frequencies(*M, FrequencyMode::Profile, &Hit);
+  EXPECT_TRUE(Hit);
+  EXPECT_EQ(&F1, &F2); // one shared object, not a copy per caller
+
+  // A different mode is a different key.
+  Cache.frequencies(*M, FrequencyMode::Static, &Hit);
+  EXPECT_FALSE(Hit);
+
+  for (unsigned I = 0; I < M->functions().size(); ++I) {
+    const Function &Fn = *M->functions()[I];
+    if (Fn.isDeclaration())
+      continue;
+    const Liveness &Baseline = Cache.baselineLiveness(*M, I, &Hit);
+    EXPECT_FALSE(Hit);
+    EXPECT_TRUE(Baseline == Liveness::compute(Fn));
+    // Exact for the pristine clone's same-index function too.
+    EXPECT_TRUE(Baseline == Liveness::compute(*Clone->functions()[I]));
+    Cache.baselineLiveness(*M, I, &Hit);
+    EXPECT_TRUE(Hit);
+  }
+
+  ModuleAnalysisCache::Stats Stats = Cache.stats();
+  EXPECT_EQ(Stats.FrequencyHits, 1u);
+  EXPECT_EQ(Stats.FrequencyMisses, 2u);
+  EXPECT_GT(Stats.LivenessHits, 0u);
+  EXPECT_EQ(Stats.LivenessHits, Stats.LivenessMisses);
+  EXPECT_EQ(Stats.hits(), Stats.FrequencyHits + Stats.LivenessHits);
+  EXPECT_EQ(Stats.misses(), Stats.FrequencyMisses + Stats.LivenessMisses);
 }
 
 } // namespace

@@ -211,4 +211,26 @@ TEST(InterferenceGraphTest, DegreeMatchesAdjacency) {
   }
 }
 
+TEST(InterferenceGraphTest, NumEdgesMatchesHandshakeCount) {
+  GraphFixture Fx;
+  Fx.F = Fx.M.createFunction("main");
+  IRBuilder B(*Fx.F);
+  B.startBlock("entry");
+  std::vector<VirtReg> Pool;
+  for (int I = 0; I < 8; ++I)
+    Pool.push_back(B.buildLoadImm(I));
+  VirtReg Acc = Pool[0];
+  for (int I = 1; I < 8; ++I)
+    Acc = B.buildBinary(Opcode::Add, Acc, Pool[static_cast<size_t>(I)]);
+  B.buildRet(Acc);
+  Fx.finalize();
+  // The maintained edge counter must agree with the handshake lemma over
+  // the adjacency lists it summarizes.
+  std::size_t DegreeSum = 0;
+  for (unsigned Node = 0; Node < Fx.IG.numNodes(); ++Node)
+    DegreeSum += Fx.IG.degree(Node);
+  EXPECT_GT(Fx.IG.numEdges(), 0u);
+  EXPECT_EQ(Fx.IG.numEdges() * 2, DegreeSum);
+}
+
 } // namespace

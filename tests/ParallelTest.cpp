@@ -77,6 +77,38 @@ TEST(ThreadPool, SingleThreadPoolStillRunsAllTasks) {
   EXPECT_EQ(Seen.size(), 20u);
 }
 
+TEST(ThreadPool, NestedSubmissionCompletesOnSharedWorkers) {
+  // A task may submit its own batch to the pool it runs on (the engine
+  // does exactly this when a shared grid pool carries its function
+  // fan-out). The submitter drains its own batch, so this cannot deadlock
+  // even when every worker is busy.
+  ThreadPool Pool(3);
+  std::atomic<unsigned> Inner{0};
+  Pool.parallelForEach(8, [&](std::size_t) {
+    Pool.parallelForEach(8, [&](std::size_t) { Inner++; });
+  });
+  EXPECT_EQ(Inner.load(), 64u);
+  ThreadPool::Stats S = Pool.stats();
+  EXPECT_EQ(S.Batches, 9u);
+  EXPECT_EQ(S.Tasks, 8u + 64u);
+}
+
+TEST(ThreadPool, SlotsStayWithinPoolSize) {
+  ThreadPool Pool(4);
+  std::vector<unsigned> SlotOfTask(200, ~0u);
+  Pool.parallelForEachSlot(SlotOfTask.size(),
+                           [&](std::size_t I, unsigned Slot) {
+                             SlotOfTask[I] = Slot;
+                           });
+  for (unsigned Slot : SlotOfTask)
+    EXPECT_LT(Slot, Pool.size());
+  ThreadPool::Stats S = Pool.stats();
+  std::uint64_t Sum = 0;
+  for (std::uint64_t N : S.TasksPerSlot)
+    Sum += N;
+  EXPECT_EQ(Sum, S.Tasks);
+}
+
 // --- Parallel allocation determinism ------------------------------------
 
 RandomProgramParams manyFunctionParams(uint64_t Seed) {
@@ -172,15 +204,58 @@ TEST(ParallelAllocation, HardwareJobsMatchesSerial) {
 }
 
 TEST(ParallelAllocation, TelemetryCountersMatchSerial) {
-  // Timers are wall-clock and may differ; every counter is a deterministic
-  // function of the allocation and must not.
+  // Timers are wall-clock and may differ; every counter outside the
+  // "sched." namespace is a deterministic function of the allocation and
+  // must not. "sched." counters (scratch reuses, pool stats) describe the
+  // execution schedule and legitimately vary with Jobs.
   std::unique_ptr<Module> M = generateRandomProgram(manyFunctionParams(5));
   Telemetry SerialT, ParallelT;
   std::unique_ptr<Module> C1, C2;
   allocateClone(*M, 1, improvedOptions(), C1, &SerialT);
   allocateClone(*M, 3, improvedOptions(), C2, &ParallelT);
-  EXPECT_EQ(SerialT.snapshot().Counters, ParallelT.snapshot().Counters);
+  EXPECT_EQ(SerialT.snapshot().withoutSchedulingCounters().Counters,
+            ParallelT.snapshot().withoutSchedulingCounters().Counters);
   EXPECT_GT(SerialT.count(telemetry::Functions), 0.0);
+  // Both paths exercised their scratch arenas.
+  EXPECT_GT(SerialT.count(telemetry::SchedScratchReuses), 0.0);
+  EXPECT_GT(ParallelT.count(telemetry::SchedScratchReuses), 0.0);
+}
+
+TEST(ParallelAllocation, OptimizationsOnOffBitIdenticalAtAnyJobs) {
+  // The three throughput features — incremental liveness (with or without
+  // a cached baseline seed), scratch arenas, and the shared pool — are
+  // pure compute-sharing: allocations and costs must be bit-identical
+  // with all of them on or off, serial or parallel.
+  std::unique_ptr<Module> M = generateRandomProgram(manyFunctionParams(91));
+  AllocatorOptions On = improvedOptions();
+  On.IncrementalLiveness = true;
+  On.ScratchArenas = true;
+  AllocatorOptions Off = On;
+  Off.IncrementalLiveness = false;
+  Off.ScratchArenas = false;
+
+  std::unique_ptr<Module> RefClone;
+  ModuleAllocationResult Ref = allocateClone(*M, 1, Off, RefClone);
+  for (unsigned Jobs : {1u, 8u}) {
+    std::unique_ptr<Module> OnClone;
+    ModuleAllocationResult WithOn = allocateClone(*M, Jobs, On, OnClone);
+    expectIdenticalAllocations(*RefClone, Ref, *OnClone, WithOn);
+
+    // Through the harness, with the shared analysis cache and pool.
+    ModuleAnalysisCache Cache;
+    ThreadPool Pool(Jobs);
+    ExperimentRun Cached = runExperiment(
+        {M.get(), RegisterConfig(6, 4, 2, 2), On, FrequencyMode::Profile,
+         Jobs},
+        &Cache, &Pool);
+    ExperimentRun Plain = runExperiment({M.get(), RegisterConfig(6, 4, 2, 2),
+                                         Off, FrequencyMode::Profile, 1});
+    EXPECT_EQ(Cached.Result.Costs.total(), Plain.Result.Costs.total());
+    EXPECT_EQ(Cached.Result.SpilledRanges, Plain.Result.SpilledRanges);
+    EXPECT_EQ(Cached.Result.CoalescedMoves, Plain.Result.CoalescedMoves);
+    EXPECT_EQ(Cached.Result.Cycles, Plain.Result.Cycles);
+    EXPECT_GT(Cache.stats().misses(), 0u);
+  }
 }
 
 TEST(ParallelAllocation, ExperimentGridIsDeterministic) {
@@ -200,7 +275,8 @@ TEST(ParallelAllocation, ExperimentGridIsDeterministic) {
     EXPECT_EQ(Serial[I].Result.Costs.total(), Parallel[I].Result.Costs.total());
     EXPECT_EQ(Serial[I].Result.Cycles, Parallel[I].Result.Cycles);
     EXPECT_EQ(Serial[I].Result.SpilledRanges, Parallel[I].Result.SpilledRanges);
-    EXPECT_EQ(Serial[I].Telemetry.Counters, Parallel[I].Telemetry.Counters);
+    EXPECT_EQ(Serial[I].Telemetry.withoutSchedulingCounters().Counters,
+              Parallel[I].Telemetry.withoutSchedulingCounters().Counters);
   }
   // The two specs that differ only in per-experiment Jobs agree too.
   EXPECT_EQ(Serial[0].Result.Costs.total(), Serial[1].Result.Costs.total());

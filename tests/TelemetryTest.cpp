@@ -59,6 +59,23 @@ TEST(TelemetrySnapshot, AccumulateMergesBothMaps) {
   EXPECT_EQ(A.count("missing"), 0.0);
 }
 
+TEST(TelemetrySnapshot, WithoutSchedulingCountersStripsOnlySchedKeys) {
+  TelemetrySnapshot S;
+  S.Counters["rounds"] = 4.0;
+  S.Counters["liveness_computes"] = 1.0;
+  S.Counters[std::string(telemetry::SchedPrefix) + "scratch_reuses"] = 7.0;
+  S.Counters[telemetry::SchedPoolBatches] = 2.0;
+  S.TimersMs["color"] = 1.5;
+  TelemetrySnapshot Stripped = S.withoutSchedulingCounters();
+  EXPECT_EQ(Stripped.Counters.size(), 2u);
+  EXPECT_EQ(Stripped.count("rounds"), 4.0);
+  EXPECT_EQ(Stripped.count("liveness_computes"), 1.0);
+  EXPECT_EQ(Stripped.count(telemetry::SchedPoolBatches), 0.0);
+  EXPECT_EQ(Stripped.timeMs("color"), 1.5); // timers are left alone
+  // The original is untouched.
+  EXPECT_EQ(S.Counters.size(), 4u);
+}
+
 TEST(TelemetrySnapshot, CsvHasHeaderAndOneRowPerEntry) {
   TelemetrySnapshot Snap;
   Snap.Counters["rounds"] = 4.0;

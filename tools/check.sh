@@ -2,7 +2,10 @@
 # Repository check: configure, build, and run the full test suite; then
 # rebuild with ThreadSanitizer (-DCCRA_TSAN=ON) and rerun the
 # concurrency-sensitive tests — the thread pool, the parallel-vs-serial
-# determinism suite, and the telemetry recorder — under it.
+# determinism suite, and the telemetry recorder — under it; finally run
+# the Release-mode grid-throughput smoke (bench/perf_grid), which exits
+# non-zero if the cached/arena'd grid path ever diverges from the legacy
+# per-point execution model.
 #
 # Usage: tools/check.sh [extra cmake args...]
 #   JOBS=N   parallel build jobs (default: nproc)
@@ -22,5 +25,10 @@ cmake -B build-tsan -S . -DCCRA_TSAN=ON "$@"
 cmake --build build-tsan -j "$JOBS" --target test_parallel test_telemetry
 ctest --test-dir build-tsan --output-on-failure \
       -R 'ThreadPool|ParallelAllocation|Telemetry'
+
+echo "== Release perf smoke: grid throughput bit-identity (bench/perf_grid) =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release "$@"
+cmake --build build-release -j "$JOBS" --target perf_grid
+(cd build-release && ./bench/perf_grid)
 
 echo "check.sh: all green"
