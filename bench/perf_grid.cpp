@@ -6,14 +6,17 @@
 //
 //   legacy:    per-point frequency/liveness recomputation, per-pass
 //              liveness recomputation in the coalescer, per-use scratch
-//              allocations, and a private (nested) pool per engine —
-//              the pre-optimization execution model, selected via
-//              AllocatorOptions::IncrementalLiveness/ScratchArenas = false
-//              and plain per-spec runExperiment calls.
+//              allocations, a private (nested) pool per engine, the dense
+//              bit-matrix interference graph, and the O(V^2) reference
+//              simplifier — the pre-optimization execution model, selected
+//              via AllocatorOptions::IncrementalLiveness/ScratchArenas =
+//              false, GraphMode = Dense, LegacySimplifier = true, and
+//              plain per-spec runExperiment calls.
 //   optimized: one ModuleAnalysisCache and one shared ThreadPool for the
 //              whole grid (runExperiments), baseline-liveness seeding,
-//              incremental liveness, per-slot scratch arenas, and
-//              biggest-function-first task order.
+//              incremental liveness, per-slot scratch arenas,
+//              biggest-function-first task order, the sparse interference
+//              graph, and the worklist simplifier.
 //
 // The two paths must produce bit-identical ExperimentResults; any
 // divergence is a correctness bug and exits non-zero (tools/check.sh runs
@@ -86,9 +89,14 @@ int main(int Argc, char **Argv) {
 
   AllocatorOptions Optimized = improvedOptions();
   Optimized.Verify = false; // measured elsewhere; keep the loop hot
+  // Force the sparse graph everywhere so the bit-identity gate spans the
+  // representations (Auto would pick Dense at these function sizes).
+  Optimized.GraphMode = GraphRep::Sparse;
   AllocatorOptions Legacy = Optimized;
   Legacy.IncrementalLiveness = false;
   Legacy.ScratchArenas = false;
+  Legacy.LegacySimplifier = true;
+  Legacy.GraphMode = GraphRep::Dense;
 
   std::vector<ExperimentSpec> LegacySpecs, OptimizedSpecs;
   for (const auto &M : Programs)

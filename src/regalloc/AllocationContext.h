@@ -23,6 +23,7 @@ namespace ccra {
 
 class MachineDescription;
 class FrequencyInfo;
+class Telemetry;
 
 struct AllocationContext {
   Function &F;
@@ -39,6 +40,10 @@ struct AllocationContext {
   /// allocation so the allocator does not repeatedly buy and return the
   /// same register across spill iterations.
   std::vector<PhysReg> RefusedCalleeRegs;
+
+  /// Optional recorder for intra-round phase timers (alloc.simplify).
+  /// Null-safe: allocators pass it to Telemetry::ScopedTimer directly.
+  Telemetry *T = nullptr;
 };
 
 /// What one allocator round decided.

@@ -87,11 +87,12 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
     AllocationContext Ctx{F,          MD, Freq, Liveness(),
                           LiveRangeSet(), InterferenceGraph(),
                           Freq.entryFrequency(F), {}};
+    Ctx.T = T;
     if (!ReconstructIds.empty()) {
       // Incremental path: nothing to coalesce, patch last round's state.
       Telemetry::ScopedTimer Timer(T, telemetry::ReconstructPhase);
       GraphReconstructor::apply(F, Freq, CarriedLV, CarriedLRS, CarriedIG,
-                                ReconstructIds, ReconstructOldVRegs);
+                                ReconstructIds, ReconstructOldVRegs, Scratch);
       Classes.grow(F.numVRegs());
       Ctx.LV = std::move(CarriedLV);
       Ctx.LRS = std::move(CarriedLRS);
@@ -107,6 +108,7 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
         Req.SeededLV = CarriedLVValid;
         Req.Scratch = Scratch;
         Req.T = T;
+        Req.GraphMode = Opts.GraphMode;
         if (CarriedLVValid) {
           Ctx.LV = std::move(CarriedLV);
           CarriedLVValid = false;
@@ -129,12 +131,21 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
         }
         {
           Telemetry::ScopedTimer Timer(T, telemetry::BuildGraphPhase);
-          Ctx.IG = InterferenceGraph::build(F, Ctx.LV, Ctx.LRS, Scratch);
+          Ctx.IG =
+              InterferenceGraph::build(F, Ctx.LV, Ctx.LRS, Scratch,
+                                       Opts.GraphMode);
         }
       }
     }
     ReconstructIds.clear();
     Ctx.RefusedCalleeRegs = RefusedCalleeRegs;
+    if (T) {
+      T->noteMax(telemetry::AllocPeakGraphBytes,
+                 static_cast<double>(Ctx.IG.memoryBytes()));
+      T->addCount(Ctx.IG.activeRep() == GraphRep::Dense
+                      ? telemetry::AllocGraphDense
+                      : telemetry::AllocGraphSparse);
+    }
 
     RoundResult RR;
     {
@@ -197,6 +208,10 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
             CarriedLV.eraseRegister(V);
         CarriedLVValid = true;
       }
+      // A non-incremental next round rebuilds the graph from scratch, so
+      // this round's graph is garbage — return its buffers to the arena.
+      if (!Incremental && Scratch)
+        Ctx.IG.recycle(*Scratch);
       {
         Telemetry::ScopedTimer Timer(T, telemetry::SpillInsertPhase);
         SpillCodeInserter::run(F, SpilledClasses);
@@ -243,6 +258,10 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
       T->addCount(telemetry::LivenessComputes, LivenessComputes);
       T->addCount(telemetry::LivenessIncrementalUpdates, IncrementalLVUpdates);
     }
+    // Converged: the graph dies with the context — donate its capacity to
+    // the next function sharing this arena.
+    if (Scratch)
+      Ctx.IG.recycle(*Scratch);
     return Out;
   }
 

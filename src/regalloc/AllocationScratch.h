@@ -31,6 +31,8 @@
 #include "support/BitVector.h"
 
 #include <cstdint>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace ccra {
@@ -60,6 +62,16 @@ public:
     return RangeLiveList;
   }
 
+  /// scanBlockForEdges: position of each live range inside rangeLiveList(),
+  /// for O(1) swap-removal. Returned sized to \p NumRanges; contents are
+  /// only read for ranges currently in the live list, so no re-init beyond
+  /// the resize is needed.
+  std::vector<unsigned> &rangeLivePos(unsigned NumRanges) {
+    noteReuse(RangeLivePos.capacity() >= NumRanges);
+    RangeLivePos.resize(NumRanges);
+    return RangeLivePos;
+  }
+
   /// Coalescer: one-merge-per-range-per-pass marks, zeroed.
   std::vector<char> &touchedRanges(unsigned NumRanges) {
     noteReuse(TouchedRanges.capacity() >= NumRanges);
@@ -81,6 +93,37 @@ public:
     return SpillIndexOfRange;
   }
 
+  /// \name Interference-graph buffer pool
+  /// Unlike the accessors above, graph buffers are *moved* out (the graph
+  /// outlives any single scratch handout) and returned by
+  /// InterferenceGraph::recycle / finalize when the graph is done with
+  /// them. take* re-initializes nothing beyond emptying — the graph
+  /// constructor sizes what it takes.
+  /// @{
+  std::vector<std::vector<unsigned>> takeGraphAdj() {
+    noteReuse(!GraphAdj.empty());
+    return std::move(GraphAdj);
+  }
+  void storeGraphAdj(std::vector<std::vector<unsigned>> &&Adj) {
+    GraphAdj = std::move(Adj);
+  }
+
+  BitVector takeGraphMatrix() {
+    noteReuse(GraphMatrix.memoryBytes() > 0);
+    return std::move(GraphMatrix);
+  }
+  void storeGraphMatrix(BitVector &&Matrix) { GraphMatrix = std::move(Matrix); }
+
+  std::unordered_set<uint64_t> takeGraphEdgeSet() {
+    noteReuse(GraphEdgeSet.bucket_count() > 0);
+    GraphEdgeSet.clear();
+    return std::move(GraphEdgeSet);
+  }
+  void storeGraphEdgeSet(std::unordered_set<uint64_t> &&EdgeSet) {
+    GraphEdgeSet = std::move(EdgeSet);
+  }
+  /// @}
+
   /// Number of times a buffer was handed out without having to grow.
   std::uint64_t reuses() const { return Reuses; }
 
@@ -90,9 +133,13 @@ private:
   BitVector LiveBits;
   std::vector<unsigned> RangeLiveCount;
   std::vector<unsigned> RangeLiveList;
+  std::vector<unsigned> RangeLivePos;
   std::vector<char> TouchedRanges;
   std::vector<char> DeleteFlags;
   std::vector<int> SpillIndexOfRange;
+  std::vector<std::vector<unsigned>> GraphAdj;
+  BitVector GraphMatrix;
+  std::unordered_set<uint64_t> GraphEdgeSet;
   std::uint64_t Reuses = 0;
 };
 

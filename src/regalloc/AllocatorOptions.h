@@ -12,6 +12,8 @@
 #ifndef CCRA_REGALLOC_ALLOCATOROPTIONS_H
 #define CCRA_REGALLOC_ALLOCATOROPTIONS_H
 
+#include "regalloc/GraphRep.h"
+
 #include <string>
 
 namespace ccra {
@@ -99,6 +101,17 @@ struct AllocatorOptions {
   /// rounds, and functions instead of allocating them per use. Purely an
   /// allocation-churn optimization; results are bit-identical.
   bool ScratchArenas = true;
+
+  /// Interference-graph representation: Auto switches from the dense bit
+  /// matrix to sparse adjacency above InterferenceGraph::DenseNodeThreshold
+  /// nodes. Dense/Sparse force one representation (equivalence tests, memory
+  /// experiments). Results are bit-identical at any setting.
+  GraphRep GraphMode = GraphRep::Auto;
+
+  /// Use the retained O(V^2) reference simplifier instead of the worklist
+  /// one. Results are bit-identical (equivalence-tested); this exists for
+  /// the perf_grid legacy arm and as a fallback while triaging.
+  bool LegacySimplifier = false;
 
   /// Safety cap on spill-and-retry rounds.
   unsigned MaxRounds = 64;

@@ -3,6 +3,7 @@
 #include "regalloc/ChaitinAllocator.h"
 
 #include "regalloc/Simplifier.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 
@@ -14,7 +15,13 @@ void ChaitinAllocator::runRound(AllocationContext &Ctx, RoundResult &RR) {
   Simplifier::KeyFn Key;
   if (hasSimplifyKey())
     Key = [this, &Ctx](const LiveRange &LR) { return simplifyKey(Ctx, LR); };
-  SimplifyResult Simp = Simplifier::run(Ctx, Opts.Optimistic, Key);
+  SimplifyResult Simp;
+  {
+    Telemetry::ScopedTimer Timer(Ctx.T, telemetry::AllocSimplifyPhase);
+    Simp = Opts.LegacySimplifier
+               ? Simplifier::runReference(Ctx, Opts.Optimistic, Key)
+               : Simplifier::run(Ctx, Opts.Optimistic, Key);
+  }
 
   AssignmentState State(Ctx);
   for (PhysReg Reg : Ctx.RefusedCalleeRegs)

@@ -127,7 +127,7 @@ CoalesceStats Coalescer::run(Function &F, VRegClasses &Classes,
     InterferenceGraph IG;
     {
       Telemetry::ScopedTimer Timer(T, telemetry::BuildGraphPhase);
-      IG = InterferenceGraph::build(F, LV, LRS, &S);
+      IG = InterferenceGraph::build(F, LV, LRS, &S, Req.GraphMode);
     }
 
     // --- Phase 1: decide merges and deletions (code untouched) ------------
@@ -300,6 +300,10 @@ CoalesceStats Coalescer::run(Function &F, VRegClasses &Classes,
     } else {
       LVValid = false;
     }
+
+    // This pass's graph is stale (code changed); give its buffers back to
+    // the arena for the next pass's build.
+    IG.recycle(S);
   }
 
   // Fixpoint not reached within the cap (should not happen: every pass
@@ -310,7 +314,7 @@ CoalesceStats Coalescer::run(Function &F, VRegClasses &Classes,
   LV = Liveness::compute(F);
   ++Stats.LivenessComputes;
   OutLRS = LiveRangeSet::build(F, LV, Freq, Classes);
-  OutIG = InterferenceGraph::build(F, LV, OutLRS, &S);
+  OutIG = InterferenceGraph::build(F, LV, OutLRS, &S, Req.GraphMode);
   return Stats;
 }
 

@@ -30,6 +30,7 @@
 #define CCRA_REGALLOC_COALESCER_H
 
 #include "analysis/Liveness.h"
+#include "regalloc/GraphRep.h"
 
 namespace ccra {
 
@@ -67,6 +68,9 @@ struct CoalesceRequest {
   AllocationScratch *Scratch = nullptr;
   /// Optional recorder for the build_ranges / build_graph phase timers.
   Telemetry *T = nullptr;
+  /// Representation for the per-pass interference graphs (and therefore
+  /// for the final graph handed back through OutIG).
+  GraphRep GraphMode = GraphRep::Auto;
 };
 
 class Coalescer {

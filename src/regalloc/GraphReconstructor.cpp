@@ -3,6 +3,7 @@
 #include "regalloc/GraphReconstructor.h"
 
 #include "analysis/Frequency.h"
+#include "regalloc/AllocationScratch.h"
 
 #include <algorithm>
 #include <cassert>
@@ -21,7 +22,8 @@ void GraphReconstructor::apply(const Function &F, const FrequencyInfo &Freq,
                                Liveness &LV, LiveRangeSet &LRS,
                                InterferenceGraph &IG,
                                const std::vector<unsigned> &SpilledRangeIds,
-                               unsigned OldNumVRegs) {
+                               unsigned OldNumVRegs,
+                               AllocationScratch *Scratch) {
   const unsigned OldNumRanges = LRS.numRanges();
   const unsigned NewNumVRegs = F.numVRegs();
 
@@ -121,7 +123,11 @@ void GraphReconstructor::apply(const Function &F, const FrequencyInfo &Freq,
   }
 
   // --- Interference graph: copy surviving edges, rescan touched blocks ----
-  InterferenceGraph NewIG(NewLRS.numRanges());
+  // The new graph keeps the old graph's representation policy, so a forced
+  // Dense/Sparse choice survives spill rounds.
+  AllocationScratch LocalScratch;
+  AllocationScratch &S = Scratch ? *Scratch : LocalScratch;
+  InterferenceGraph NewIG(NewLRS.numRanges(), IG.policy(), &S);
   for (unsigned A = 0; A < OldNumRanges; ++A) {
     if (NewIdOfOld[A] < 0)
       continue;
@@ -146,10 +152,12 @@ void GraphReconstructor::apply(const Function &F, const FrequencyInfo &Freq,
     }
     if (Touched)
       InterferenceGraph::scanBlockForEdges(F, *BB, LV.liveOut(*BB), NewLRS,
-                                           NewIG);
+                                           NewIG, &S);
   }
+  NewIG.finalize(&S);
 
   LRS = std::move(NewLRS);
+  IG.recycle(S);
   IG = std::move(NewIG);
 }
 

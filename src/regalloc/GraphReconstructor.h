@@ -35,6 +35,7 @@
 
 namespace ccra {
 
+class AllocationScratch;
 class FrequencyInfo;
 class VRegClasses;
 
@@ -44,11 +45,13 @@ public:
   /// rewrite — to describe \p F *after* SpillCodeInserter ran.
   /// \p SpilledRangeIds are the live-range ids (in the old \p LRS) that
   /// were spilled; \p OldNumVRegs is the register count before the rewrite
-  /// (every register >= OldNumVRegs is a fresh reload temporary).
+  /// (every register >= OldNumVRegs is a fresh reload temporary). The new
+  /// graph inherits the old graph's representation policy and is finalized;
+  /// the old graph's buffers are recycled through \p Scratch when given.
   static void apply(const Function &F, const FrequencyInfo &Freq,
                     Liveness &LV, LiveRangeSet &LRS, InterferenceGraph &IG,
                     const std::vector<unsigned> &SpilledRangeIds,
-                    unsigned OldNumVRegs);
+                    unsigned OldNumVRegs, AllocationScratch *Scratch = nullptr);
 
   /// True if \p F contains no copy instructions — the condition under which
   /// skipping the coalescing phase (and hence using apply()) is exact.

@@ -5,15 +5,36 @@
 #include "analysis/Liveness.h"
 #include "regalloc/AllocationScratch.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace ccra;
 
-InterferenceGraph::InterferenceGraph(unsigned NumNodes) {
+InterferenceGraph::InterferenceGraph(unsigned NumNodes, GraphRep Policy,
+                                     AllocationScratch *Scratch)
+    : Policy(Policy) {
+  Dense = Policy == GraphRep::Dense ||
+          (Policy == GraphRep::Auto && NumNodes <= DenseNodeThreshold);
+  if (Scratch) {
+    Adj = Scratch->takeGraphAdj();
+    if (Dense)
+      Matrix = Scratch->takeGraphMatrix();
+    else
+      EdgeSet = Scratch->takeGraphEdgeSet();
+  }
+  // Recycled adjacency keeps per-node capacity; trim or grow to NumNodes
+  // with every kept list emptied.
+  if (Adj.size() > NumNodes)
+    Adj.resize(NumNodes);
+  for (auto &List : Adj)
+    List.clear();
   Adj.resize(NumNodes);
-  size_t Bits =
-      NumNodes == 0 ? 0 : static_cast<size_t>(NumNodes) * (NumNodes - 1) / 2;
-  Matrix.resize(static_cast<unsigned>(Bits));
+  if (Dense) {
+    size_t Bits =
+        NumNodes == 0 ? 0 : static_cast<size_t>(NumNodes) * (NumNodes - 1) / 2;
+    Matrix.resize(Bits);
+    Matrix.resetAll();
+  }
 }
 
 size_t InterferenceGraph::matrixIndex(unsigned A, unsigned B) const {
@@ -23,14 +44,30 @@ size_t InterferenceGraph::matrixIndex(unsigned A, unsigned B) const {
   return static_cast<size_t>(B) * (B - 1) / 2 + A;
 }
 
+void InterferenceGraph::reopenEdgeSet() {
+  EdgeSet.reserve(NumEdges + NumEdges / 2);
+  for (unsigned A = 0; A < Adj.size(); ++A)
+    for (unsigned B : Adj[A])
+      if (A < B)
+        EdgeSet.insert(edgeKey(A, B));
+}
+
 void InterferenceGraph::addEdge(unsigned A, unsigned B) {
   assert(A < numNodes() && B < numNodes() && "node out of range");
   if (A == B)
     return;
-  size_t Idx = matrixIndex(A, B);
-  if (Matrix.test(static_cast<unsigned>(Idx)))
-    return;
-  Matrix.set(static_cast<unsigned>(Idx));
+  if (Dense) {
+    size_t Idx = matrixIndex(A, B);
+    if (Matrix.test(Idx))
+      return;
+    Matrix.set(Idx);
+  } else {
+    if (Finalized)
+      reopenEdgeSet();
+    if (!EdgeSet.insert(edgeKey(A, B)).second)
+      return;
+  }
+  Finalized = false;
   Adj[A].push_back(B);
   Adj[B].push_back(A);
   ++NumEdges;
@@ -39,7 +76,52 @@ void InterferenceGraph::addEdge(unsigned A, unsigned B) {
 bool InterferenceGraph::interfere(unsigned A, unsigned B) const {
   if (A == B)
     return false;
-  return Matrix.test(static_cast<unsigned>(matrixIndex(A, B)));
+  if (Dense)
+    return Matrix.test(matrixIndex(A, B));
+  if (!Finalized)
+    return EdgeSet.count(edgeKey(A, B)) != 0;
+  // Finalized sparse: binary search the shorter endpoint's sorted list.
+  bool AShorter = Adj[A].size() <= Adj[B].size();
+  const std::vector<unsigned> &List = AShorter ? Adj[A] : Adj[B];
+  unsigned Target = AShorter ? B : A;
+  return std::binary_search(List.begin(), List.end(), Target);
+}
+
+void InterferenceGraph::finalize(AllocationScratch *S) {
+  if (!Finalized)
+    for (auto &List : Adj)
+      std::sort(List.begin(), List.end());
+  if (!Dense && EdgeSet.bucket_count() > 0) {
+    EdgeSet.clear();
+    if (S)
+      S->storeGraphEdgeSet(std::move(EdgeSet));
+    EdgeSet = std::unordered_set<uint64_t>();
+  }
+  Finalized = true;
+}
+
+size_t InterferenceGraph::memoryBytes() const {
+  size_t Bytes = Adj.capacity() * sizeof(std::vector<unsigned>);
+  for (const auto &List : Adj)
+    Bytes += List.capacity() * sizeof(unsigned);
+  Bytes += Matrix.memoryBytes();
+  Bytes += EdgeSet.bucket_count() * sizeof(void *) +
+           EdgeSet.size() * (sizeof(uint64_t) + 2 * sizeof(void *));
+  return Bytes;
+}
+
+void InterferenceGraph::recycle(AllocationScratch &S) {
+  S.storeGraphAdj(std::move(Adj));
+  Adj = std::vector<std::vector<unsigned>>();
+  if (Dense) {
+    S.storeGraphMatrix(std::move(Matrix));
+    Matrix = BitVector();
+  } else if (EdgeSet.bucket_count() > 0) {
+    S.storeGraphEdgeSet(std::move(EdgeSet));
+    EdgeSet = std::unordered_set<uint64_t>();
+  }
+  NumEdges = 0;
+  Finalized = false;
 }
 
 void InterferenceGraph::scanBlockForEdges(const Function &F,
@@ -50,28 +132,33 @@ void InterferenceGraph::scanBlockForEdges(const Function &F,
                                           AllocationScratch *Scratch) {
   // Liveness is tracked at vreg granularity (Live); a live *range* is live
   // while any member vreg is, maintained as a per-range count plus a dense
-  // list of currently live ranges for fast iteration at defs.
+  // list of currently live ranges (with a position index for O(1) removal)
+  // for fast iteration at defs.
   AllocationScratch Local;
   AllocationScratch &S = Scratch ? *Scratch : Local;
   BitVector &Live = S.liveBits(F.numVRegs());
   std::vector<unsigned> &LiveCount = S.rangeLiveCount(LRS.numRanges());
   std::vector<unsigned> &LiveList = S.rangeLiveList();
+  std::vector<unsigned> &LivePos = S.rangeLivePos(LRS.numRanges());
 
   auto VRegBecameLive = [&](unsigned V) {
     unsigned R = static_cast<unsigned>(LRS.rangeIdOf(VirtReg(V)));
-    if (LiveCount[R]++ == 0)
+    if (LiveCount[R]++ == 0) {
+      LivePos[R] = static_cast<unsigned>(LiveList.size());
       LiveList.push_back(R);
+    }
   };
   auto VRegBecameDead = [&](unsigned V) {
     unsigned R = static_cast<unsigned>(LRS.rangeIdOf(VirtReg(V)));
     assert(LiveCount[R] > 0 && "kill of dead range");
     if (--LiveCount[R] == 0) {
-      for (auto It = LiveList.begin(), E = LiveList.end(); It != E; ++It)
-        if (*It == R) {
-          *It = LiveList.back();
-          LiveList.pop_back();
-          break;
-        }
+      // Swap-remove via the position index: same list mutation the old
+      // linear scan performed, without the O(LiveList) search.
+      unsigned Pos = LivePos[R];
+      unsigned Last = LiveList.back();
+      LiveList[Pos] = Last;
+      LivePos[Last] = Pos;
+      LiveList.pop_back();
     }
   };
 
@@ -125,13 +212,15 @@ void InterferenceGraph::scanBlockForEdges(const Function &F,
 InterferenceGraph InterferenceGraph::build(const Function &F,
                                            const Liveness &LV,
                                            const LiveRangeSet &LRS,
-                                           AllocationScratch *Scratch) {
+                                           AllocationScratch *Scratch,
+                                           GraphRep Policy) {
   // Even without a caller-provided arena, share one across the blocks of
   // this build instead of allocating per block.
   AllocationScratch Local;
   AllocationScratch &S = Scratch ? *Scratch : Local;
-  InterferenceGraph IG(LRS.numRanges());
+  InterferenceGraph IG(LRS.numRanges(), Policy, &S);
   for (const auto &BB : F.blocks())
     scanBlockForEdges(F, *BB, LV.liveOut(*BB), LRS, IG, &S);
+  IG.finalize(&S);
   return IG;
 }

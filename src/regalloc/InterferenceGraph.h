@@ -4,8 +4,26 @@
 /// The interference graph of the Chaitin framework: nodes are live ranges,
 /// edges connect live ranges that are simultaneously live (within the same
 /// register bank — live ranges in different banks never compete for a
-/// register, so no edges are needed between them). A triangular bit matrix
-/// gives O(1) interference queries; adjacency vectors drive simplification.
+/// register, so no edges are needed between them).
+///
+/// The edge relation is stored in one of two representations behind a single
+/// query API (GraphRep):
+///
+///  - Dense: a strict-lower-triangle bit matrix. O(1) `interfere` and edge
+///    dedup, but V*(V-1)/2 bits of memory — quadratic in the node count.
+///  - Sparse: per-node adjacency only. While building, a hash set of packed
+///    (min,max) edge keys provides dedup and O(1) `interfere`; `finalize()`
+///    sorts the adjacency lists, drops the hash set, and switches
+///    `interfere` to a binary search of the smaller endpoint's list.
+///
+/// Auto policy picks Dense below DenseNodeThreshold nodes and Sparse above
+/// it, so per-function cost scales with V+E instead of V^2 on large
+/// functions. Both representations expose *identical* adjacency: finalize()
+/// canonicalizes neighbor lists to ascending order (build() and the graph
+/// reconstructor finalize for you), so every consumer — Simplifier,
+/// Coalescer, GraphReconstructor, CBHAllocator, AllocationVerifier — is
+/// representation-agnostic and allocation results are bit-identical under
+/// every policy.
 ///
 /// Copy instructions get the classic Chaitin special case: at "move d <- s"
 /// no edge is added between d and s, which is what makes them coalescable.
@@ -15,9 +33,11 @@
 #ifndef CCRA_REGALLOC_INTERFERENCEGRAPH_H
 #define CCRA_REGALLOC_INTERFERENCEGRAPH_H
 
+#include "regalloc/GraphRep.h"
 #include "regalloc/LiveRange.h"
 #include "support/BitVector.h"
 
+#include <unordered_set>
 #include <vector>
 
 namespace ccra {
@@ -27,8 +47,18 @@ class Liveness;
 
 class InterferenceGraph {
 public:
+  /// Auto switches from the bit matrix to sparse adjacency above this node
+  /// count. At the threshold the matrix holds ~8M bits (1 MiB) — still
+  /// cheap to zero; one step further doubles per-function memory for no
+  /// query-speed win the allocator can measure.
+  static constexpr unsigned DenseNodeThreshold = 4096;
+
   InterferenceGraph() = default;
-  explicit InterferenceGraph(unsigned NumNodes);
+  /// \p Scratch, when given, donates recycled buffer capacity (adjacency
+  /// lists, matrix words, edge-set buckets) instead of fresh allocations.
+  explicit InterferenceGraph(unsigned NumNodes,
+                             GraphRep Policy = GraphRep::Auto,
+                             AllocationScratch *Scratch = nullptr);
 
   unsigned numNodes() const { return static_cast<unsigned>(Adj.size()); }
 
@@ -47,12 +77,40 @@ public:
   /// Total number of undirected edges. O(1): addEdge maintains the count.
   size_t numEdges() const { return NumEdges; }
 
+  /// The policy this graph was created with (Auto/Dense/Sparse); the graph
+  /// reconstructor propagates it so a forced representation survives spill
+  /// rounds.
+  GraphRep policy() const { return Policy; }
+  /// The representation actually in use (never Auto).
+  GraphRep activeRep() const {
+    return Dense ? GraphRep::Dense : GraphRep::Sparse;
+  }
+
+  /// Canonicalizes the adjacency lists to ascending node order (identical
+  /// across representations) and, in sparse mode, releases the build-time
+  /// edge hash set in favor of binary-search `interfere`. Idempotent.
+  /// Queries work before and after; addEdge after finalize transparently
+  /// re-opens the build state. \p S, when given, receives the released
+  /// sparse edge-set buckets for the next build.
+  void finalize(AllocationScratch *S = nullptr);
+
+  /// Approximate heap bytes held by the graph (adjacency capacity, matrix
+  /// words, edge-set buckets) — feeds the alloc.peak_graph_bytes counter.
+  size_t memoryBytes() const;
+
+  /// Returns the internal buffers' capacity to \p S so the next graph built
+  /// with that scratch starts from recycled storage. Leaves this graph
+  /// empty.
+  void recycle(AllocationScratch &S);
+
   /// Builds the graph for \p F from liveness and the live-range set.
-  /// \p Scratch, when given, supplies the per-block scan buffers (one
-  /// internal arena is used otherwise).
+  /// \p Scratch, when given, supplies the per-block scan buffers and
+  /// recycled graph storage (one internal arena is used otherwise). The
+  /// returned graph is finalized.
   static InterferenceGraph build(const Function &F, const Liveness &LV,
                                  const LiveRangeSet &LRS,
-                                 AllocationScratch *Scratch = nullptr);
+                                 AllocationScratch *Scratch = nullptr,
+                                 GraphRep Policy = GraphRep::Auto);
 
   /// Adds every interference edge arising within \p BB (given its live-out
   /// set) to \p IG. Idempotent; the incremental graph reconstruction uses
@@ -66,10 +124,22 @@ public:
 
 private:
   size_t matrixIndex(unsigned A, unsigned B) const;
+  static uint64_t edgeKey(unsigned A, unsigned B) {
+    if (A > B)
+      std::swap(A, B);
+    return (static_cast<uint64_t>(A) << 32) | B;
+  }
+  /// Sparse mode: rebuilds EdgeSet from the adjacency lists (used when
+  /// addEdge is called on a finalized graph).
+  void reopenEdgeSet();
 
   std::vector<std::vector<unsigned>> Adj;
-  BitVector Matrix; // strict lower triangle
+  BitVector Matrix;                    // dense: strict lower triangle
+  std::unordered_set<uint64_t> EdgeSet; // sparse: dedup until finalize()
   size_t NumEdges = 0;
+  GraphRep Policy = GraphRep::Auto;
+  bool Dense = true;
+  bool Finalized = false;
 };
 
 } // namespace ccra

@@ -14,24 +14,24 @@ bool BitVector::none() const {
   return true;
 }
 
-unsigned BitVector::count() const {
-  unsigned Total = 0;
+size_t BitVector::count() const {
+  size_t Total = 0;
   for (uint64_t W : Words)
-    Total += static_cast<unsigned>(std::popcount(W));
+    Total += static_cast<size_t>(std::popcount(W));
   return Total;
 }
 
-void BitVector::resize(unsigned NewSize, bool Value) {
-  unsigned OldSize = NumBits;
-  unsigned NewWords = (NewSize + BitsPerWord - 1) / BitsPerWord;
+void BitVector::resize(size_t NewSize, bool Value) {
+  size_t OldSize = NumBits;
+  size_t NewWords = (NewSize + BitsPerWord - 1) / BitsPerWord;
   Words.resize(NewWords, Value ? ~uint64_t(0) : 0);
   NumBits = NewSize;
   if (Value && NewSize > OldSize) {
     // Newly appended whole words are already all-ones; fill the tail of the
     // word that straddles the old size boundary.
-    unsigned BoundaryEnd = std::min(
+    size_t BoundaryEnd = std::min(
         NewSize, (OldSize / BitsPerWord + 1) * BitsPerWord);
-    for (unsigned Idx = OldSize; Idx < BoundaryEnd; ++Idx)
+    for (size_t Idx = OldSize; Idx < BoundaryEnd; ++Idx)
       Words[Idx / BitsPerWord] |= wordMask(Idx);
   }
   clearUnusedBits();
@@ -73,16 +73,16 @@ void BitVector::subtract(const BitVector &Other) {
     Words[I] &= ~Other.Words[I];
 }
 
-int BitVector::findNext(unsigned From) const {
+ptrdiff_t BitVector::findNext(size_t From) const {
   if (From >= NumBits)
     return -1;
-  unsigned WordIdx = From / BitsPerWord;
+  size_t WordIdx = From / BitsPerWord;
   uint64_t Word = Words[WordIdx] & (~uint64_t(0) << (From % BitsPerWord));
   while (true) {
     if (Word != 0) {
-      unsigned Bit =
-          WordIdx * BitsPerWord + static_cast<unsigned>(std::countr_zero(Word));
-      return Bit < NumBits ? static_cast<int>(Bit) : -1;
+      size_t Bit =
+          WordIdx * BitsPerWord + static_cast<size_t>(std::countr_zero(Word));
+      return Bit < NumBits ? static_cast<ptrdiff_t>(Bit) : -1;
     }
     if (++WordIdx == Words.size())
       return -1;
@@ -96,7 +96,7 @@ void BitVector::collectSetBits(std::vector<unsigned> &Out) const {
 }
 
 void BitVector::clearUnusedBits() {
-  unsigned Tail = NumBits % BitsPerWord;
+  size_t Tail = NumBits % BitsPerWord;
   if (Tail != 0 && !Words.empty())
     Words.back() &= (uint64_t(1) << Tail) - 1;
 }

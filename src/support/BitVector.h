@@ -11,6 +11,10 @@
 /// allocator needs: set/reset/test, bulk union/intersect/subtract, iteration
 /// over set bits, and population count.
 ///
+/// Indices are size_t: the triangular interference bit matrix stores
+/// V*(V-1)/2 bits, which exceeds 2^32 once V reaches ~93k nodes, so the
+/// index space must be wider than the node count's.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCRA_SUPPORT_BITVECTOR_H
@@ -30,12 +34,12 @@ public:
 
   /// Creates a bit vector holding \p NumBits bits, all initialized to
   /// \p InitialValue.
-  explicit BitVector(unsigned NumBits, bool InitialValue = false) {
+  explicit BitVector(size_t NumBits, bool InitialValue = false) {
     resize(NumBits, InitialValue);
   }
 
   /// Returns the number of bits tracked by this vector.
-  unsigned size() const { return NumBits; }
+  size_t size() const { return NumBits; }
 
   /// Returns true if no bit is set.
   bool none() const;
@@ -44,20 +48,20 @@ public:
   bool any() const { return !none(); }
 
   /// Returns the number of set bits.
-  unsigned count() const;
+  size_t count() const;
 
   /// Grows or shrinks the vector to \p NewSize bits; new bits take
   /// \p Value.
-  void resize(unsigned NewSize, bool Value = false);
+  void resize(size_t NewSize, bool Value = false);
 
   /// Sets bit \p Idx to one.
-  void set(unsigned Idx) {
+  void set(size_t Idx) {
     assert(Idx < NumBits && "bit index out of range");
     Words[Idx / BitsPerWord] |= wordMask(Idx);
   }
 
   /// Clears bit \p Idx.
-  void reset(unsigned Idx) {
+  void reset(size_t Idx) {
     assert(Idx < NumBits && "bit index out of range");
     Words[Idx / BitsPerWord] &= ~wordMask(Idx);
   }
@@ -69,12 +73,12 @@ public:
   void setAll();
 
   /// Returns the value of bit \p Idx.
-  bool test(unsigned Idx) const {
+  bool test(size_t Idx) const {
     assert(Idx < NumBits && "bit index out of range");
     return (Words[Idx / BitsPerWord] & wordMask(Idx)) != 0;
   }
 
-  bool operator[](unsigned Idx) const { return test(Idx); }
+  bool operator[](size_t Idx) const { return test(Idx); }
 
   /// Bitwise-or of \p Other into this vector. Returns true if any bit of
   /// this vector changed (used to detect dataflow fixpoints). Sizes must
@@ -89,10 +93,10 @@ public:
 
   /// Returns the index of the first set bit at or after \p From, or -1 if
   /// there is none.
-  int findNext(unsigned From) const;
+  ptrdiff_t findNext(size_t From) const;
 
   /// Returns the index of the first set bit, or -1 for an empty vector.
-  int findFirst() const { return findNext(0); }
+  ptrdiff_t findFirst() const { return findNext(0); }
 
   bool operator==(const BitVector &Other) const {
     return NumBits == Other.NumBits && Words == Other.Words;
@@ -101,13 +105,16 @@ public:
   /// Appends the index of every set bit to \p Out.
   void collectSetBits(std::vector<unsigned> &Out) const;
 
+  /// Bytes of heap capacity held by the word array (for memory telemetry).
+  size_t memoryBytes() const { return Words.capacity() * sizeof(uint64_t); }
+
   /// Iterator over the indices of set bits.
   class SetBitIterator {
   public:
-    SetBitIterator(const BitVector &BV, int Pos) : BV(&BV), Pos(Pos) {}
+    SetBitIterator(const BitVector &BV, ptrdiff_t Pos) : BV(&BV), Pos(Pos) {}
     unsigned operator*() const { return static_cast<unsigned>(Pos); }
     SetBitIterator &operator++() {
-      Pos = BV->findNext(static_cast<unsigned>(Pos) + 1);
+      Pos = BV->findNext(static_cast<size_t>(Pos) + 1);
       return *this;
     }
     bool operator!=(const SetBitIterator &Other) const {
@@ -116,16 +123,16 @@ public:
 
   private:
     const BitVector *BV;
-    int Pos;
+    ptrdiff_t Pos;
   };
 
   SetBitIterator begin() const { return SetBitIterator(*this, findFirst()); }
   SetBitIterator end() const { return SetBitIterator(*this, -1); }
 
 private:
-  static constexpr unsigned BitsPerWord = 64;
+  static constexpr size_t BitsPerWord = 64;
 
-  static uint64_t wordMask(unsigned Idx) {
+  static uint64_t wordMask(size_t Idx) {
     return uint64_t(1) << (Idx % BitsPerWord);
   }
 
@@ -134,7 +141,7 @@ private:
   void clearUnusedBits();
 
   std::vector<uint64_t> Words;
-  unsigned NumBits = 0;
+  size_t NumBits = 0;
 };
 
 } // namespace ccra

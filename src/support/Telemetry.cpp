@@ -2,6 +2,7 @@
 
 #include "support/Telemetry.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -22,10 +23,20 @@ double TelemetrySnapshot::timeMs(const std::string &Name) const {
   return It == TimersMs.end() ? 0.0 : It->second;
 }
 
+static bool isMaxCounter(const std::string &Name) {
+  const std::string Prefix = telemetry::MaxCounterPrefix;
+  return Name.compare(0, Prefix.size(), Prefix) == 0;
+}
+
 TelemetrySnapshot &
 TelemetrySnapshot::operator+=(const TelemetrySnapshot &Other) {
-  for (const auto &[Name, Value] : Other.Counters)
-    Counters[Name] += Value;
+  for (const auto &[Name, Value] : Other.Counters) {
+    double &Slot = Counters[Name];
+    if (isMaxCounter(Name))
+      Slot = std::max(Slot, Value);
+    else
+      Slot += Value;
+  }
   for (const auto &[Name, Value] : Other.TimersMs)
     TimersMs[Name] += Value;
   return *this;
@@ -77,7 +88,10 @@ TelemetrySnapshot TelemetrySnapshot::withoutSchedulingCounters() const {
   TelemetrySnapshot Out = *this;
   const std::string Prefix = telemetry::SchedPrefix;
   for (auto It = Out.Counters.begin(); It != Out.Counters.end();) {
-    if (It->first.compare(0, Prefix.size(), Prefix) == 0)
+    // Peak counters measure buffer capacity, which depends on arena reuse
+    // order — scheduling-dependent just like the "sched." namespace.
+    if (It->first.compare(0, Prefix.size(), Prefix) == 0 ||
+        isMaxCounter(It->first))
       It = Out.Counters.erase(It);
     else
       ++It;
@@ -176,6 +190,12 @@ bool TelemetrySnapshot::fromJson(const std::string &Text,
 void Telemetry::addCount(const std::string &Name, double Delta) {
   std::lock_guard<std::mutex> Lock(M);
   Data.Counters[Name] += Delta;
+}
+
+void Telemetry::noteMax(const std::string &Name, double Value) {
+  std::lock_guard<std::mutex> Lock(M);
+  double &Slot = Data.Counters[Name];
+  Slot = std::max(Slot, Value);
 }
 
 void Telemetry::addTimeMs(const std::string &Name, double Ms) {

@@ -79,6 +79,10 @@ public:
   Telemetry() = default;
 
   void addCount(const std::string &Name, double Delta = 1.0);
+  /// Raises counter \p Name to \p Value if it is below it. Use for peak /
+  /// high-water counters; name them under telemetry::MaxCounterPrefix so
+  /// snapshot merging takes the max instead of the sum.
+  void noteMax(const std::string &Name, double Value);
   void addTimeMs(const std::string &Name, double Ms);
   void merge(const TelemetrySnapshot &Other);
 
@@ -149,6 +153,20 @@ inline constexpr const char *SchedPoolBatches = "sched.pool_batches";
 inline constexpr const char *SchedPoolTasks = "sched.pool_tasks";
 inline constexpr const char *SchedPoolMaxSlotShare =
     "sched.pool_max_slot_share";
+
+// Allocation hot-path counters ("alloc." namespace). The graph_dense /
+// graph_sparse round counts are deterministic; counters under
+// MaxCounterPrefix merge by maximum (order-independent) but measure buffer
+// *capacity*, which depends on arena reuse order, so they are excluded
+// from the determinism guarantee alongside the "sched." namespace.
+inline constexpr const char *MaxCounterPrefix = "alloc.peak_";
+/// High-water interference-graph footprint across rounds (bytes).
+inline constexpr const char *AllocPeakGraphBytes = "alloc.peak_graph_bytes";
+/// Rounds colored against a dense (bit-matrix) graph.
+inline constexpr const char *AllocGraphDense = "alloc.graph_dense";
+/// Rounds colored against a sparse (adjacency-only) graph.
+inline constexpr const char *AllocGraphSparse = "alloc.graph_sparse";
+
 // Phase timers.
 inline constexpr const char *CoalescePhase = "coalesce";
 inline constexpr const char *BuildRangesPhase = "build_ranges";
@@ -158,6 +176,8 @@ inline constexpr const char *ColorPhase = "color";
 inline constexpr const char *SpillInsertPhase = "spill_insert";
 inline constexpr const char *MaterializePhase = "materialize";
 inline constexpr const char *VerifyPhase = "verify";
+/// Simplification inside the color phase (the worklist / reference loop).
+inline constexpr const char *AllocSimplifyPhase = "alloc.simplify";
 inline constexpr const char *AllocateTotal = "allocate_total";
 } // namespace telemetry
 

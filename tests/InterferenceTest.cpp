@@ -3,8 +3,10 @@
 #include "analysis/Frequency.h"
 #include "analysis/Liveness.h"
 #include "ir/IRBuilder.h"
+#include "regalloc/AllocationScratch.h"
 #include "regalloc/InterferenceGraph.h"
 #include "regalloc/VRegClasses.h"
+#include "workloads/RandomProgram.h"
 
 #include <algorithm>
 #include <gtest/gtest.h>
@@ -231,6 +233,102 @@ TEST(InterferenceGraphTest, NumEdgesMatchesHandshakeCount) {
     DegreeSum += Fx.IG.degree(Node);
   EXPECT_GT(Fx.IG.numEdges(), 0u);
   EXPECT_EQ(Fx.IG.numEdges() * 2, DegreeSum);
+}
+
+// --- Dense / sparse representation cross-checks --------------------------
+
+TEST(InterferenceGraphTest, DenseAndSparseAgreeOnRandomPrograms) {
+  for (uint64_t Seed : {1u, 7u, 23u}) {
+    RandomProgramParams P;
+    P.Seed = Seed;
+    std::unique_ptr<Module> M = generateRandomProgram(P);
+    FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
+    for (const auto &F : M->functions()) {
+      if (F->isDeclaration())
+        continue;
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << Seed << " fn=" << F->getName());
+      Liveness LV = Liveness::compute(*F);
+      VRegClasses Classes(F->numVRegs());
+      LiveRangeSet LRS = LiveRangeSet::build(*F, LV, Freq, Classes);
+      InterferenceGraph Dense =
+          InterferenceGraph::build(*F, LV, LRS, nullptr, GraphRep::Dense);
+      InterferenceGraph Sparse =
+          InterferenceGraph::build(*F, LV, LRS, nullptr, GraphRep::Sparse);
+      ASSERT_EQ(Dense.activeRep(), GraphRep::Dense);
+      ASSERT_EQ(Sparse.activeRep(), GraphRep::Sparse);
+      ASSERT_EQ(Dense.numNodes(), Sparse.numNodes());
+      EXPECT_EQ(Dense.numEdges(), Sparse.numEdges());
+      EXPECT_GT(Dense.memoryBytes(), 0u);
+      for (unsigned A = 0; A < Dense.numNodes(); ++A) {
+        // finalize() canonicalizes adjacency, so the *order* must match
+        // too — consumers like the steal fallback observe it.
+        EXPECT_EQ(Dense.neighbors(A), Sparse.neighbors(A));
+        for (unsigned B = 0; B < Dense.numNodes(); ++B)
+          EXPECT_EQ(Dense.interfere(A, B), Sparse.interfere(A, B));
+      }
+    }
+  }
+}
+
+TEST(InterferenceGraphTest, SparseQueriesWorkBeforeAndAfterFinalize) {
+  InterferenceGraph IG(8, GraphRep::Sparse);
+  ASSERT_EQ(IG.activeRep(), GraphRep::Sparse);
+  IG.addEdge(0, 5);
+  IG.addEdge(5, 2);
+  IG.addEdge(7, 0);
+  EXPECT_TRUE(IG.interfere(0, 5)); // hash-set path
+  EXPECT_FALSE(IG.interfere(1, 2));
+  IG.finalize();
+  EXPECT_TRUE(IG.interfere(5, 0)); // binary-search path
+  EXPECT_FALSE(IG.interfere(3, 4));
+  EXPECT_EQ(IG.neighbors(0), (std::vector<unsigned>{5, 7})); // canonical
+  // addEdge after finalize transparently re-opens the build state, with
+  // dedup intact.
+  IG.addEdge(1, 0);
+  EXPECT_TRUE(IG.interfere(0, 1));
+  EXPECT_TRUE(IG.interfere(0, 5));
+  IG.addEdge(0, 1);
+  EXPECT_EQ(IG.degree(1), 1u);
+  IG.finalize();
+  EXPECT_EQ(IG.neighbors(0), (std::vector<unsigned>{1, 5, 7}));
+  EXPECT_EQ(IG.numEdges(), 4u);
+}
+
+TEST(InterferenceGraphTest, AutoPolicyPicksRepresentationByNodeCount) {
+  InterferenceGraph Small(16);
+  EXPECT_EQ(Small.activeRep(), GraphRep::Dense);
+  EXPECT_EQ(Small.policy(), GraphRep::Auto);
+  // Constructor-only: the sparse representation allocates no V^2 state.
+  InterferenceGraph Large(InterferenceGraph::DenseNodeThreshold + 1);
+  EXPECT_EQ(Large.activeRep(), GraphRep::Sparse);
+  EXPECT_EQ(Large.policy(), GraphRep::Auto);
+  InterferenceGraph Forced(16, GraphRep::Sparse);
+  EXPECT_EQ(Forced.activeRep(), GraphRep::Sparse);
+}
+
+TEST(InterferenceGraphTest, RecycledBuffersDoNotLeakEdges) {
+  AllocationScratch S;
+  for (GraphRep Rep : {GraphRep::Dense, GraphRep::Sparse}) {
+    SCOPED_TRACE(Rep == GraphRep::Dense ? "dense" : "sparse");
+    InterferenceGraph A(6, Rep, &S);
+    A.addEdge(0, 1);
+    A.addEdge(2, 3);
+    A.addEdge(4, 5);
+    A.finalize();
+    A.recycle(S);
+    InterferenceGraph B(4, Rep, &S);
+    EXPECT_EQ(B.numEdges(), 0u);
+    for (unsigned X = 0; X < 4; ++X) {
+      EXPECT_EQ(B.degree(X), 0u);
+      for (unsigned Y = 0; Y < 4; ++Y)
+        EXPECT_FALSE(B.interfere(X, Y));
+    }
+    B.addEdge(1, 2);
+    EXPECT_TRUE(B.interfere(2, 1));
+    B.recycle(S);
+  }
+  EXPECT_GT(S.reuses(), 0u);
 }
 
 } // namespace

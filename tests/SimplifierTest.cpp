@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 
 using namespace ccra;
 
@@ -135,6 +137,133 @@ TEST(Simplifier, CascadingRemovalUnlocksNeighbors) {
   SimplifyResult R = Simplifier::run(Ctx, false);
   EXPECT_TRUE(R.SpilledNodes.empty());
   EXPECT_EQ(R.Stack.size(), 4u);
+}
+
+// --- Worklist vs reference equivalence ----------------------------------
+//
+// run() and runReference() must produce byte-identical results on every
+// input: same stack, same spill set, same optimistic flags. The scenarios
+// below sweep seeds, both key strategies, optimistic on/off, NoSpill
+// flags, and refused-callee locking.
+
+/// Pseudo-random scenario over both banks with mixed costs, NoSpill flags
+/// and ~15% edge density; deterministic in \p Seed.
+AllocationContext &buildEquivalenceScenario(ScenarioBuilder &S, uint64_t Seed,
+                                            unsigned NumNodes) {
+  uint64_t X = Seed * 0x9E3779B97F4A7C15ull + 1;
+  auto Next = [&X]() {
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<unsigned>(X >> 33);
+  };
+  for (unsigned I = 0; I < NumNodes; ++I) {
+    RegBank Bank = Next() % 4 == 0 ? RegBank::Float : RegBank::Int;
+    double Refs = 1.0 + Next() % 997;
+    double CallerCost = Next() % 311;
+    S.addRange(Bank, Refs, CallerCost, /*ContainsCall=*/Next() % 2 == 0);
+  }
+  for (unsigned A = 0; A < NumNodes; ++A)
+    for (unsigned B = A + 1; B < NumNodes; ++B)
+      if (Next() % 100 < 15)
+        S.addEdge(A, B);
+  AllocationContext &Ctx = S.context();
+  for (unsigned I = 0; I < NumNodes; ++I)
+    if (Next() % 11 == 0)
+      Ctx.LRS.range(I).NoSpill = true;
+  return Ctx;
+}
+
+void expectIdenticalResults(const SimplifyResult &A, const SimplifyResult &B) {
+  EXPECT_EQ(A.Stack, B.Stack);
+  EXPECT_EQ(A.SpilledNodes, B.SpilledNodes);
+  EXPECT_EQ(A.PushedOptimistically, B.PushedOptimistically);
+}
+
+// The two §5 key strategies, as pure functions of the live range (what the
+// improved allocator feeds the simplifier).
+double maxBenefitKey(const LiveRange &LR) {
+  return std::max(LR.benefitCaller(), LR.benefitCallee());
+}
+
+double deltaBenefitKey(const LiveRange &LR) {
+  double Caller = LR.benefitCaller();
+  double Callee = LR.benefitCallee();
+  if (Caller >= 0.0 && Callee >= 0.0)
+    return std::abs(Caller - Callee);
+  return std::max(Caller, Callee);
+}
+
+TEST(SimplifierEquivalence, WorklistMatchesReferenceAcrossSeedsKeysModes) {
+  struct NamedKey {
+    const char *Name;
+    Simplifier::KeyFn Key;
+  };
+  const NamedKey Keys[] = {
+      {"id-order", nullptr},
+      {"max-benefit", maxBenefitKey},
+      {"delta", deltaBenefitKey},
+  };
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed)
+    for (bool Optimistic : {false, true})
+      for (const NamedKey &NK : Keys) {
+        SCOPED_TRACE(testing::Message() << "seed=" << Seed << " optimistic="
+                                        << Optimistic << " key=" << NK.Name);
+        ScenarioBuilder S(RegisterConfig(3, 1, 2, 1), 100);
+        AllocationContext &Ctx = buildEquivalenceScenario(S, Seed, 40);
+        expectIdenticalResults(
+            Simplifier::run(Ctx, Optimistic, NK.Key),
+            Simplifier::runReference(Ctx, Optimistic, NK.Key));
+      }
+}
+
+TEST(SimplifierEquivalence, UniformKeysTieBreakToLowestIndex) {
+  // Every node identical and unconstrained with an everywhere-equal key:
+  // both implementations must fall back to index order — the documented
+  // lowest-index tie-break, and the hardest case for a heap to preserve.
+  ScenarioBuilder S(RegisterConfig(4, 0, 0, 0), 100);
+  for (unsigned I = 0; I < 12; ++I)
+    S.addRange(RegBank::Int, 100, 0, false);
+  AllocationContext &Ctx = S.context();
+  Simplifier::KeyFn Constant = [](const LiveRange &) { return 1.0; };
+  SimplifyResult A = Simplifier::run(Ctx, false, Constant);
+  expectIdenticalResults(A, Simplifier::runReference(Ctx, false, Constant));
+  std::vector<unsigned> Ascending(12);
+  for (unsigned I = 0; I < 12; ++I)
+    Ascending[I] = I;
+  EXPECT_EQ(A.Stack, Ascending);
+}
+
+TEST(SimplifierEquivalence, RefusedCalleeRegistersLockIdentically) {
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed)
+    for (bool Optimistic : {false, true}) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << Seed << " optimistic=" << Optimistic);
+      ScenarioBuilder S(RegisterConfig(0, 0, 3, 2), 100);
+      AllocationContext &Ctx = buildEquivalenceScenario(S, Seed, 30);
+      Ctx.RefusedCalleeRegs = {PhysReg(RegBank::Int, 1),
+                               PhysReg(RegBank::Int, 2),
+                               PhysReg(RegBank::Float, 0)};
+      expectIdenticalResults(Simplifier::run(Ctx, Optimistic, deltaBenefitKey),
+                             Simplifier::runReference(Ctx, Optimistic,
+                                                      deltaBenefitKey));
+    }
+}
+
+TEST(SimplifierEquivalence, EmergencyNoSpillPathMatches) {
+  // A 4-clique of unspillable nodes over 2 registers: the victim scan finds
+  // nothing and both implementations must take the emergency path.
+  ScenarioBuilder S(RegisterConfig(2, 0, 0, 0), 100);
+  for (unsigned I = 0; I < 4; ++I)
+    S.addRange(RegBank::Int, 100 + I, 0, false);
+  for (unsigned A = 0; A < 4; ++A)
+    for (unsigned B = A + 1; B < 4; ++B)
+      S.addEdge(A, B);
+  AllocationContext &Ctx = S.context();
+  for (unsigned I = 0; I < 4; ++I)
+    Ctx.LRS.range(I).NoSpill = true;
+  SimplifyResult A = Simplifier::run(Ctx, false);
+  expectIdenticalResults(A, Simplifier::runReference(Ctx, false));
+  EXPECT_TRUE(A.SpilledNodes.empty()); // NoSpill nodes are pushed, not spilled
+  EXPECT_EQ(A.Stack.size(), 4u);
 }
 
 } // namespace

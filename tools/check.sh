@@ -3,9 +3,11 @@
 # rebuild with ThreadSanitizer (-DCCRA_TSAN=ON) and rerun the
 # concurrency-sensitive tests — the thread pool, the parallel-vs-serial
 # determinism suite, and the telemetry recorder — under it; finally run
-# the Release-mode grid-throughput smoke (bench/perf_grid), which exits
-# non-zero if the cached/arena'd grid path ever diverges from the legacy
-# per-point execution model.
+# the Release-mode perf smokes: the grid-throughput benchmark
+# (bench/perf_grid) and the per-function scaling benchmark
+# (bench/perf_scaling), both of which exit non-zero if the optimized
+# paths (shared caches/arenas, sparse graphs, worklist simplifier) ever
+# diverge bit-for-bit from the legacy execution model.
 #
 # Usage: tools/check.sh [extra cmake args...]
 #   JOBS=N   parallel build jobs (default: nproc)
@@ -26,9 +28,10 @@ cmake --build build-tsan -j "$JOBS" --target test_parallel test_telemetry
 ctest --test-dir build-tsan --output-on-failure \
       -R 'ThreadPool|ParallelAllocation|Telemetry'
 
-echo "== Release perf smoke: grid throughput bit-identity (bench/perf_grid) =="
+echo "== Release perf smokes: bit-identity gates (perf_grid, perf_scaling) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release "$@"
-cmake --build build-release -j "$JOBS" --target perf_grid
+cmake --build build-release -j "$JOBS" --target perf_grid perf_scaling
 (cd build-release && ./bench/perf_grid)
+(cd build-release && ./bench/perf_scaling)
 
 echo "check.sh: all green"
