@@ -1,0 +1,308 @@
+//===- fuzz/Oracle.cpp ----------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "analysis/AnalysisCache.h"
+#include "core/EngineBuilder.h"
+#include "ir/Cloner.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "regalloc/CostAccounting.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+using namespace ccra;
+
+namespace {
+
+/// Everything one leg's allocation produced, keyed so legs are comparable
+/// (clones differ by pointer, so functions are keyed by name).
+struct LegCapture {
+  CostBreakdown Totals;
+  std::map<std::string, FunctionAllocation> PerFunction;
+  std::string AllocatedIR;
+};
+
+bool sameCosts(const CostBreakdown &A, const CostBreakdown &B) {
+  return A.Spill == B.Spill && A.CallerSave == B.CallerSave &&
+         A.CalleeSave == B.CalleeSave && A.Shuffle == B.Shuffle;
+}
+
+std::string costString(const CostBreakdown &C) {
+  std::ostringstream OS;
+  OS << "spill=" << C.Spill << " caller=" << C.CallerSave
+     << " callee=" << C.CalleeSave << " shuffle=" << C.Shuffle;
+  return OS.str();
+}
+
+/// First differing line of two printed modules, for compact reports.
+std::string firstDiffLine(const std::string &A, const std::string &B) {
+  std::istringstream SA(A), SB(B);
+  std::string LA, LB;
+  unsigned Line = 0;
+  while (true) {
+    ++Line;
+    bool HasA = static_cast<bool>(std::getline(SA, LA));
+    bool HasB = static_cast<bool>(std::getline(SB, LB));
+    if (!HasA && !HasB)
+      return "(identical?)";
+    if (!HasA || !HasB || LA != LB)
+      return "line " + std::to_string(Line) + ": baseline '" +
+             (HasA ? LA : "<eof>") + "' vs '" + (HasB ? LB : "<eof>") + "'";
+  }
+}
+
+/// Allocates a private clone of \p M under \p Leg, appending soundness
+/// findings to \p Report as it goes.
+LegCapture runLeg(const Module &M, const OracleLeg &Leg,
+                  const OracleOptions &OO, ModuleAnalysisCache &Cache,
+                  OracleReport &Report) {
+  auto Fail = [&](const std::string &Oracle, const std::string &Detail) {
+    Report.Failures.push_back({Leg.Name, Oracle, Detail});
+  };
+
+  std::unique_ptr<Module> Clone = cloneModule(M);
+  FrequencyInfo Freq;
+  AnalysisSeeds Seeds;
+  const AnalysisSeeds *SeedsPtr = nullptr;
+  if (Leg.SeedFromCache) {
+    // The cache is keyed on the pristine source module; its frequencies and
+    // baseline liveness transfer to any clone by position / block-id
+    // identity (the same sharing contract the experiment grid relies on).
+    Freq = Cache.frequencies(M, OO.Mode).remappedTo(M, *Clone);
+    const auto &Fns = M.functions();
+    for (unsigned I = 0; I < Fns.size(); ++I) {
+      if (Fns[I]->isDeclaration())
+        continue;
+      Seeds.BaselineLiveness.push_back(&Cache.baselineLiveness(M, I));
+    }
+    SeedsPtr = &Seeds;
+  } else {
+    Freq = FrequencyInfo::compute(*Clone, OO.Mode);
+  }
+
+  AllocationEngine Engine =
+      EngineBuilder(OO.Config).options(Leg.Opts).build();
+  ModuleAllocationResult Result = Engine.allocateModule(*Clone, Freq, SeedsPtr);
+  ++Report.LegsRun;
+
+  LegCapture Cap;
+  Cap.Totals = Result.Totals;
+  CostBreakdown Measured;
+  for (const auto &F : Clone->functions()) {
+    if (F->isDeclaration())
+      continue;
+    const FunctionAllocation &FA = Result.PerFunction.at(F.get());
+    // Soundness: the post-allocation verifier ran in report-only mode.
+    for (const std::string &E : FA.VerifyErrors)
+      Fail("verify", E);
+    Measured += measureCostFromCode(*F, Freq);
+    Cap.PerFunction[F->getName()] = FA;
+  }
+
+  // Soundness: allocated code is still well-formed IR.
+  std::vector<std::string> IrErrors;
+  if (!verifyModule(*Clone, &IrErrors))
+    Fail("ir-verify", IrErrors.empty() ? "module verification failed"
+                                       : IrErrors.front());
+
+  // Soundness: costs are finite and non-negative.
+  for (double C : {Result.Totals.Spill, Result.Totals.CallerSave,
+                   Result.Totals.CalleeSave, Result.Totals.Shuffle})
+    if (!std::isfinite(C) || C < 0.0) {
+      Fail("cost-domain", "non-finite or negative cost component: " +
+                              costString(Result.Totals));
+      break;
+    }
+
+  // Soundness: §3 cost reconciliation — the overhead instructions actually
+  // in the code weigh exactly what the assignment-derived analysis says
+  // (requires materialized save/restore code, which every leg enables).
+  auto Reconciles = [](double A, double B, double RelTol) {
+    return std::abs(A - B) <= RelTol * (1.0 + std::abs(B));
+  };
+  if (!Reconciles(Measured.Spill, Result.Totals.Spill, 1e-6) ||
+      !Reconciles(Measured.CallerSave, Result.Totals.CallerSave, 1e-6) ||
+      !Reconciles(Measured.CalleeSave, Result.Totals.CalleeSave, 1e-6) ||
+      !Reconciles(Measured.Shuffle, Result.Totals.Shuffle, 1e-9))
+    Fail("cost-reconcile", "measured {" + costString(Measured) +
+                               "} vs analytic {" +
+                               costString(Result.Totals) + "}");
+
+  std::ostringstream OS;
+  printModule(*Clone, OS);
+  Cap.AllocatedIR = OS.str();
+  return Cap;
+}
+
+bool locationsEqual(const Location &A, const Location &B) {
+  return A.isRegister() == B.isRegister() &&
+         (!A.isRegister() || A.Reg == B.Reg);
+}
+
+void diffAgainstBaseline(const LegCapture &Base, const LegCapture &Leg,
+                         const std::string &LegName, OracleReport &Report) {
+  auto Fail = [&](const std::string &Oracle, const std::string &Detail) {
+    Report.Failures.push_back({LegName, Oracle, Detail});
+  };
+
+  if (!sameCosts(Base.Totals, Leg.Totals))
+    Fail("totals-diff", "baseline {" + costString(Base.Totals) + "} vs {" +
+                            costString(Leg.Totals) + "}");
+
+  for (const auto &[Name, BaseFA] : Base.PerFunction) {
+    auto It = Leg.PerFunction.find(Name);
+    if (It == Leg.PerFunction.end()) {
+      Fail("function-set-diff", "@" + Name + " missing from leg result");
+      continue;
+    }
+    const FunctionAllocation &FA = It->second;
+    if (!sameCosts(BaseFA.Costs, FA.Costs))
+      Fail("cost-diff", "@" + Name + ": baseline {" +
+                            costString(BaseFA.Costs) + "} vs {" +
+                            costString(FA.Costs) + "}");
+    if (BaseFA.Rounds != FA.Rounds ||
+        BaseFA.SpilledRanges != FA.SpilledRanges ||
+        BaseFA.VoluntarySpills != FA.VoluntarySpills ||
+        BaseFA.CoalescedMoves != FA.CoalescedMoves ||
+        BaseFA.CalleeRegsPaid != FA.CalleeRegsPaid)
+      Fail("counter-diff",
+           "@" + Name + ": rounds " + std::to_string(BaseFA.Rounds) + "/" +
+               std::to_string(FA.Rounds) + " spilled " +
+               std::to_string(BaseFA.SpilledRanges) + "/" +
+               std::to_string(FA.SpilledRanges) + " voluntary " +
+               std::to_string(BaseFA.VoluntarySpills) + "/" +
+               std::to_string(FA.VoluntarySpills) + " coalesced " +
+               std::to_string(BaseFA.CoalescedMoves) + "/" +
+               std::to_string(FA.CoalescedMoves) + " calleePaid " +
+               std::to_string(BaseFA.CalleeRegsPaid) + "/" +
+               std::to_string(FA.CalleeRegsPaid));
+    if (BaseFA.VRegLocations.size() != FA.VRegLocations.size())
+      Fail("location-diff", "@" + Name + " decided " +
+                                std::to_string(FA.VRegLocations.size()) +
+                                " vregs, baseline " +
+                                std::to_string(BaseFA.VRegLocations.size()));
+    for (const auto &[V, Loc] : BaseFA.VRegLocations) {
+      auto LIt = FA.VRegLocations.find(V);
+      if (LIt == FA.VRegLocations.end() ||
+          !locationsEqual(LIt->second, Loc)) {
+        Fail("location-diff", "@" + Name + " vreg " + std::to_string(V) +
+                                  " placed differently");
+        break;
+      }
+    }
+  }
+  for (const auto &[Name, FA] : Leg.PerFunction) {
+    (void)FA;
+    if (!Base.PerFunction.count(Name))
+      Fail("function-set-diff", "@" + Name + " extra in leg result");
+  }
+
+  if (Base.AllocatedIR != Leg.AllocatedIR)
+    Fail("ir-diff", firstDiffLine(Base.AllocatedIR, Leg.AllocatedIR));
+}
+
+} // namespace
+
+std::vector<OracleLeg> ccra::oracleLattice(unsigned ParallelJobs,
+                                           bool SoundnessSweep) {
+  // Every leg materializes save/restore code (the reconciliation oracle
+  // needs the overhead instructions in the code) and runs the allocation
+  // verifier in report-only mode (a violation is a finding, not an abort).
+  auto Common = [](AllocatorOptions O) {
+    O.MaterializeSaveRestore = true;
+    O.Verify = true;
+    O.VerifyReportOnly = true;
+    return O;
+  };
+  AllocatorOptions Base = Common(improvedOptions());
+  Base.GraphMode = GraphRep::Dense; // explicit, so the sparse leg differs
+  Base.Jobs = 1;
+
+  std::vector<OracleLeg> Legs;
+  Legs.push_back({"baseline", Base, /*ExpectIdentical=*/false, false});
+
+  auto Identical = [&](const std::string &Name, AllocatorOptions O,
+                       bool Seeded = false) {
+    Legs.push_back({Name, std::move(O), /*ExpectIdentical=*/true, Seeded});
+  };
+  {
+    AllocatorOptions O = Base;
+    O.GraphMode = GraphRep::Sparse;
+    Identical("graph-sparse", O);
+  }
+  {
+    AllocatorOptions O = Base;
+    O.LegacySimplifier = true;
+    Identical("simplifier-reference", O);
+  }
+  {
+    AllocatorOptions O = Base;
+    O.Jobs = ParallelJobs;
+    Identical("jobs-parallel", O);
+  }
+  {
+    AllocatorOptions O = Base;
+    O.ScratchArenas = false;
+    Identical("arenas-off", O);
+  }
+  {
+    AllocatorOptions O = Base;
+    O.IncrementalLiveness = false;
+    Identical("liveness-legacy", O);
+  }
+  {
+    AllocatorOptions O = Base;
+    O.IncrementalReconstruction = false;
+    Identical("reconstruct-legacy", O);
+  }
+  Identical("liveness-seeded", Base, /*Seeded=*/true);
+
+  if (SoundnessSweep) {
+    auto Sound = [&](const std::string &Name, AllocatorOptions O) {
+      Legs.push_back({Name, Common(std::move(O)), false, false});
+    };
+    AllocatorOptions FirstUser = Base;
+    FirstUser.CalleeModel = CalleeCostModel::FirstUserPays;
+    Sound("callee-first-user-pays", FirstUser);
+    Sound("allocator-base", baseChaitinOptions());
+    Sound("allocator-optimistic", optimisticOptions());
+    Sound("allocator-improved-opt", improvedOptimisticOptions());
+    Sound("allocator-priority", priorityOptions());
+    Sound("allocator-cbh", cbhOptions());
+  }
+  return Legs;
+}
+
+std::vector<std::string> ccra::OracleReport::lines() const {
+  std::vector<std::string> Out;
+  for (const OracleFailure &F : Failures)
+    Out.push_back("[" + F.Leg + "] " + F.Oracle + ": " + F.Detail);
+  return Out;
+}
+
+OracleReport ccra::runOracleLattice(const Module &M,
+                                    const OracleOptions &Opts) {
+  OracleReport Report;
+  if (Opts.InjectedFault && Opts.InjectedFault(M))
+    Report.Failures.push_back(
+        {"injected-fault", "injected",
+         "test hook reported a planted mismatch for this module"});
+
+  ModuleAnalysisCache Cache;
+  std::vector<OracleLeg> Legs =
+      oracleLattice(Opts.ParallelJobs, Opts.SoundnessSweep);
+  LegCapture Baseline;
+  for (std::size_t I = 0; I < Legs.size(); ++I) {
+    const OracleLeg &Leg = Legs[I];
+    LegCapture Cap = runLeg(M, Leg, Opts, Cache, Report);
+    if (I == 0)
+      Baseline = std::move(Cap);
+    else if (Leg.ExpectIdentical)
+      diffAgainstBaseline(Baseline, Cap, Leg.Name, Report);
+  }
+  return Report;
+}

@@ -1,0 +1,58 @@
+//===- fuzz/Shrinker.h - Greedy reproducer minimization ---------*- C++ -*-===//
+///
+/// \file
+/// Shrinks a failing fuzz module into a minimal reproducer by greedy
+/// deletion: whole function bodies, branch sides (condbr rewritten to br,
+/// unreachable blocks erased), instruction chunks, and single virtual
+/// registers (every instruction touching the register removed, with
+/// call/ret operands stripped instead). A candidate deletion is kept only
+/// if the smaller module still verifies as IR *and* still fails the
+/// caller's predicate — typically "the oracle lattice still reports a
+/// mismatch" — so the output is a well-formed module that reproduces the
+/// original finding. Passes repeat to a fixpoint under a deterministic
+/// evaluation budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_FUZZ_SHRINKER_H
+#define CCRA_FUZZ_SHRINKER_H
+
+#include <functional>
+#include <memory>
+
+namespace ccra {
+
+class Module;
+
+/// Must return true while the module still exhibits the failure being
+/// minimized. Called only on IR-verified modules; must not mutate its
+/// argument (the oracle lattice clones internally, so it qualifies).
+using ShrinkPredicate = std::function<bool(const Module &)>;
+
+struct ShrinkOptions {
+  /// Cap on predicate evaluations (each one typically runs the full oracle
+  /// lattice, so this is the shrink time budget). The result is whatever
+  /// the greedy passes reached when the budget ran out.
+  unsigned MaxEvaluations = 1500;
+};
+
+struct ShrinkStats {
+  unsigned Evaluations = 0;  ///< predicate runs consumed
+  unsigned Passes = 0;       ///< full pass cycles until fixpoint/budget
+  unsigned InstructionsBefore = 0;
+  unsigned InstructionsAfter = 0;
+  unsigned BodiesBefore = 0; ///< functions with a body
+  unsigned BodiesAfter = 0;
+};
+
+/// Returns a minimized module that still satisfies \p StillFails.
+/// \p M itself is never modified. Requires StillFails(M) on entry (callers
+/// only shrink modules that already failed the lattice).
+std::unique_ptr<Module> shrinkModule(const Module &M,
+                                     const ShrinkPredicate &StillFails,
+                                     const ShrinkOptions &Opts = {},
+                                     ShrinkStats *Stats = nullptr);
+
+} // namespace ccra
+
+#endif // CCRA_FUZZ_SHRINKER_H

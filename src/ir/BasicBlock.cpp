@@ -25,6 +25,45 @@ void BasicBlock::addSuccessor(BasicBlock *Succ, double Probability) {
   Succ->Preds.push_back(this);
 }
 
+void BasicBlock::rewriteCondBrToBr(unsigned KeepIdx) {
+  assert(getTerminator() && getTerminator()->Op == Opcode::CondBr &&
+         "terminator is not a condbr");
+  assert(KeepIdx < Succs.size() && Succs.size() == 2 &&
+         "condbr must have two successors");
+  Succs[1 - KeepIdx].Succ->removeOnePredecessor(this);
+  CfgEdge Kept = Succs[KeepIdx];
+  Kept.Probability = 1.0;
+  Succs.assign(1, Kept);
+  Insts.back() = Instruction(Opcode::Br);
+}
+
+void BasicBlock::removeOnePredecessor(const BasicBlock *Pred) {
+  for (auto It = Preds.begin(); It != Preds.end(); ++It)
+    if (*It == Pred) {
+      Preds.erase(It);
+      return;
+    }
+  assert(false && "predecessor not found");
+}
+
+void BasicBlock::absorbSuccessor(BasicBlock &S) {
+  assert(getTerminator() && getTerminator()->Op == Opcode::Br &&
+         Succs.size() == 1 && Succs[0].Succ == &S &&
+         "absorb requires an unconditional edge to the absorbed block");
+  assert(&S != this && "cannot absorb a self-loop");
+  Insts.pop_back(); // the br
+  for (Instruction &I : S.Insts)
+    Insts.push_back(std::move(I));
+  Succs = std::move(S.Succs);
+  for (CfgEdge &E : Succs)
+    for (BasicBlock *&P : E.Succ->Preds)
+      if (P == &S)
+        P = this;
+  S.Insts.clear();
+  S.Succs.clear();
+  S.Preds.clear();
+}
+
 unsigned BasicBlock::countProgramInstructions() const {
   unsigned Count = 0;
   for (const Instruction &I : Insts)

@@ -56,6 +56,22 @@ public:
   /// Number of non-overhead instructions (used by workload statistics).
   unsigned countProgramInstructions() const;
 
+  /// Rewrites a condbr terminator into an unconditional br to successor
+  /// \p KeepIdx (0 or 1): the other edge is removed (and one matching entry
+  /// in its target's pred list), the kept edge's probability becomes 1.
+  /// Used by the fuzz shrinker.
+  void rewriteCondBrToBr(unsigned KeepIdx);
+
+  /// Internal: drops one occurrence of \p Pred from the predecessor list.
+  void removeOnePredecessor(const BasicBlock *Pred);
+
+  /// Internal: splices \p S's instructions and outgoing edges into this
+  /// block, which must end in an unconditional br whose single successor
+  /// is \p S. \p S is left empty and unlinked (its former successors list
+  /// this block as predecessor instead). Used by
+  /// Function::mergeStraightLineBlocks.
+  void absorbSuccessor(BasicBlock &S);
+
   /// Internal: used by Function when renumbering blocks.
   void setId(unsigned NewId) { Id = NewId; }
 

@@ -37,6 +37,72 @@ bool Function::isSpillTemp(VirtReg R) const {
   return VRegIsSpillTemp[R.Id];
 }
 
+unsigned Function::eraseUnreachableBlocks() {
+  if (Blocks.empty())
+    return 0;
+  std::vector<bool> Reachable(Blocks.size(), false);
+  std::vector<BasicBlock *> Work{getEntryBlock()};
+  Reachable[getEntryBlock()->getId()] = true;
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    for (const CfgEdge &E : BB->successors())
+      if (!Reachable[E.Succ->getId()]) {
+        Reachable[E.Succ->getId()] = true;
+        Work.push_back(E.Succ);
+      }
+  }
+
+  unsigned Removed = 0;
+  for (const auto &BB : Blocks)
+    if (!Reachable[BB->getId()])
+      ++Removed;
+  if (Removed == 0)
+    return 0;
+
+  // Unlink edges leaving dead blocks from the surviving pred lists, then
+  // drop the dead blocks and renumber the rest densely.
+  for (const auto &BB : Blocks)
+    if (!Reachable[BB->getId()])
+      for (const CfgEdge &E : BB->successors())
+        if (Reachable[E.Succ->getId()])
+          E.Succ->removeOnePredecessor(BB.get());
+  std::vector<std::unique_ptr<BasicBlock>> Kept;
+  Kept.reserve(Blocks.size() - Removed);
+  for (auto &BB : Blocks)
+    if (Reachable[BB->getId()])
+      Kept.push_back(std::move(BB));
+  Blocks = std::move(Kept);
+  for (unsigned I = 0; I < Blocks.size(); ++I)
+    Blocks[I]->setId(I);
+  return Removed;
+}
+
+unsigned Function::mergeStraightLineBlocks() {
+  unsigned Merged = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto &BB : Blocks) {
+      const Instruction *Term = BB->getTerminator();
+      if (!Term || Term->Op != Opcode::Br || BB->successors().size() != 1)
+        continue;
+      BasicBlock *S = BB->successors()[0].Succ;
+      if (S == BB.get() || S == getEntryBlock() ||
+          S->predecessors().size() != 1)
+        continue;
+      BB->absorbSuccessor(*S);
+      ++Merged;
+      Changed = true;
+    }
+  }
+  // The absorbed blocks are now empty and predecessor-less; reachability
+  // cleanup drops them and renumbers the survivors.
+  if (Merged)
+    eraseUnreachableBlocks();
+  return Merged;
+}
+
 unsigned Function::countProgramInstructions() const {
   unsigned Count = 0;
   for (const auto &BB : Blocks)

@@ -47,6 +47,25 @@ public:
   }
   unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
 
+  /// Discards the body, turning this function into an external declaration.
+  /// Calls to it stay legal (callers keep paying call cost); the vreg table
+  /// is kept so existing handles stay in range. Used by the fuzz shrinker.
+  void dropBody() { Blocks.clear(); }
+
+  /// Removes every block unreachable from the entry block, fixes the
+  /// surviving pred lists, and renumbers block ids densely. Returns the
+  /// number of blocks removed. Used by the fuzz shrinker after it rewrites
+  /// branches.
+  unsigned eraseUnreachableBlocks();
+
+  /// Merges straight-line block pairs: whenever a block ends in an
+  /// unconditional br to a block whose only predecessor it is, the
+  /// successor's instructions replace the br and the successor is erased
+  /// (the entry block can absorb its successor but is never absorbed).
+  /// Returns the number of blocks merged away. Used by the fuzz shrinker
+  /// to collapse the br-only chains left behind by other deletions.
+  unsigned mergeStraightLineBlocks();
+
   /// Creates a fresh virtual register in \p Bank.
   VirtReg createVReg(RegBank Bank);
 

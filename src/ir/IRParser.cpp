@@ -97,8 +97,8 @@ ParseResult Parser::run() {
   bool SawModule = false;
   while (nextLine(Line)) {
     std::string Text = trim(Line);
-    if (Text.empty())
-      continue;
+    if (Text.empty() || Text[0] == ';')
+      continue; // blank or full-line comment (reproducer provenance headers)
     if (Text.rfind("module ", 0) == 0) {
       if (SawModule) {
         error("duplicate 'module' line");

@@ -2,7 +2,9 @@
 
 #include "ir/IRPrinter.h"
 
+#include <charconv>
 #include <sstream>
+#include <string_view>
 
 using namespace ccra;
 
@@ -91,12 +93,17 @@ void ccra::printFunction(const Function &F, std::ostream &OS) {
     if (!BB->successors().empty()) {
       OS << "  ; succs:";
       for (const CfgEdge &E : BB->successors()) {
-        // Six significant digits: enough that reparsed probabilities still
-        // sum to one within the verifier's tolerance.
-        std::ostringstream Prob;
-        Prob.precision(6);
-        Prob << E.Probability;
-        OS << ' ' << E.Succ->getName() << '(' << Prob.str() << ')';
+        // Shortest round-trip-exact form: a reparsed module must carry
+        // bit-identical probabilities, or flow conservation (exit
+        // frequencies summing to the entry frequency) degrades enough to
+        // trip the fuzz harness's cost-reconciliation oracle on replay.
+        char Prob[32];
+        auto [End, Ec] =
+            std::to_chars(Prob, Prob + sizeof(Prob), E.Probability);
+        (void)Ec;
+        OS << ' ' << E.Succ->getName() << '('
+           << std::string_view(Prob, static_cast<size_t>(End - Prob))
+           << ')';
       }
       OS << '\n';
     }

@@ -242,9 +242,14 @@ AllocationEngine::allocateWith(RegAllocBase &Alloc, Function &F,
       AllocationVerifyReport Report =
           verifyAllocation(Ctx, RR, Opts.MaterializeSaveRestore);
       if (!Report.ok()) {
-        for (const std::string &Message : Report.Errors)
-          std::fprintf(stderr, "allocation verifier: %s\n", Message.c_str());
-        std::abort();
+        if (Opts.VerifyReportOnly) {
+          Out.VerifyErrors = std::move(Report.Errors);
+        } else {
+          for (const std::string &Message : Report.Errors)
+            std::fprintf(stderr, "allocation verifier: %s\n",
+                         Message.c_str());
+          std::abort();
+        }
       }
     }
 

@@ -13,7 +13,9 @@
 
 #include "ir/Register.h"
 
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace ccra {
 
@@ -63,6 +65,11 @@ struct FunctionAllocation {
   std::unordered_map<unsigned, Location> VRegLocations;
 
   CostBreakdown Costs;
+
+  /// Soundness-verifier findings, populated only under
+  /// AllocatorOptions::VerifyReportOnly (the default verifier path aborts
+  /// instead). Empty means the allocation verified clean.
+  std::vector<std::string> VerifyErrors;
 
   unsigned Rounds = 0;          ///< Spill-and-retry iterations used.
   unsigned SpilledRanges = 0;   ///< Ranges spilled because coloring failed.

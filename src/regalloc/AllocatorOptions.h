@@ -81,6 +81,12 @@ struct AllocatorOptions {
   /// Run the allocation verifier after convergence.
   bool Verify = true;
 
+  /// With Verify on, collect verifier failures into
+  /// FunctionAllocation::VerifyErrors instead of aborting the process. The
+  /// differential fuzz harness runs with this set so a soundness violation
+  /// becomes a reported (and shrinkable) finding rather than a crash.
+  bool VerifyReportOnly = false;
+
   /// Graph reconstruction (§2): when a retry round cannot coalesce anything
   /// anyway (the function has no copies left), patch the liveness /
   /// live-range / interference-graph state incrementally instead of

@@ -6,6 +6,8 @@
 #include "regalloc/OverheadMaterializer.h"
 #include "target/MachineDescription.h"
 
+#include <algorithm>
+
 using namespace ccra;
 
 CostBreakdown ccra::measureCostFromCode(const Function &F,
@@ -50,14 +52,26 @@ CostBreakdown ccra::computeAnalyticCost(const AllocationContext &Ctx,
     }
   }
 
-  // Caller-save component: each live range in a caller-save register pays
-  // a save + restore around every call it crosses — which is exactly its
-  // CallerSaveCost metric.
+  // Caller-save component: one save + restore per (call, caller-save
+  // register) pair, matching what the materializer emits. Summing each
+  // range's CallerSaveCost instead would overcharge: two copy-related
+  // ranges that never interfere (the move exception) can legally share a
+  // register across the same call — they hold the same value there — and
+  // that register is saved once, not once per range.
+  std::vector<std::vector<PhysReg>> RegsPerCall(Ctx.LRS.callSites().size());
   for (unsigned I = 0; I < Ctx.LRS.numRanges(); ++I) {
     const Location &Loc = RR.Assignment[I];
-    if (Loc.isRegister() && Ctx.MD.isCallerSave(Loc.Reg))
-      Costs.CallerSave += Ctx.LRS.range(I).CallerSaveCost;
+    if (!Loc.isRegister() || !Ctx.MD.isCallerSave(Loc.Reg))
+      continue;
+    for (unsigned CallId : Ctx.LRS.range(I).CrossedCalls) {
+      auto &Regs = RegsPerCall[CallId];
+      if (std::find(Regs.begin(), Regs.end(), Loc.Reg) == Regs.end())
+        Regs.push_back(Loc.Reg);
+    }
   }
+  for (const CallSite &CS : Ctx.LRS.callSites())
+    Costs.CallerSave +=
+        2.0 * CS.Freq * static_cast<double>(RegsPerCall[CS.Id].size());
 
   // Callee-save component: 2 x entryFreq per paid register.
   Costs.CalleeSave +=

@@ -1,0 +1,77 @@
+//===- workloads/FuzzGen.h - Adversarial random module generator -*- C++ -*-===//
+///
+/// \file
+/// The differential fuzzer's input generator. Where RandomProgram.h samples
+/// a broad but benign space of CFGs, FuzzGen deliberately skews generation
+/// toward the shapes that stress the allocator's cost-model and graph
+/// machinery: call-dense regions crossed by long-lived values, mixed-bank
+/// pressure with conversion traffic, huge-degree interference neighborhoods,
+/// and the pathological live-range structures (staggered chains, circulant
+/// webs) that separate the coloring heuristics. Each profile is a seeded,
+/// fully deterministic distribution; the fuzz driver sweeps seeds and
+/// profiles and runs every generated module through the oracle lattice
+/// (fuzz/Oracle.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_WORKLOADS_FUZZGEN_H
+#define CCRA_WORKLOADS_FUZZGEN_H
+
+#include "ir/Module.h"
+#include "target/MachineDescription.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccra {
+
+class Rng;
+
+/// Generation profiles: each skews the random distribution toward one
+/// adversarial program shape.
+enum class FuzzProfile {
+  Mixed,            ///< Everything below, sampled per function.
+  CallDense,        ///< Many callees, call-saturated regions, values
+                    ///< deliberately live across the calls (§4-6 stress).
+  BankMix,          ///< Heavy int/float interleaving with conversion
+                    ///< traffic — both banks under pressure at once.
+  HighDegree,       ///< Large value pools touched together: interference
+                    ///< degree far above the register count.
+  PathologicalLive, ///< Staggered chains and circulant webs: high-degree /
+                    ///< low-clique ranges that block pessimistic coloring
+                    ///< (§8), wrapped around loop back edges.
+  Tiny,             ///< Very small modules — near-minimal inputs make
+                    ///< mismatches cheap to shrink and keep the lattice
+                    ///< fast, so the sweep covers many more seeds.
+};
+
+/// All profiles, in a stable order (the driver round-robins over these).
+const std::vector<FuzzProfile> &allFuzzProfiles();
+
+/// "mixed", "call-dense", ... (stable CLI / reproducer-naming tokens).
+const char *fuzzProfileName(FuzzProfile P);
+
+/// Parses a fuzzProfileName token; returns false on unknown names.
+bool parseFuzzProfile(const std::string &Name, FuzzProfile &P);
+
+struct FuzzGenParams {
+  uint64_t Seed = 1;
+  FuzzProfile Profile = FuzzProfile::Mixed;
+  /// Scales function count / region count / pool sizes (1 = the default
+  /// fuzzing size, small enough that one oracle-lattice pass is cheap).
+  unsigned SizeScale = 1;
+};
+
+/// Generates a random, IR-verified module. Deterministic in \p Params.
+std::unique_ptr<Module> generateFuzzModule(const FuzzGenParams &Params);
+
+/// Draws a random register configuration from \p R, biased toward small
+/// files (spill pressure) and including the degenerate corners the paper's
+/// sweep touches: zero callee-save registers, and lopsided int/float banks.
+RegisterConfig fuzzRegisterConfig(Rng &R);
+
+} // namespace ccra
+
+#endif // CCRA_WORKLOADS_FUZZGEN_H

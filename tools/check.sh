@@ -7,7 +7,10 @@
 # (bench/perf_grid) and the per-function scaling benchmark
 # (bench/perf_scaling), both of which exit non-zero if the optimized
 # paths (shared caches/arenas, sparse graphs, worklist simplifier) ever
-# diverge bit-for-bit from the legacy execution model.
+# diverge bit-for-bit from the legacy execution model; and last, the
+# time-boxed differential-fuzz smoke (tools/ccra_fuzz --smoke): a fixed
+# seed range through the full oracle lattice — the same range the CI
+# smoke step sweeps, so a local pass predicts a CI pass.
 #
 # Usage: tools/check.sh [extra cmake args...]
 #   JOBS=N   parallel build jobs (default: nproc)
@@ -33,5 +36,11 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release "$@"
 cmake --build build-release -j "$JOBS" --target perf_grid perf_scaling
 (cd build-release && ./bench/perf_grid)
 (cd build-release && ./bench/perf_scaling)
+
+echo "== Differential-fuzz smoke: oracle lattice over the fixed seed range =="
+cmake --build build-release -j "$JOBS" --target ccra_fuzz
+# --smoke pins the seed range and shrink budget; the 10-minute box only
+# guards against a pathological slowdown, it is not reached normally.
+./build-release/tools/ccra_fuzz --smoke --time-budget=600 --keep-going
 
 echo "check.sh: all green"
