@@ -1,0 +1,400 @@
+//===- bench/perf_service.cpp - Allocation service soak benchmark ---------===//
+//
+// The serving-stack gate: runs an in-process AllocationServer on an
+// ephemeral loopback port and drives a mixed soak through real sockets —
+// valid allocations over the SPEC proxies under rotating allocator
+// configurations, malformed/torn frames on throwaway connections, tiny
+// deadlines, and hook-forced queue overflow (SHED) slices — from several
+// concurrent client connections.
+//
+// Every valid response is checked BIT-IDENTICAL (allocated IR text and
+// exact cost totals) against an in-process allocation of the same request.
+// After the soak, a second phase asserts graceful degradation: a drain is
+// requested mid-flight and every outstanding request must still be
+// answered (completed or refused with "draining") before wait() quiesces.
+//
+// Reports throughput and p50/p95/p99 request latency on stdout and writes
+// BENCH_service.json. Exits non-zero on any bit-identity divergence,
+// unexplained failure, or unclean drain.
+//
+//   perf_service [--requests=N] [--clients=N] [--queue=N] [--max-batch=N]
+//                [--pool-threads=N]
+//
+// Defaults: 10000 requests, 6 clients — the soak gate CI runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EngineBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "workloads/SpecProxies.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace ccra;
+
+namespace {
+
+struct SoakOptions {
+  unsigned Requests = 10000;
+  unsigned Clients = 6;
+  unsigned QueueCapacity = 64;
+  unsigned MaxBatch = 8;
+  unsigned PoolThreads = 0;
+  unsigned MalformedEvery = 23;
+  unsigned DeadlineEvery = 41;
+  unsigned ShedEvery = 97;
+};
+
+struct SoakCase {
+  AllocRequest Request;
+  std::string ExpectedIr;
+  CostBreakdown ExpectedTotals;
+};
+
+struct SoakTally {
+  std::atomic<unsigned> Ok{0};
+  std::atomic<unsigned> Shed{0};
+  std::atomic<unsigned> Deadline{0};
+  std::atomic<unsigned> Malformed{0};
+  std::atomic<unsigned> Failures{0};
+  std::atomic<unsigned> BitDivergences{0};
+};
+
+std::string printed(const Module &M) {
+  std::ostringstream OS;
+  printModule(M, OS);
+  return OS.str();
+}
+
+/// The case mix: every proxy crossed with a rotation of allocator
+/// configurations and frequency modes, expectations precomputed once.
+std::vector<SoakCase> buildCases() {
+  const AllocatorOptions Configs[] = {improvedOptions(), baseChaitinOptions(),
+                                      cbhOptions(), priorityOptions(),
+                                      improvedOptimisticOptions()};
+  std::vector<SoakCase> Cases;
+  for (const std::string &Proxy : specProxyNames()) {
+    std::unique_ptr<Module> M = buildSpecProxy(Proxy);
+    std::string Text = printed(*M);
+    SoakCase Case;
+    Case.Request.ModuleText = Text;
+    Case.Request.Options = Configs[Cases.size() % 5];
+    Case.Request.Mode =
+        Cases.size() % 3 == 0 ? FrequencyMode::Static : FrequencyMode::Profile;
+
+    ParseResult PR = parseModule(Text);
+    FrequencyInfo Freq = FrequencyInfo::compute(*PR.M, Case.Request.Mode);
+    AllocationEngine Engine = EngineBuilder(Case.Request.Config)
+                                  .options(Case.Request.Options)
+                                  .build();
+    ModuleAllocationResult R = Engine.allocateModule(*PR.M, Freq);
+    Case.ExpectedIr = printed(*PR.M);
+    Case.ExpectedTotals = R.Totals;
+    Cases.push_back(std::move(Case));
+  }
+  return Cases;
+}
+
+std::string tornFrame(unsigned Seed) {
+  Frame F;
+  F.Type = FrameType::AllocRequest;
+  F.Payload = "config: 9,7,3,3\nmodule:\nmodule torn\n";
+  std::string Bytes;
+  encodeFrame(F, Bytes);
+  return Bytes.substr(0, WireHeaderSize + (Seed % 12));
+}
+
+void soakWorker(int Port, const SoakOptions &Opts,
+                const std::vector<SoakCase> &Cases, unsigned Worker,
+                SoakTally &Tally, std::vector<double> &LatenciesMs,
+                std::mutex &Mutex) {
+  auto Fail = [&](const std::string &Msg) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::cerr << "perf_service: worker " << Worker << ": " << Msg << '\n';
+    Tally.Failures.fetch_add(1);
+  };
+
+  ServiceClient Client;
+  std::string Err;
+  if (!Client.connectTcp(Port, &Err)) {
+    Fail("connect: " + Err);
+    return;
+  }
+  std::vector<double> Local;
+
+  for (unsigned I = Worker; I < Opts.Requests; I += Opts.Clients) {
+    if (I % Opts.MalformedEvery == 0) {
+      // Abuse burns a throwaway connection; the serving connection and
+      // everyone else must be unaffected.
+      ServiceClient Bad;
+      if (Bad.connectTcp(Port, &Err)) {
+        Bad.setTimeoutMs(2000);
+        std::string Bytes = (I % 2 == 0)
+                                ? std::string("\x00garbage, not a frame", 21)
+                                : tornFrame(I);
+        if (Bad.sendRawBytes(Bytes)) {
+          Frame Resp;
+          Bad.readResponse(Resp);
+        }
+        Bad.close();
+        Tally.Malformed.fetch_add(1);
+      }
+      continue;
+    }
+
+    const SoakCase &Case = Cases[I % Cases.size()];
+    AllocRequest Request = Case.Request;
+    bool TinyDeadline = I % Opts.DeadlineEvery == 0;
+    if (TinyDeadline)
+      Request.DeadlineMs = 1;
+
+    AllocResponse Response;
+    ErrorResponse ServerError;
+    auto Start = std::chrono::steady_clock::now();
+    RpcStatus Status = Client.allocate(Request, Response, ServerError, &Err);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+    switch (Status) {
+    case RpcStatus::Shed:
+      Tally.Shed.fetch_add(1);
+      continue;
+    case RpcStatus::Rejected:
+      if (ServerError.Code == "deadline" && TinyDeadline) {
+        Tally.Deadline.fetch_add(1);
+        continue;
+      }
+      Fail("request " + std::to_string(I) + " rejected [" + ServerError.Code +
+           "] " + ServerError.Message);
+      continue;
+    case RpcStatus::Transport:
+      Fail("request " + std::to_string(I) + " transport: " + Err);
+      if (!Client.connectTcp(Port, &Err)) {
+        Fail("reconnect: " + Err);
+        return;
+      }
+      continue;
+    case RpcStatus::Ok:
+      break;
+    }
+
+    if (Response.AllocatedIr != Case.ExpectedIr ||
+        !(Response.Totals == Case.ExpectedTotals)) {
+      Tally.BitDivergences.fetch_add(1);
+      Fail("request " + std::to_string(I) +
+           ": response diverges from in-process allocation");
+      continue;
+    }
+    Local.push_back(Ms);
+    Tally.Ok.fetch_add(1);
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  LatenciesMs.insert(LatenciesMs.end(), Local.begin(), Local.end());
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  double Rank = P * static_cast<double>(Sorted.size() - 1);
+  std::size_t Lo = static_cast<std::size_t>(Rank);
+  std::size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] + (Sorted[Hi] - Sorted[Lo]) * Frac;
+}
+
+/// Phase 2: drain mid-flight. Every request launched before the drain must
+/// be answered — completed bit-identical, shed, or refused "draining" —
+/// and wait() must quiesce with no client left hanging.
+bool drainMidFlight(const SoakOptions &Opts,
+                    const std::vector<SoakCase> &Cases) {
+  ServerConfig Config;
+  Config.TcpPort = 0;
+  Config.QueueCapacity = Opts.QueueCapacity;
+  Config.MaxBatch = Opts.MaxBatch;
+  Config.PoolThreads = Opts.PoolThreads;
+  AllocationServer Server(Config);
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::cerr << "perf_service: drain phase: " << Err << '\n';
+    return false;
+  }
+  int Port = Server.boundPort();
+
+  std::atomic<unsigned> Answered{0};
+  std::atomic<unsigned> Hung{0};
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < 4; ++W)
+    Workers.emplace_back([&, W] {
+      ServiceClient Client;
+      std::string CErr;
+      if (!Client.connectTcp(Port, &CErr))
+        return;
+      Client.setTimeoutMs(30000);
+      for (unsigned I = 0;; ++I) {
+        const SoakCase &Case = Cases[(W + I) % Cases.size()];
+        AllocResponse Response;
+        ErrorResponse ServerError;
+        RpcStatus Status =
+            Client.allocate(Case.Request, Response, ServerError, &CErr);
+        if (Status == RpcStatus::Ok || Status == RpcStatus::Shed) {
+          Answered.fetch_add(1);
+          continue;
+        }
+        if (Status == RpcStatus::Rejected &&
+            ServerError.Code == "draining") {
+          Answered.fetch_add(1);
+          return; // the drain refused us explicitly — clean exit
+        }
+        if (Status == RpcStatus::Transport)
+          return; // connection closed by the drain — also clean
+        Hung.fetch_add(1);
+        return;
+      }
+    });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  Server.requestDrain();
+  for (std::thread &T : Workers)
+    T.join();
+  Server.wait();
+
+  // After wait(), the endpoint must be gone.
+  ServiceClient Late;
+  bool Refused = !Late.connectTcp(Port, &Err);
+
+  bool Clean = Hung.load() == 0 && Answered.load() > 0 && Refused;
+  std::cout << "drain: " << Answered.load()
+            << " requests answered across the drain, "
+            << (Clean ? "clean" : "NOT CLEAN") << '\n';
+  return Clean;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SoakOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Unsigned = [&](std::size_t Prefix, unsigned &Out) {
+      return std::sscanf(Arg.c_str() + Prefix, "%u", &Out) == 1;
+    };
+    if (Arg.rfind("--requests=", 0) == 0 && Unsigned(11, Opts.Requests))
+      continue;
+    if (Arg.rfind("--clients=", 0) == 0 && Unsigned(10, Opts.Clients) &&
+        Opts.Clients > 0)
+      continue;
+    if (Arg.rfind("--queue=", 0) == 0 && Unsigned(8, Opts.QueueCapacity))
+      continue;
+    if (Arg.rfind("--max-batch=", 0) == 0 && Unsigned(12, Opts.MaxBatch))
+      continue;
+    if (Arg.rfind("--pool-threads=", 0) == 0 && Unsigned(15, Opts.PoolThreads))
+      continue;
+    std::cerr << "usage: perf_service [--requests=N] [--clients=N] "
+                 "[--queue=N] [--max-batch=N] [--pool-threads=N]\n";
+    return 2;
+  }
+
+  std::vector<SoakCase> Cases = buildCases();
+
+  ServerConfig Config;
+  Config.TcpPort = 0;
+  Config.QueueCapacity = Opts.QueueCapacity;
+  Config.MaxBatch = Opts.MaxBatch;
+  Config.PoolThreads = Opts.PoolThreads;
+  // SHED slices: every ShedEvery-th admission is forced to overflow, so
+  // the soak exercises backpressure even when the queue keeps up.
+  std::atomic<unsigned> Admissions{0};
+  ServerTestHooks Hooks;
+  Hooks.ForceQueueOverflow = [&] {
+    return Admissions.fetch_add(1) % Opts.ShedEvery == Opts.ShedEvery - 1;
+  };
+  AllocationServer Server(Config, Hooks);
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::cerr << "perf_service: " << Err << '\n';
+    return 1;
+  }
+
+  SoakTally Tally;
+  std::vector<double> LatenciesMs;
+  std::mutex Mutex;
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Opts.Clients; ++W)
+    Workers.emplace_back([&, W] {
+      soakWorker(Server.boundPort(), Opts, Cases, W, Tally, LatenciesMs,
+                 Mutex);
+    });
+  for (std::thread &T : Workers)
+    T.join();
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  TelemetrySnapshot Stats = Server.stats();
+  Server.requestDrain();
+  Server.wait();
+
+  std::sort(LatenciesMs.begin(), LatenciesMs.end());
+  double P50 = percentile(LatenciesMs, 0.50);
+  double P95 = percentile(LatenciesMs, 0.95);
+  double P99 = percentile(LatenciesMs, 0.99);
+  double Throughput = Seconds > 0 ? Tally.Ok.load() / Seconds : 0.0;
+
+  bool DrainClean = drainMidFlight(Opts, Cases);
+  bool BitIdentical = Tally.BitDivergences.load() == 0;
+  bool Healthy = Tally.Failures.load() == 0 && Tally.Ok.load() > 0;
+
+  std::cout << "== perf_service: " << Opts.Requests << " requests, "
+            << Opts.Clients << " clients ==\n"
+            << "ok:          " << Tally.Ok.load() << '\n'
+            << "shed:        " << Tally.Shed.load() << '\n'
+            << "deadline:    " << Tally.Deadline.load() << '\n'
+            << "malformed:   " << Tally.Malformed.load() << '\n'
+            << "failures:    " << Tally.Failures.load() << '\n'
+            << "throughput:  " << Throughput << " req/s\n"
+            << "latency p50: " << P50 << " ms, p95: " << P95 << " ms, p99: "
+            << P99 << " ms\n"
+            << "bit-identical responses: " << (BitIdentical ? "yes" : "NO")
+            << '\n'
+            << "peak queue depth: "
+            << Stats.count(telemetry::ServePeakQueue) << ", peak batch: "
+            << Stats.count(telemetry::ServePeakBatch) << '\n';
+
+  std::ofstream Json("BENCH_service.json");
+  Json << "{\n"
+       << "  \"requests\": " << Opts.Requests << ",\n"
+       << "  \"clients\": " << Opts.Clients << ",\n"
+       << "  \"ok\": " << Tally.Ok.load() << ",\n"
+       << "  \"shed\": " << Tally.Shed.load() << ",\n"
+       << "  \"deadline_missed\": " << Tally.Deadline.load() << ",\n"
+       << "  \"malformed_sent\": " << Tally.Malformed.load() << ",\n"
+       << "  \"failures\": " << Tally.Failures.load() << ",\n"
+       << "  \"seconds\": " << Seconds << ",\n"
+       << "  \"throughput_rps\": " << Throughput << ",\n"
+       << "  \"latency_p50_ms\": " << P50 << ",\n"
+       << "  \"latency_p95_ms\": " << P95 << ",\n"
+       << "  \"latency_p99_ms\": " << P99 << ",\n"
+       << "  \"bit_identical\": " << (BitIdentical ? "true" : "false")
+       << ",\n"
+       << "  \"drain_clean\": " << (DrainClean ? "true" : "false") << ",\n"
+       << "  \"server\": ";
+  Stats.writeJson(Json);
+  Json << "\n}\n";
+
+  return (BitIdentical && DrainClean && Healthy) ? 0 : 1;
+}

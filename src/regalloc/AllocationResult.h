@@ -49,6 +49,10 @@ struct CostBreakdown {
 
   double total() const { return Spill + CallerSave + CalleeSave + Shuffle; }
 
+  /// Exact (bitwise-value) comparison; the serving stack's bit-identity
+  /// contract asserts equality of costs across the wire.
+  bool operator==(const CostBreakdown &Other) const = default;
+
   CostBreakdown &operator+=(const CostBreakdown &Other) {
     Spill += Other.Spill;
     CallerSave += Other.CallerSave;

@@ -130,7 +130,24 @@ struct AllocatorOptions {
 
   /// Short human-readable tag ("base", "opt", "SC+BS+PR", ...).
   std::string describe() const;
+
+  bool operator==(const AllocatorOptions &Other) const = default;
 };
+
+/// Canonical one-line textual form of \p Opts: every field emitted as
+/// `key=value`, space-separated, in a fixed order. The wire protocol
+/// (service/WireProtocol.h) and reproducer headers embed this form;
+/// parseAllocatorOptions reproduces the exact struct
+/// (property-tested over the full option space in tests/PropertyTest.cpp).
+std::string serializeAllocatorOptions(const AllocatorOptions &Opts);
+
+/// Parses text produced by serializeAllocatorOptions. Tokens may appear in
+/// any order; omitted fields keep their defaults (so the format can grow
+/// fields without breaking old clients); an unknown key, malformed token,
+/// or bad value fails. Returns false (leaving \p Out in an unspecified
+/// state) on failure, with a diagnostic in \p Err when non-null.
+bool parseAllocatorOptions(const std::string &Text, AllocatorOptions &Out,
+                           std::string *Err = nullptr);
 
 // Named configurations used by the reproduction experiments. ------------
 

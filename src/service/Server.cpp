@@ -1,0 +1,381 @@
+//===- service/Server.cpp -------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "harness/Batch.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "support/BuildInfo.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace ccra;
+
+namespace {
+
+/// How often parked server threads re-check the drain flag. Short enough
+/// that SIGTERM drains promptly, long enough to stay off the profiles.
+constexpr int PollIntervalMs = 100;
+/// Total budget for reading the rest of a frame once its first byte
+/// arrived. Generous: a legitimate client streams a 16 MiB module well
+/// inside this; only a stalled peer trips it.
+constexpr int FrameReadTimeoutMs = 30000;
+
+Frame errorFrame(const std::string &Code, const std::string &Message) {
+  Frame F;
+  F.Type = FrameType::Error;
+  F.Payload = encodeError({Code, Message});
+  return F;
+}
+
+} // namespace
+
+AllocationServer::AllocationServer(ServerConfig Config, ServerTestHooks Hooks)
+    : Config(std::move(Config)), Hooks(std::move(Hooks)) {}
+
+AllocationServer::~AllocationServer() {
+  requestDrain();
+  wait();
+}
+
+bool AllocationServer::start(std::string *Err) {
+  if (Started.load()) {
+    if (Err)
+      *Err = "server already started";
+    return false;
+  }
+  if (!Config.UnixPath.empty())
+    Listener = ListenSocket::listenUnix(Config.UnixPath, Config.AcceptBacklog,
+                                        Err);
+  else
+    Listener = ListenSocket::listenTcp(Config.TcpPort, Config.AcceptBacklog,
+                                       Err);
+  if (!Listener.valid())
+    return false;
+
+  Pool = std::make_unique<ThreadPool>(Config.PoolThreads);
+  Started.store(true);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  BatcherThread = std::thread([this] { batcherLoop(); });
+  return true;
+}
+
+void AllocationServer::requestDrain() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Draining.store(true);
+  }
+  QueueReady.notify_all();
+}
+
+void AllocationServer::wait() {
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  // No new connection threads can appear once the accept loop is gone.
+  std::vector<std::thread> Conns;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    Conns.swap(ConnThreads);
+  }
+  for (std::thread &T : Conns)
+    if (T.joinable())
+      T.join();
+  if (BatcherThread.joinable())
+    BatcherThread.join();
+  Listener.close();
+  Pool.reset();
+}
+
+int AllocationServer::boundPort() const { return Listener.boundPort(); }
+
+TelemetrySnapshot AllocationServer::stats() const {
+  TelemetrySnapshot S = Telem.snapshot();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    S.Counters["serve.queue_depth"] = static_cast<double>(Queue.size());
+  }
+  if (Pool) {
+    ThreadPool::Stats PS = Pool->stats();
+    S.Counters[telemetry::SchedPoolBatches] = static_cast<double>(PS.Batches);
+    S.Counters[telemetry::SchedPoolTasks] = static_cast<double>(PS.Tasks);
+  }
+  return S;
+}
+
+Frame AllocationServer::helloFrame() const {
+  HelloInfo H;
+  H.ServerInfo = buildInfoString();
+  H.Protocol = WireVersion;
+  H.MaxPayloadBytes = Config.MaxPayloadBytes;
+  H.QueueCapacity = Config.QueueCapacity;
+  H.MaxBatch = Config.MaxBatch;
+  Frame F;
+  F.Type = FrameType::Hello;
+  F.Payload = encodeHello(H);
+  return F;
+}
+
+void AllocationServer::acceptLoop() {
+  while (!Draining.load()) {
+    IoStatus Status = IoStatus::Error;
+    Socket Conn = Listener.accept(PollIntervalMs, Status);
+    if (Status == IoStatus::Timeout)
+      continue;
+    if (Status != IoStatus::Ok)
+      break; // listener closed or broken; drain handles the rest
+    Telem.addCount(telemetry::ServeConnections);
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      ++ActiveConnections;
+    }
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    ConnThreads.emplace_back(
+        [this, C = std::move(Conn)]() mutable { connectionLoop(std::move(C)); });
+  }
+  // Refuse connections the moment drain starts: close (and for Unix
+  // sockets unlink) the listener so clients see ECONNREFUSED/ENOENT
+  // instead of hanging in a never-accepted backlog.
+  Listener.close();
+}
+
+void AllocationServer::connectionLoop(Socket Conn) {
+  std::string Err;
+  bool HelloOk =
+      writeFrame(Conn, helloFrame(), Config.WriteTimeoutMs) == IoStatus::Ok;
+
+  while (HelloOk) {
+    Frame In;
+    FrameReadStatus RS = readFrame(Conn, In, Config.MaxPayloadBytes,
+                                   PollIntervalMs, FrameReadTimeoutMs, &Err);
+    if (RS == FrameReadStatus::Idle) {
+      if (Draining.load())
+        break;
+      continue;
+    }
+    if (RS == FrameReadStatus::Eof)
+      break;
+    if (RS == FrameReadStatus::Malformed || RS == FrameReadStatus::TooLarge) {
+      // Torn frame, garbage magic, checksum mismatch, or an oversized
+      // declaration: answer if the pipe still works, then drop the
+      // connection — the stream cannot be resynchronized.
+      Telem.addCount(telemetry::ServeMalformed);
+      const char *Code =
+          RS == FrameReadStatus::TooLarge ? "too-large" : "malformed";
+      writeFrame(Conn, errorFrame(Code, Err), Config.WriteTimeoutMs);
+      break;
+    }
+    if (RS != FrameReadStatus::Ok)
+      break; // Timeout mid-frame or I/O error: stream unusable
+
+    if (In.Type == FrameType::StatsRequest) {
+      Telem.addCount(telemetry::ServeStatsRequests);
+      Frame Out;
+      Out.Type = FrameType::StatsResponse;
+      Out.Payload = stats().toJson();
+      if (writeFrame(Conn, Out, Config.WriteTimeoutMs) != IoStatus::Ok)
+        break;
+      continue;
+    }
+    if (In.Type != FrameType::AllocRequest) {
+      // Well-formed frame of a kind only servers send; protocol misuse,
+      // but the stream is intact, so answer and keep the connection.
+      if (writeFrame(Conn, errorFrame("malformed", "unexpected frame type"),
+                     Config.WriteTimeoutMs) != IoStatus::Ok)
+        break;
+      continue;
+    }
+
+    Telem.addCount(telemetry::ServeRequests);
+    auto Pending = std::make_unique<PendingRequest>();
+    Pending->Arrival = std::chrono::steady_clock::now();
+    if (!parseAllocRequest(In.Payload, Pending->Request, &Err)) {
+      Telem.addCount(telemetry::ServeMalformed);
+      if (writeFrame(Conn, errorFrame("malformed", Err),
+                     Config.WriteTimeoutMs) != IoStatus::Ok)
+        break;
+      continue;
+    }
+    {
+      ParseResult PR = parseModule(Pending->Request.ModuleText);
+      std::vector<std::string> VerifyErrors;
+      if (!PR.ok() || !verifyModule(*PR.M, &VerifyErrors)) {
+        Telem.addCount(telemetry::ServeMalformed);
+        std::string Detail;
+        for (const std::string &E : PR.ok() ? VerifyErrors : PR.Errors)
+          Detail += E + "\n";
+        if (writeFrame(Conn, errorFrame("malformed", "bad module:\n" + Detail),
+                       Config.WriteTimeoutMs) != IoStatus::Ok)
+          break;
+        continue;
+      }
+      Pending->M = std::move(PR.M);
+    }
+
+    if (Draining.load()) {
+      Telem.addCount(telemetry::ServeDraining);
+      writeFrame(Conn, errorFrame("draining", "server is shutting down"),
+                 Config.WriteTimeoutMs);
+      break;
+    }
+
+    // Admission control: bounded queue, explicit SHED on overflow.
+    std::future<Frame> Response;
+    bool Shed = false;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      Shed = Queue.size() >= Config.QueueCapacity ||
+             (Hooks.ForceQueueOverflow && Hooks.ForceQueueOverflow());
+      if (!Shed) {
+        Response = Pending->Response.get_future();
+        Queue.push_back(std::move(Pending));
+        Telem.noteMax(telemetry::ServePeakQueue,
+                      static_cast<double>(Queue.size()));
+      }
+    }
+    if (Shed) {
+      Telem.addCount(telemetry::ServeShed);
+      Frame Out;
+      Out.Type = FrameType::Shed;
+      Out.Payload = "queue full (capacity " +
+                    std::to_string(Config.QueueCapacity) + "); retry later";
+      if (writeFrame(Conn, Out, Config.WriteTimeoutMs) != IoStatus::Ok)
+        break;
+      continue;
+    }
+    QueueReady.notify_all();
+
+    // The batch former always fulfills the promise: this connection counts
+    // as active until it returns, and the batcher only exits once the
+    // queue is empty and every connection is gone.
+    Frame Out = Response.get();
+    IoStatus WS = writeFrame(Conn, Out, Config.WriteTimeoutMs);
+    if (WS != IoStatus::Ok) {
+      if (WS == IoStatus::Timeout)
+        Telem.addCount(telemetry::ServeWriteTimeouts);
+      break;
+    }
+  }
+
+  Conn.close();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    --ActiveConnections;
+  }
+  QueueReady.notify_all(); // batcher may be waiting on the exit condition
+}
+
+void AllocationServer::batcherLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<PendingRequest>> Taken;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueReady.wait_for(Lock, std::chrono::milliseconds(PollIntervalMs),
+                          [this] { return !Queue.empty() || Draining.load(); });
+      if (Queue.empty()) {
+        if (Draining.load() && ActiveConnections == 0)
+          return;
+        continue;
+      }
+      if (Hooks.BeforeBatch) {
+        // Tests stall here (queue untouched) to expire deadlines or pile
+        // up overflow deterministically.
+        Lock.unlock();
+        Hooks.BeforeBatch();
+        Lock.lock();
+      }
+      std::size_t Take = std::min<std::size_t>(Queue.size(), Config.MaxBatch);
+      for (std::size_t I = 0; I < Take; ++I) {
+        Taken.push_back(std::move(Queue.front()));
+        Queue.pop_front();
+      }
+    }
+    runBatch(std::move(Taken));
+  }
+}
+
+void AllocationServer::runBatch(
+    std::vector<std::unique_ptr<PendingRequest>> Taken) {
+  // Admission checks first: expired deadlines and injected worker faults
+  // are answered without occupying the engine.
+  std::vector<PendingRequest *> Runnable;
+  auto Now = std::chrono::steady_clock::now();
+  for (auto &P : Taken) {
+    if (P->Request.DeadlineMs > 0 &&
+        Now - P->Arrival >= std::chrono::milliseconds(P->Request.DeadlineMs)) {
+      Telem.addCount(telemetry::ServeDeadlineMissed);
+      P->Response.set_value(errorFrame(
+          "deadline", "request expired after " +
+                          std::to_string(P->Request.DeadlineMs) +
+                          " ms in queue"));
+      continue;
+    }
+    if (Hooks.FailRequest && Hooks.FailRequest(P->Request)) {
+      Telem.addCount(telemetry::ServeWorkerFaults);
+      P->Response.set_value(
+          errorFrame("fault", "worker failed while allocating this request"));
+      continue;
+    }
+    Runnable.push_back(P.get());
+  }
+  if (Runnable.empty())
+    return;
+
+  Telem.addCount(telemetry::ServeBatches);
+  Telem.addCount(telemetry::ServeBatchedRequests,
+                 static_cast<double>(Runnable.size()));
+  Telem.noteMax(telemetry::ServePeakBatch,
+                static_cast<double>(Runnable.size()));
+
+  std::vector<AllocationBatchItem> Items;
+  Items.reserve(Runnable.size());
+  for (PendingRequest *P : Runnable)
+    Items.push_back({P->M.get(), P->Request.Config, P->Request.Options,
+                     P->Request.Mode});
+
+  std::vector<AllocationBatchResult> Results;
+  try {
+    Telemetry::ScopedTimer Timer(&Telem, telemetry::ServeBatchPhase);
+    Results = runAllocationBatch(Items, Pool.get());
+  } catch (const std::exception &E) {
+    // Graceful degradation: one poisoned batch answers "internal" instead
+    // of taking the daemon down; subsequent batches run normally.
+    for (PendingRequest *P : Runnable)
+      P->Response.set_value(errorFrame("internal", E.what()));
+    return;
+  }
+
+  for (std::size_t I = 0; I < Runnable.size(); ++I) {
+    PendingRequest *P = Runnable[I];
+    AllocationBatchResult &R = Results[I];
+
+    AllocResponse Resp;
+    Resp.Totals = R.Result.Totals;
+    for (const auto &F : P->M->functions()) {
+      if (F->isDeclaration())
+        continue;
+      auto It = R.Result.PerFunction.find(F.get());
+      if (It == R.Result.PerFunction.end())
+        continue;
+      const FunctionAllocation &FA = It->second;
+      Resp.Functions.push_back({F->getName(), FA.Costs, FA.Rounds,
+                                FA.SpilledRanges, FA.VoluntarySpills,
+                                FA.CoalescedMoves, FA.CalleeRegsPaid});
+    }
+    Resp.Telemetry = R.Telemetry;
+    std::ostringstream IR;
+    printModule(*P->M, IR);
+    Resp.AllocatedIr = IR.str();
+
+    Telem.merge(R.Telemetry);
+    Telem.addCount(telemetry::ServeResponsesOk);
+
+    Frame Out;
+    Out.Type = FrameType::AllocResponse;
+    Out.Payload = encodeAllocResponse(Resp);
+    P->Response.set_value(std::move(Out));
+  }
+}

@@ -1,0 +1,169 @@
+//===- service/Server.h - Networked allocation service ----------*- C++ -*-===//
+///
+/// \file
+/// A long-lived allocation daemon: keeps one warm engine substrate (a
+/// shared ThreadPool) resident and feeds it a stream of allocation
+/// requests arriving over a Unix-domain or loopback-TCP socket, speaking
+/// the framed protocol of service/WireProtocol.h.
+///
+/// Architecture (one box per thread kind):
+///
+///   accept loop ──> connection threads ──> bounded request queue
+///                      │     ▲                    │
+///                      │     └── responses ◄──────┤
+///                      │                    batch former thread
+///                      │                          │
+///                      └─ SHED / errors     runAllocationBatch
+///                         written directly  over the shared pool
+///
+/// - **Backpressure.** The request queue is bounded; when it is full an
+///   arriving request is answered immediately with an explicit SHED frame
+///   instead of being buffered without limit. Clients see shedding as a
+///   first-class signal and retry with backoff.
+/// - **Batching.** The batch former takes whatever is queued (up to
+///   MaxBatch) and runs it as ONE engine grid pass over the shared thread
+///   pool, amortizing pool wake-ups under load while staying at batch size
+///   1 when idle (no added latency).
+/// - **Deadlines.** A request may carry `deadline-ms`; if it is still
+///   queued when the deadline expires it is answered with an Error frame
+///   ("deadline") instead of occupying the engine — admission control for
+///   the highly variable per-request allocation cost.
+/// - **Slow clients.** Every response write carries a timeout; a client
+///   that stops reading loses its connection, never a server thread.
+/// - **Graceful degradation / drain.** requestDrain() (the daemon wires
+///   SIGTERM to it) stops accepting connections and new requests, lets
+///   queued and in-flight work finish, flushes those responses, then
+///   closes everything; wait() returns once the server is fully quiesced.
+///
+/// A STATS request returns the server-wide telemetry: "serve." operational
+/// counters plus the merged engine telemetry of everything allocated.
+/// ServerTestHooks mirrors the fuzz subsystem's InjectedFault: tests force
+/// queue overflow, mid-request worker failure, and batcher stalls without
+/// needing to win races.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_SERVICE_SERVER_H
+#define CCRA_SERVICE_SERVER_H
+
+#include "service/WireProtocol.h"
+#include "support/Telemetry.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ccra {
+
+class Module;
+class ThreadPool;
+
+struct ServerConfig {
+  /// Exactly one transport: a Unix-domain socket path, or (when UnixPath
+  /// is empty) loopback TCP on TcpPort (0 = ephemeral; boundPort()).
+  std::string UnixPath;
+  int TcpPort = 0;
+
+  unsigned PoolThreads = 0;  ///< engine pool width (0 = hardware)
+  unsigned QueueCapacity = 64;
+  unsigned MaxBatch = 8;
+  std::size_t MaxPayloadBytes = 16u << 20;
+  int WriteTimeoutMs = 5000; ///< slow-client response write budget
+  int AcceptBacklog = 64;
+};
+
+/// Test-only fault injection (all hooks optional, called concurrently).
+struct ServerTestHooks {
+  /// Treat the queue as full for this enqueue → SHED response.
+  std::function<bool()> ForceQueueOverflow;
+  /// Fail this request mid-worker → Error("fault") response; the rest of
+  /// its batch completes normally.
+  std::function<bool(const AllocRequest &)> FailRequest;
+  /// Called by the batch former before it drains the queue (tests stall
+  /// here to make deadlines expire deterministically).
+  std::function<void()> BeforeBatch;
+};
+
+class AllocationServer {
+public:
+  explicit AllocationServer(ServerConfig Config,
+                            ServerTestHooks Hooks = ServerTestHooks());
+  ~AllocationServer();
+
+  AllocationServer(const AllocationServer &) = delete;
+  AllocationServer &operator=(const AllocationServer &) = delete;
+
+  /// Binds the transport and starts the accept, connection, and batcher
+  /// threads. Returns false with a diagnostic on bind failure.
+  bool start(std::string *Err);
+
+  /// Begins graceful drain (idempotent, any thread, including after
+  /// SIGTERM via a self-pipe in the daemon): stop accepting, finish
+  /// in-flight work, flush responses, close. Does not block.
+  void requestDrain();
+
+  /// Blocks until the server has fully quiesced (all threads joined). The
+  /// destructor calls requestDrain() + wait() if still running.
+  void wait();
+
+  bool draining() const { return Draining.load(); }
+
+  /// TCP only: the port actually bound (for TcpPort = 0).
+  int boundPort() const;
+
+  /// Server-wide telemetry: "serve." counters plus merged engine
+  /// telemetry. What a STATS request returns.
+  TelemetrySnapshot stats() const;
+
+private:
+  struct PendingRequest {
+    AllocRequest Request;
+    /// Parsed + IR-verified in the connection thread, so the queue only
+    /// ever holds admissible work and malformed modules are rejected
+    /// without occupying the batch former.
+    std::unique_ptr<Module> M;
+    std::chrono::steady_clock::time_point Arrival;
+    std::promise<Frame> Response;
+  };
+
+  void acceptLoop();
+  void connectionLoop(Socket Conn);
+  void batcherLoop();
+  /// Forms one batch from \p Taken and fulfills every promise.
+  void runBatch(std::vector<std::unique_ptr<PendingRequest>> Taken);
+  Frame helloFrame() const;
+
+  ServerConfig Config;
+  ServerTestHooks Hooks;
+  Telemetry Telem;
+
+  ListenSocket Listener;
+  std::unique_ptr<ThreadPool> Pool;
+
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Draining{false};
+
+  std::thread AcceptThread;
+  std::thread BatcherThread;
+
+  mutable std::mutex ConnMutex;
+  std::vector<std::thread> ConnThreads; ///< joined in wait()
+  unsigned ActiveConnections = 0;       ///< guarded by QueueMutex
+
+  mutable std::mutex QueueMutex;
+  std::condition_variable QueueReady;
+  std::deque<std::unique_ptr<PendingRequest>> Queue;
+};
+
+} // namespace ccra
+
+#endif // CCRA_SERVICE_SERVER_H

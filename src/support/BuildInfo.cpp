@@ -1,0 +1,35 @@
+//===- support/BuildInfo.cpp ----------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+using namespace ccra;
+
+// The definitions come from src/support/CMakeLists.txt (configure-time git
+// describe, project version, sanitizer options). Fallbacks keep the file
+// compilable standalone.
+#ifndef CCRA_VERSION
+#define CCRA_VERSION "unknown"
+#endif
+#ifndef CCRA_GIT_DESCRIBE
+#define CCRA_GIT_DESCRIBE "unknown"
+#endif
+#ifndef CCRA_BUILD_TYPE
+#define CCRA_BUILD_TYPE "unknown"
+#endif
+#ifndef CCRA_SANITIZERS
+#define CCRA_SANITIZERS "none"
+#endif
+
+const char *ccra::versionString() { return CCRA_VERSION; }
+
+const char *ccra::gitDescribeString() { return CCRA_GIT_DESCRIBE; }
+
+const char *ccra::sanitizerString() { return CCRA_SANITIZERS; }
+
+const std::string &ccra::buildInfoString() {
+  static const std::string Info = std::string("ccra ") + CCRA_VERSION +
+                                  " (git " CCRA_GIT_DESCRIBE
+                                  ", " CCRA_BUILD_TYPE
+                                  ", sanitizers " CCRA_SANITIZERS ")";
+  return Info;
+}

@@ -1,0 +1,36 @@
+//===- support/BuildInfo.h - Build provenance string ------------*- C++ -*-===//
+///
+/// \file
+/// One shared build-identification string for every binary in the repo:
+/// library version, git describe of the source tree, build type, and the
+/// sanitizers compiled in. Every tool prints it under --version, and the
+/// serving protocol echoes it in the HELLO frame so a client can log
+/// exactly which build allocated its modules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_SUPPORT_BUILDINFO_H
+#define CCRA_SUPPORT_BUILDINFO_H
+
+#include <string>
+
+namespace ccra {
+
+/// The library version ("0.5.0").
+const char *versionString();
+
+/// `git describe --always --dirty --tags` of the tree this binary was
+/// configured from ("unknown" outside a git checkout).
+const char *gitDescribeString();
+
+/// Comma-separated sanitizer tags compiled in ("none", "tsan",
+/// "asan,ubsan", ...).
+const char *sanitizerString();
+
+/// The full one-line provenance, e.g.
+/// "ccra 0.5.0 (git abc1234, RelWithDebInfo, sanitizers none)".
+const std::string &buildInfoString();
+
+} // namespace ccra
+
+#endif // CCRA_SUPPORT_BUILDINFO_H

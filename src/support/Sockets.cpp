@@ -1,0 +1,302 @@
+//===- support/Sockets.cpp ------------------------------------------------===//
+
+#include "support/Sockets.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ccra;
+
+namespace {
+
+void setError(std::string *Err, const char *What) {
+  if (Err)
+    *Err = std::string(What) + ": " + std::strerror(errno);
+}
+
+/// Remaining milliseconds until \p Deadline (-1 = no deadline), clamped to
+/// >= 0 once a deadline exists.
+int remainingMs(std::chrono::steady_clock::time_point Deadline,
+                bool HasDeadline) {
+  if (!HasDeadline)
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Deadline - std::chrono::steady_clock::now())
+                  .count();
+  return Left < 0 ? 0 : static_cast<int>(Left);
+}
+
+/// Waits for \p Events on \p Fd until the deadline. Returns Ok when ready,
+/// Timeout/Error otherwise.
+IoStatus waitReady(int Fd, short Events,
+                   std::chrono::steady_clock::time_point Deadline,
+                   bool HasDeadline, std::string *Err) {
+  for (;;) {
+    pollfd P{};
+    P.fd = Fd;
+    P.events = Events;
+    int N = ::poll(&P, 1, remainingMs(Deadline, HasDeadline));
+    if (N > 0)
+      return IoStatus::Ok; // readable/writable, or HUP/ERR surfaced by I/O
+    if (N == 0)
+      return IoStatus::Timeout;
+    if (errno == EINTR)
+      continue;
+    setError(Err, "poll");
+    return IoStatus::Error;
+  }
+}
+
+std::chrono::steady_clock::time_point deadlineFrom(int TimeoutMs) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(TimeoutMs < 0 ? 0 : TimeoutMs);
+}
+
+} // namespace
+
+Socket &Socket::operator=(Socket &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+IoStatus Socket::sendAll(const void *Data, std::size_t Len, int TimeoutMs,
+                         std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "send on closed socket";
+    return IoStatus::Error;
+  }
+  const bool HasDeadline = TimeoutMs >= 0;
+  const auto Deadline = deadlineFrom(TimeoutMs);
+  const char *P = static_cast<const char *>(Data);
+  std::size_t Sent = 0;
+  while (Sent < Len) {
+    IoStatus S = waitReady(Fd, POLLOUT, Deadline, HasDeadline, Err);
+    if (S != IoStatus::Ok)
+      return S;
+    ssize_t N = ::send(Fd, P + Sent, Len - Sent, MSG_NOSIGNAL);
+    if (N > 0) {
+      Sent += static_cast<std::size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
+    if (N < 0 && (errno == EPIPE || errno == ECONNRESET))
+      return IoStatus::Closed;
+    setError(Err, "send");
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus Socket::recvAll(void *Data, std::size_t Len, int TimeoutMs,
+                         std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "recv on closed socket";
+    return IoStatus::Error;
+  }
+  const bool HasDeadline = TimeoutMs >= 0;
+  const auto Deadline = deadlineFrom(TimeoutMs);
+  char *P = static_cast<char *>(Data);
+  std::size_t Got = 0;
+  while (Got < Len) {
+    IoStatus S = waitReady(Fd, POLLIN, Deadline, HasDeadline, Err);
+    if (S != IoStatus::Ok)
+      return S;
+    ssize_t N = ::recv(Fd, P + Got, Len - Got, 0);
+    if (N > 0) {
+      Got += static_cast<std::size_t>(N);
+      continue;
+    }
+    if (N == 0)
+      return IoStatus::Closed;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+      continue;
+    if (errno == ECONNRESET)
+      return IoStatus::Closed;
+    setError(Err, "recv");
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+Socket Socket::connectUnix(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "unix socket path too long: " + Path;
+    return Socket();
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Err, "socket");
+    return Socket();
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    setError(Err, "connect");
+    ::close(Fd);
+    return Socket();
+  }
+  return Socket(Fd);
+}
+
+Socket Socket::connectTcp(int Port, std::string *Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Err, "socket");
+    return Socket();
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    setError(Err, "connect");
+    ::close(Fd);
+    return Socket();
+  }
+  return Socket(Fd);
+}
+
+ListenSocket::ListenSocket(ListenSocket &&Other) noexcept
+    : Fd(Other.Fd), Port(Other.Port), UnixPath(std::move(Other.UnixPath)) {
+  Other.Fd = -1;
+  Other.UnixPath.clear();
+}
+
+ListenSocket &ListenSocket::operator=(ListenSocket &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Port = Other.Port;
+    UnixPath = std::move(Other.UnixPath);
+    Other.Fd = -1;
+    Other.UnixPath.clear();
+  }
+  return *this;
+}
+
+void ListenSocket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (!UnixPath.empty()) {
+    ::unlink(UnixPath.c_str());
+    UnixPath.clear();
+  }
+}
+
+ListenSocket ListenSocket::listenUnix(const std::string &Path, int Backlog,
+                                      std::string *Err) {
+  ListenSocket L;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "unix socket path too long: " + Path;
+    return L;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ::unlink(Path.c_str()); // stale socket file from a crashed server
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Err, "socket");
+    return L;
+  }
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, Backlog) != 0) {
+    setError(Err, "bind/listen");
+    ::close(Fd);
+    return L;
+  }
+  L.Fd = Fd;
+  L.UnixPath = Path;
+  return L;
+}
+
+ListenSocket ListenSocket::listenTcp(int Port, int Backlog, std::string *Err) {
+  ListenSocket L;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Err, "socket");
+    return L;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, Backlog) != 0) {
+    setError(Err, "bind/listen");
+    ::close(Fd);
+    return L;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    L.Port = ntohs(Addr.sin_port);
+  L.Fd = Fd;
+  return L;
+}
+
+Socket ListenSocket::accept(int TimeoutMs, IoStatus &Status,
+                            std::string *Err) {
+  if (Fd < 0) {
+    Status = IoStatus::Closed;
+    return Socket();
+  }
+  const bool HasDeadline = TimeoutMs >= 0;
+  const auto Deadline = deadlineFrom(TimeoutMs);
+  for (;;) {
+    Status = waitReady(Fd, POLLIN, Deadline, HasDeadline, Err);
+    if (Status != IoStatus::Ok)
+      return Socket();
+    int Conn = ::accept(Fd, nullptr, nullptr);
+    if (Conn >= 0) {
+      int One = 1;
+      ::setsockopt(Conn, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      Status = IoStatus::Ok;
+      return Socket(Conn);
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED)
+      continue;
+    if (errno == EBADF || errno == EINVAL) {
+      Status = IoStatus::Closed;
+      return Socket();
+    }
+    setError(Err, "accept");
+    Status = IoStatus::Error;
+    return Socket();
+  }
+}

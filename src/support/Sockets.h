@@ -1,0 +1,102 @@
+//===- support/Sockets.h - RAII sockets with deadlines ----------*- C++ -*-===//
+///
+/// \file
+/// The transport layer under the allocation service: thin RAII wrappers
+/// over POSIX stream sockets (Unix-domain and 127.0.0.1 TCP) with
+/// poll-based deadline semantics on every blocking operation. The serving
+/// stack needs deadlines everywhere — a slow client must not be able to
+/// wedge a server thread on write, and a drained server must notice the
+/// stop flag while parked in accept/read — so the primitive operations
+/// here all take a timeout instead of blocking indefinitely.
+///
+/// Timeout convention: milliseconds; -1 blocks forever, 0 polls. For the
+/// sendAll/recvAll loops the timeout is a *total* deadline for the whole
+/// transfer, not per chunk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_SUPPORT_SOCKETS_H
+#define CCRA_SUPPORT_SOCKETS_H
+
+#include <cstddef>
+#include <string>
+
+namespace ccra {
+
+/// Outcome of a timed transfer. Closed means the peer shut the stream down
+/// cleanly mid-transfer (for recvAll: before the first byte too).
+enum class IoStatus { Ok, Timeout, Closed, Error };
+
+/// A connected stream socket (move-only; closes on destruction). Writes
+/// never raise SIGPIPE — a dead peer surfaces as IoStatus::Error.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  Socket &operator=(Socket &&Other) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  void close();
+
+  /// Writes all \p Len bytes within \p TimeoutMs.
+  IoStatus sendAll(const void *Data, std::size_t Len, int TimeoutMs,
+                   std::string *Err = nullptr);
+  /// Reads exactly \p Len bytes within \p TimeoutMs.
+  IoStatus recvAll(void *Data, std::size_t Len, int TimeoutMs,
+                   std::string *Err = nullptr);
+
+  /// Connects to a Unix-domain socket at \p Path.
+  static Socket connectUnix(const std::string &Path, std::string *Err);
+  /// Connects to 127.0.0.1:\p Port.
+  static Socket connectTcp(int Port, std::string *Err);
+
+private:
+  int Fd = -1;
+};
+
+/// A listening socket (move-only). Closing a Unix listener unlinks its
+/// path, so a drained server leaves no stale socket file behind.
+class ListenSocket {
+public:
+  ListenSocket() = default;
+  ~ListenSocket() { close(); }
+
+  ListenSocket(ListenSocket &&Other) noexcept;
+  ListenSocket &operator=(ListenSocket &&Other) noexcept;
+  ListenSocket(const ListenSocket &) = delete;
+  ListenSocket &operator=(const ListenSocket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  void close();
+
+  /// Binds and listens on a Unix-domain socket at \p Path (unlinking any
+  /// stale file first).
+  static ListenSocket listenUnix(const std::string &Path, int Backlog,
+                                 std::string *Err);
+  /// Binds and listens on 127.0.0.1:\p Port (0 picks an ephemeral port;
+  /// boundPort() reports it).
+  static ListenSocket listenTcp(int Port, int Backlog, std::string *Err);
+
+  /// Accepts one connection within \p TimeoutMs. Returns an invalid Socket
+  /// on timeout (\p Status = Timeout), listener closed from another thread
+  /// (Closed), or error (Error).
+  Socket accept(int TimeoutMs, IoStatus &Status, std::string *Err = nullptr);
+
+  /// The TCP port actually bound (ephemeral-port servers), -1 for Unix.
+  int boundPort() const { return Port; }
+
+private:
+  int Fd = -1;
+  int Port = -1;
+  std::string UnixPath;
+};
+
+} // namespace ccra
+
+#endif // CCRA_SUPPORT_SOCKETS_H

@@ -167,6 +167,27 @@ inline constexpr const char *AllocGraphDense = "alloc.graph_dense";
 /// Rounds colored against a sparse (adjacency-only) graph.
 inline constexpr const char *AllocGraphSparse = "alloc.graph_sparse";
 
+// Serving counters ("serve." namespace): the allocation service's
+// request/response accounting, exposed over the wire by a STATS request.
+// Like "sched.", these describe operational behavior (arrival order, load,
+// client speed), not allocation results, so they carry no determinism
+// guarantee.
+inline constexpr const char *ServeConnections = "serve.connections";
+inline constexpr const char *ServeRequests = "serve.requests";
+inline constexpr const char *ServeResponsesOk = "serve.responses_ok";
+inline constexpr const char *ServeShed = "serve.shed";
+inline constexpr const char *ServeDeadlineMissed = "serve.deadline_missed";
+inline constexpr const char *ServeMalformed = "serve.malformed";
+inline constexpr const char *ServeWorkerFaults = "serve.worker_faults";
+inline constexpr const char *ServeDraining = "serve.rejected_draining";
+inline constexpr const char *ServeBatches = "serve.batches";
+inline constexpr const char *ServeBatchedRequests = "serve.batched_requests";
+inline constexpr const char *ServeWriteTimeouts = "serve.write_timeouts";
+inline constexpr const char *ServeStatsRequests = "serve.stats_requests";
+/// High-water marks (same-recorder noteMax; operational, not merged).
+inline constexpr const char *ServePeakQueue = "serve.peak_queue_depth";
+inline constexpr const char *ServePeakBatch = "serve.peak_batch_size";
+
 // Phase timers.
 inline constexpr const char *CoalescePhase = "coalesce";
 inline constexpr const char *BuildRangesPhase = "build_ranges";
@@ -179,6 +200,8 @@ inline constexpr const char *VerifyPhase = "verify";
 /// Simplification inside the color phase (the worklist / reference loop).
 inline constexpr const char *AllocSimplifyPhase = "alloc.simplify";
 inline constexpr const char *AllocateTotal = "allocate_total";
+/// Wall-clock the service's batch former spent inside engine grid runs.
+inline constexpr const char *ServeBatchPhase = "serve.batch";
 } // namespace telemetry
 
 } // namespace ccra

@@ -22,12 +22,14 @@
 #include "ir/Cloner.h"
 #include "ir/Verifier.h"
 #include "regalloc/CostAccounting.h"
+#include "support/Rng.h"
 #include "workloads/RandomProgram.h"
 
 #include <gtest/gtest.h>
 
 #include <cctype>
 #include <cmath>
+#include <sstream>
 
 using namespace ccra;
 
@@ -180,6 +182,103 @@ TEST(AllocationRelations, OptimisticNeverSpillsMoreThanChaitin) {
               SpillOf(baseChaitinOptions()) + 1e-9)
         << Seed;
   }
+}
+
+// --- AllocatorOptions textual round trip ---------------------------------------
+//
+// The wire protocol ships options as serializeAllocatorOptions text, so the
+// round trip must be exact over the *whole* option space — every field,
+// including Jobs, the cost-model enums, and the legacy toggles.
+
+AllocatorOptions randomOptions(Rng &R) {
+  AllocatorOptions O;
+  O.Kind = static_cast<AllocatorKind>(R.nextBelow(4));
+  O.Optimistic = R.nextBool();
+  O.StorageClass = R.nextBool();
+  O.BenefitSimplify = R.nextBool();
+  O.PreferenceDecision = R.nextBool();
+  O.BSKey = R.nextBool() ? BenefitKeyStrategy::MaxBenefit
+                         : BenefitKeyStrategy::Delta;
+  O.CalleeModel = R.nextBool() ? CalleeCostModel::FirstUserPays
+                               : CalleeCostModel::Shared;
+  O.Ordering = static_cast<PriorityOrdering>(R.nextBelow(3));
+  O.AggressiveCoalescing = R.nextBool();
+  O.MaterializeSaveRestore = R.nextBool();
+  O.Verify = R.nextBool();
+  O.VerifyReportOnly = R.nextBool();
+  O.IncrementalReconstruction = R.nextBool();
+  O.IncrementalLiveness = R.nextBool();
+  O.ScratchArenas = R.nextBool();
+  O.GraphMode = static_cast<GraphRep>(R.nextBelow(3));
+  O.LegacySimplifier = R.nextBool();
+  O.MaxRounds = static_cast<unsigned>(R.nextBelow(1000));
+  O.Jobs = static_cast<unsigned>(R.nextBelow(64));
+  return O;
+}
+
+TEST(OptionsRoundTrip, RandomOptionSpaceIsExact) {
+  Rng R(20260806);
+  for (int I = 0; I < 2000; ++I) {
+    AllocatorOptions O = randomOptions(R);
+    std::string Text = serializeAllocatorOptions(O);
+    AllocatorOptions Back;
+    std::string Err;
+    ASSERT_TRUE(parseAllocatorOptions(Text, Back, &Err)) << Text << ": " << Err;
+    EXPECT_TRUE(O == Back) << Text;
+    // The serialized form itself is canonical: a second trip is a fixpoint.
+    EXPECT_EQ(Text, serializeAllocatorOptions(Back));
+  }
+}
+
+TEST(OptionsRoundTrip, NamedConfigurationsAreExact) {
+  for (const AllocatorOptions &O :
+       {baseChaitinOptions(), optimisticOptions(), improvedOptions(),
+        improvedOptions(false, true, false), improvedOptimisticOptions(),
+        priorityOptions(PriorityOrdering::RemoveUnconstrained),
+        priorityOptions(PriorityOrdering::SortUnconstrained), priorityOptions(),
+        cbhOptions()}) {
+    AllocatorOptions Back;
+    ASSERT_TRUE(parseAllocatorOptions(serializeAllocatorOptions(O), Back));
+    EXPECT_TRUE(O == Back) << serializeAllocatorOptions(O);
+  }
+}
+
+TEST(OptionsRoundTrip, TokensParseInAnyOrderAndOmittedFieldsDefault) {
+  AllocatorOptions O;
+  ASSERT_TRUE(parseAllocatorOptions("jobs=7 kind=cbh", O));
+  AllocatorOptions Expected;
+  Expected.Kind = AllocatorKind::CBH;
+  Expected.Jobs = 7;
+  EXPECT_TRUE(O == Expected);
+
+  // Reversed full form parses to the same struct as the canonical order.
+  Rng R(99);
+  AllocatorOptions Sample = randomOptions(R);
+  std::istringstream IS(serializeAllocatorOptions(Sample));
+  std::vector<std::string> Tokens;
+  for (std::string T; IS >> T;)
+    Tokens.push_back(T);
+  std::string Reversed;
+  for (auto It = Tokens.rbegin(); It != Tokens.rend(); ++It)
+    Reversed += (Reversed.empty() ? "" : " ") + *It;
+  AllocatorOptions Back;
+  ASSERT_TRUE(parseAllocatorOptions(Reversed, Back));
+  EXPECT_TRUE(Sample == Back);
+}
+
+TEST(OptionsRoundTrip, MalformedInputIsRejected) {
+  AllocatorOptions O;
+  std::string Err;
+  EXPECT_FALSE(parseAllocatorOptions("kind=nonsense", O, &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(parseAllocatorOptions("no-such-key=1", O));
+  EXPECT_FALSE(parseAllocatorOptions("jobs=notanumber", O));
+  EXPECT_FALSE(parseAllocatorOptions("optimistic=2", O));
+  EXPECT_FALSE(parseAllocatorOptions("=1", O));
+  EXPECT_FALSE(parseAllocatorOptions("kind", O));
+  // Empty text is the all-defaults struct, not an error.
+  EXPECT_TRUE(parseAllocatorOptions("", O));
+  EXPECT_TRUE(O == AllocatorOptions());
 }
 
 } // namespace

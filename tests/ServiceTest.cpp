@@ -1,0 +1,514 @@
+//===- tests/ServiceTest.cpp - Allocation service coverage ----------------===//
+//
+// Tier-1 coverage for the serving stack (src/service/):
+//
+//  - frame and payload codecs round-trip exactly (including the
+//    shortest-round-trip doubles the bit-identity contract rests on);
+//  - a live server answers allocations BIT-IDENTICAL to in-process
+//    allocation — asserted for the SPEC proxies and for every committed
+//    fuzz corpus entry replayed over the wire under its original register
+//    configuration;
+//  - protocol robustness: garbage bytes, torn frames, checksum corruption,
+//    wrong-version headers, and oversized declarations are answered with
+//    Error frames (or a clean close) and never take the daemon down — the
+//    next well-formed request on a fresh connection still succeeds;
+//  - operational behavior under test hooks (fuzz/Oracle.h's InjectedFault
+//    pattern): forced queue overflow sheds, an injected worker fault fails
+//    only the targeted request, stalled batching expires deadlines;
+//  - graceful drain: queued work completes, responses flush, new requests
+//    are refused, wait() quiesces.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EngineBuilder.h"
+#include "fuzz/Corpus.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "support/BuildInfo.h"
+#include "workloads/SpecProxies.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <sys/socket.h>
+#include <thread>
+
+using namespace ccra;
+
+#ifndef CCRA_SOURCE_DIR
+#define CCRA_SOURCE_DIR "."
+#endif
+
+namespace {
+
+std::string printed(const Module &M) {
+  std::ostringstream OS;
+  printModule(M, OS);
+  return OS.str();
+}
+
+/// In-process allocation rendered exactly as the server renders it.
+void expectedAllocation(const std::string &ModuleText,
+                        const AllocRequest &Request, std::string &IrOut,
+                        CostBreakdown &TotalsOut) {
+  ParseResult PR = parseModule(ModuleText);
+  ASSERT_TRUE(PR.ok());
+  FrequencyInfo Freq = FrequencyInfo::compute(*PR.M, Request.Mode);
+  AllocationEngine Engine =
+      EngineBuilder(Request.Config).options(Request.Options).build();
+  ModuleAllocationResult R = Engine.allocateModule(*PR.M, Freq);
+  IrOut = printed(*PR.M);
+  TotalsOut = R.Totals;
+}
+
+/// A server on an ephemeral loopback port plus a connected client.
+struct LiveServer {
+  explicit LiveServer(ServerConfig Config = ServerConfig(),
+                      ServerTestHooks Hooks = ServerTestHooks())
+      : Server(std::move(Config), std::move(Hooks)) {
+    std::string Err;
+    Ok = Server.start(&Err);
+    EXPECT_TRUE(Ok) << Err;
+  }
+
+  ServiceClient connect() {
+    ServiceClient C;
+    std::string Err;
+    EXPECT_TRUE(C.connectTcp(Server.boundPort(), &Err)) << Err;
+    return C;
+  }
+
+  AllocationServer Server;
+  bool Ok = false;
+};
+
+AllocRequest proxyRequest(const std::string &Proxy) {
+  AllocRequest R;
+  R.Options = improvedOptions();
+  R.ModuleText = printed(*buildSpecProxy(Proxy));
+  return R;
+}
+
+// --- codecs --------------------------------------------------------------
+
+TEST(WireCodec, FrameRoundTripsOverSocketPair) {
+  int Fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  Socket Writer(Fds[0]), Reader(Fds[1]);
+
+  Frame Out;
+  Out.Type = FrameType::AllocRequest;
+  Out.Payload = "config: 9,7,3,3\nmodule:\nmodule m\n";
+  ASSERT_EQ(IoStatus::Ok, writeFrame(Writer, Out, 1000));
+
+  Frame In;
+  ASSERT_EQ(FrameReadStatus::Ok, readFrame(Reader, In, 1u << 20, 1000, 1000));
+  EXPECT_EQ(Out.Type, In.Type);
+  EXPECT_EQ(Out.Payload, In.Payload);
+}
+
+TEST(WireCodec, IdleThenEofThenGarbageAreDistinguished) {
+  int Fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  Socket Writer(Fds[0]), Reader(Fds[1]);
+
+  // Nothing sent yet: Idle, nothing consumed.
+  Frame In;
+  EXPECT_EQ(FrameReadStatus::Idle, readFrame(Reader, In, 1024, 50, 1000));
+
+  // A full header's worth of garbage magic: Malformed.
+  const char Garbage[WireHeaderSize] = {'n', 'o', 'p', 'e'};
+  ASSERT_EQ(IoStatus::Ok, Writer.sendAll(Garbage, sizeof(Garbage), 1000));
+  EXPECT_EQ(FrameReadStatus::Malformed,
+            readFrame(Reader, In, 1024, 1000, 1000));
+
+  // Clean close between frames: Eof.
+  int Fds2[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds2));
+  Socket Writer2(Fds2[0]), Reader2(Fds2[1]);
+  Writer2.close();
+  EXPECT_EQ(FrameReadStatus::Eof, readFrame(Reader2, In, 1024, 1000, 1000));
+}
+
+TEST(WireCodec, TornFrameIsMalformedChecksumGuardsPayload) {
+  Frame Out;
+  Out.Type = FrameType::StatsRequest;
+  Out.Payload = "some payload";
+  std::string Bytes;
+  encodeFrame(Out, Bytes);
+
+  {
+    // Header promises more bytes than ever arrive.
+    int Fds[2];
+    ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+    Socket Writer(Fds[0]), Reader(Fds[1]);
+    std::string Torn = Bytes.substr(0, WireHeaderSize + 3);
+    ASSERT_EQ(IoStatus::Ok, Writer.sendAll(Torn.data(), Torn.size(), 1000));
+    Writer.close();
+    Frame In;
+    EXPECT_EQ(FrameReadStatus::Malformed,
+              readFrame(Reader, In, 1024, 1000, 1000));
+  }
+  {
+    // Flipped payload byte: checksum mismatch.
+    int Fds[2];
+    ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+    Socket Writer(Fds[0]), Reader(Fds[1]);
+    std::string Corrupt = Bytes;
+    Corrupt[WireHeaderSize] ^= 0x40;
+    ASSERT_EQ(IoStatus::Ok,
+              Writer.sendAll(Corrupt.data(), Corrupt.size(), 1000));
+    Frame In;
+    EXPECT_EQ(FrameReadStatus::Malformed,
+              readFrame(Reader, In, 1024, 1000, 1000));
+  }
+  {
+    // Oversized declaration: TooLarge before any payload is consumed.
+    int Fds[2];
+    ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+    Socket Writer(Fds[0]), Reader(Fds[1]);
+    ASSERT_EQ(IoStatus::Ok, Writer.sendAll(Bytes.data(), Bytes.size(), 1000));
+    Frame In;
+    EXPECT_EQ(FrameReadStatus::TooLarge, readFrame(Reader, In, 4, 1000, 1000));
+  }
+}
+
+TEST(WireCodec, AllocRequestRoundTripsExactly) {
+  AllocRequest R;
+  R.Config = RegisterConfig(6, 4, 2, 1);
+  R.Mode = FrequencyMode::Static;
+  R.Options = cbhOptions();
+  R.Options.Jobs = 5;
+  R.DeadlineMs = 1234;
+  R.ModuleText = "module m\nfunc @f (external)\n";
+
+  AllocRequest Back;
+  std::string Err;
+  ASSERT_TRUE(parseAllocRequest(encodeAllocRequest(R), Back, &Err)) << Err;
+  EXPECT_EQ(R.Config.IntCallerSave, Back.Config.IntCallerSave);
+  EXPECT_EQ(R.Config.FloatCalleeSave, Back.Config.FloatCalleeSave);
+  EXPECT_EQ(R.Mode, Back.Mode);
+  EXPECT_EQ(R.Options, Back.Options);
+  EXPECT_EQ(R.DeadlineMs, Back.DeadlineMs);
+  EXPECT_EQ(R.ModuleText, Back.ModuleText);
+}
+
+TEST(WireCodec, AllocResponseRoundTripsBitExactDoubles) {
+  AllocResponse R;
+  // Values chosen to be unrepresentable in short decimal: the codec must
+  // still reproduce them bit-for-bit.
+  R.Totals = {0.1 + 0.2, 1e300, 4.9e-324, 123456.789012345};
+  R.Functions.push_back({"f", {3.14159265358979, 0, 2.5, 0.1}, 3, 2, 1, 7, 4});
+  R.Functions.push_back({"g", {}, 1, 0, 0, 0, 0});
+  R.Telemetry.Counters["rounds"] = 4;
+  R.Telemetry.TimersMs["color"] = 0.12345;
+  R.AllocatedIr = "module m\nfunc @f {\nentry:\n  ret\n}\n";
+
+  AllocResponse Back;
+  std::string Err;
+  ASSERT_TRUE(parseAllocResponse(encodeAllocResponse(R), Back, &Err)) << Err;
+  EXPECT_TRUE(R.Totals == Back.Totals);
+  ASSERT_EQ(R.Functions.size(), Back.Functions.size());
+  for (std::size_t I = 0; I < R.Functions.size(); ++I) {
+    EXPECT_EQ(R.Functions[I].Name, Back.Functions[I].Name);
+    EXPECT_TRUE(R.Functions[I].Costs == Back.Functions[I].Costs);
+    EXPECT_EQ(R.Functions[I].Rounds, Back.Functions[I].Rounds);
+    EXPECT_EQ(R.Functions[I].CalleeRegsPaid, Back.Functions[I].CalleeRegsPaid);
+  }
+  EXPECT_EQ(R.Telemetry, Back.Telemetry);
+  EXPECT_EQ(R.AllocatedIr, Back.AllocatedIr);
+}
+
+TEST(WireCodec, HelloAndErrorRoundTrip) {
+  HelloInfo H;
+  H.ServerInfo = buildInfoString();
+  H.MaxPayloadBytes = 16u << 20;
+  H.QueueCapacity = 64;
+  H.MaxBatch = 8;
+  HelloInfo BH;
+  std::string Err;
+  ASSERT_TRUE(parseHello(encodeHello(H), BH, &Err)) << Err;
+  EXPECT_EQ(H.ServerInfo, BH.ServerInfo);
+  EXPECT_EQ(H.Protocol, BH.Protocol);
+  EXPECT_EQ(H.MaxPayloadBytes, BH.MaxPayloadBytes);
+  EXPECT_EQ(H.QueueCapacity, BH.QueueCapacity);
+  EXPECT_EQ(H.MaxBatch, BH.MaxBatch);
+
+  ErrorResponse E{"deadline", "expired after 5 ms\nwhile queued"};
+  ErrorResponse BE;
+  ASSERT_TRUE(parseError(encodeError(E), BE));
+  EXPECT_EQ(E.Code, BE.Code);
+  EXPECT_EQ(E.Message, BE.Message);
+}
+
+// --- live server ---------------------------------------------------------
+
+TEST(Service, HelloCarriesBuildInfoAndLimits) {
+  ServerConfig Config;
+  Config.QueueCapacity = 5;
+  Config.MaxBatch = 3;
+  LiveServer S(Config);
+  ServiceClient C = S.connect();
+  EXPECT_EQ(buildInfoString(), C.hello().ServerInfo);
+  EXPECT_EQ(WireVersion, C.hello().Protocol);
+  EXPECT_EQ(5u, C.hello().QueueCapacity);
+  EXPECT_EQ(3u, C.hello().MaxBatch);
+}
+
+TEST(Service, AllocationIsBitIdenticalToInProcess) {
+  LiveServer S;
+  ServiceClient C = S.connect();
+  for (const char *Proxy : {"eqntott", "li"}) {
+    AllocRequest Request = proxyRequest(Proxy);
+    std::string ExpectedIr;
+    CostBreakdown ExpectedTotals;
+    expectedAllocation(Request.ModuleText, Request, ExpectedIr,
+                       ExpectedTotals);
+
+    AllocResponse Response;
+    ErrorResponse ServerError;
+    std::string Err;
+    ASSERT_EQ(RpcStatus::Ok,
+              C.allocate(Request, Response, ServerError, &Err))
+        << Err << " [" << ServerError.Code << "] " << ServerError.Message;
+    EXPECT_EQ(ExpectedIr, Response.AllocatedIr) << Proxy;
+    EXPECT_TRUE(ExpectedTotals == Response.Totals) << Proxy;
+    EXPECT_FALSE(Response.Functions.empty());
+    EXPECT_GT(Response.Telemetry.count("functions"), 0.0);
+  }
+}
+
+TEST(Service, CorpusReplaysBitIdenticalOverTheWire) {
+  std::vector<std::string> Errors;
+  std::vector<CorpusEntry> Entries =
+      loadCorpusDir(std::string(CCRA_SOURCE_DIR) + "/fuzz/corpus", Errors);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << E;
+  ASSERT_FALSE(Entries.empty());
+
+  LiveServer S;
+  ServiceClient C = S.connect();
+  for (const CorpusEntry &Entry : Entries) {
+    AllocRequest Request;
+    Request.Options = improvedOptions();
+    for (const std::string &Line : Entry.HeaderLines) {
+      unsigned Ri, Rf, Ei, Ef;
+      if (std::sscanf(Line.c_str(), "config: %u,%u,%u,%u", &Ri, &Rf, &Ei,
+                      &Ef) == 4)
+        Request.Config = RegisterConfig(Ri, Rf, Ei, Ef);
+    }
+    Request.ModuleText = printed(*Entry.M);
+
+    std::string ExpectedIr;
+    CostBreakdown ExpectedTotals;
+    expectedAllocation(Request.ModuleText, Request, ExpectedIr,
+                       ExpectedTotals);
+
+    AllocResponse Response;
+    ErrorResponse ServerError;
+    std::string Err;
+    ASSERT_EQ(RpcStatus::Ok, C.allocate(Request, Response, ServerError, &Err))
+        << Entry.Path << ": " << Err;
+    EXPECT_EQ(ExpectedIr, Response.AllocatedIr) << Entry.Path;
+    EXPECT_TRUE(ExpectedTotals == Response.Totals) << Entry.Path;
+  }
+}
+
+TEST(Service, StatsReflectServedRequests) {
+  LiveServer S;
+  ServiceClient C = S.connect();
+  AllocRequest Request = proxyRequest("eqntott");
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  ASSERT_EQ(RpcStatus::Ok, C.allocate(Request, Response, ServerError));
+
+  TelemetrySnapshot Stats;
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  EXPECT_EQ(1.0, Stats.count(telemetry::ServeRequests));
+  EXPECT_EQ(1.0, Stats.count(telemetry::ServeResponsesOk));
+  EXPECT_GE(Stats.count(telemetry::ServeBatches), 1.0);
+  EXPECT_GE(Stats.count(telemetry::ServeConnections), 1.0);
+  // The server merged the request's engine telemetry into its own.
+  EXPECT_GT(Stats.count("functions"), 0.0);
+}
+
+TEST(Service, MalformedModuleAnswersErrorAndKeepsConnection) {
+  LiveServer S;
+  ServiceClient C = S.connect();
+
+  AllocRequest Bad = proxyRequest("eqntott");
+  Bad.ModuleText = "this is not ccra ir\n";
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  EXPECT_EQ(RpcStatus::Rejected, C.allocate(Bad, Response, ServerError));
+  EXPECT_EQ("malformed", ServerError.Code);
+
+  // Same connection still serves valid work.
+  AllocRequest Good = proxyRequest("eqntott");
+  EXPECT_EQ(RpcStatus::Ok, C.allocate(Good, Response, ServerError));
+}
+
+TEST(Service, GarbageAndTornFramesNeverTakeTheServerDown) {
+  LiveServer S;
+
+  // A connection per abuse; each must at worst die alone.
+  {
+    ServiceClient C = S.connect();
+    ASSERT_TRUE(C.sendRawBytes(std::string("\xde\xad\xbe\xef garbage", 17)));
+    Frame In;
+    FrameReadStatus RS = C.readResponse(In);
+    // Either an Error frame or a close; never a hang.
+    if (RS == FrameReadStatus::Ok) {
+      EXPECT_EQ(FrameType::Error, In.Type);
+    }
+  }
+  {
+    // Torn frame: valid header, truncated payload, then close.
+    ServiceClient C = S.connect();
+    Frame F;
+    F.Type = FrameType::AllocRequest;
+    F.Payload = proxyRequest("eqntott").ModuleText;
+    std::string Bytes;
+    encodeFrame(F, Bytes);
+    ASSERT_TRUE(C.sendRawBytes(Bytes.substr(0, WireHeaderSize + 10)));
+    C.close();
+  }
+  {
+    // Oversized declaration.
+    ServiceClient C = S.connect();
+    Frame F;
+    F.Type = FrameType::AllocRequest;
+    F.Payload = "x";
+    std::string Huge;
+    encodeFrame(F, Huge);
+    // Rewrite the length field (header offset 8) to 1 GiB.
+    Huge[8] = 0;
+    Huge[9] = 0;
+    Huge[10] = 0;
+    Huge[11] = 0x40;
+    ASSERT_TRUE(C.sendRawBytes(Huge));
+    Frame In;
+    FrameReadStatus RS = C.readResponse(In);
+    if (RS == FrameReadStatus::Ok) {
+      EXPECT_EQ(FrameType::Error, In.Type);
+    }
+  }
+
+  // After all that, a fresh client still gets served.
+  ServiceClient C = S.connect();
+  AllocRequest Request = proxyRequest("eqntott");
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  std::string Err;
+  EXPECT_EQ(RpcStatus::Ok, C.allocate(Request, Response, ServerError, &Err))
+      << Err;
+
+  TelemetrySnapshot Stats;
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  EXPECT_GE(Stats.count(telemetry::ServeMalformed), 2.0);
+}
+
+// --- test hooks: shed, fault, deadline -----------------------------------
+
+TEST(Service, ForcedQueueOverflowSheds) {
+  ServerTestHooks Hooks;
+  std::atomic<bool> Force{true};
+  Hooks.ForceQueueOverflow = [&] { return Force.load(); };
+  LiveServer S(ServerConfig(), Hooks);
+  ServiceClient C = S.connect();
+
+  AllocRequest Request = proxyRequest("eqntott");
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  EXPECT_EQ(RpcStatus::Shed, C.allocate(Request, Response, ServerError));
+  EXPECT_EQ("shed", ServerError.Code);
+
+  // Backpressure is advisory: once load clears, the same connection
+  // succeeds on retry.
+  Force.store(false);
+  EXPECT_EQ(RpcStatus::Ok, C.allocate(Request, Response, ServerError));
+
+  TelemetrySnapshot Stats;
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  EXPECT_EQ(1.0, Stats.count(telemetry::ServeShed));
+}
+
+TEST(Service, InjectedWorkerFaultFailsOnlyTheTargetedRequest) {
+  ServerTestHooks Hooks;
+  Hooks.FailRequest = [](const AllocRequest &R) {
+    return R.ModuleText.find("module li") != std::string::npos;
+  };
+  LiveServer S(ServerConfig(), Hooks);
+  ServiceClient C = S.connect();
+
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  AllocRequest Poisoned = proxyRequest("li");
+  EXPECT_EQ(RpcStatus::Rejected, C.allocate(Poisoned, Response, ServerError));
+  EXPECT_EQ("fault", ServerError.Code);
+
+  AllocRequest Healthy = proxyRequest("eqntott");
+  EXPECT_EQ(RpcStatus::Ok, C.allocate(Healthy, Response, ServerError));
+
+  TelemetrySnapshot Stats;
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  EXPECT_EQ(1.0, Stats.count(telemetry::ServeWorkerFaults));
+}
+
+TEST(Service, StalledBatcherExpiresDeadlines) {
+  ServerTestHooks Hooks;
+  Hooks.BeforeBatch = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  LiveServer S(ServerConfig(), Hooks);
+  ServiceClient C = S.connect();
+
+  AllocRequest Request = proxyRequest("eqntott");
+  Request.DeadlineMs = 1;
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  EXPECT_EQ(RpcStatus::Rejected, C.allocate(Request, Response, ServerError));
+  EXPECT_EQ("deadline", ServerError.Code);
+
+  // Without a deadline the same stalled server still answers.
+  Request.DeadlineMs = 0;
+  EXPECT_EQ(RpcStatus::Ok, C.allocate(Request, Response, ServerError));
+}
+
+// --- drain ---------------------------------------------------------------
+
+TEST(Service, DrainFinishesInFlightWorkAndRefusesNew) {
+  auto S = std::make_unique<LiveServer>();
+  int Port = S->Server.boundPort();
+
+  // Hold a connection open across the drain; its request was fully served
+  // beforehand and the drain must not tear the socket from under it.
+  ServiceClient C;
+  std::string Err;
+  ASSERT_TRUE(C.connectTcp(Port, &Err)) << Err;
+  AllocRequest Request = proxyRequest("eqntott");
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  ASSERT_EQ(RpcStatus::Ok, C.allocate(Request, Response, ServerError));
+
+  S->Server.requestDrain();
+  EXPECT_TRUE(S->Server.draining());
+
+  // The held connection is told "draining" (or closed) on its next try...
+  RpcStatus Status = C.allocate(Request, Response, ServerError, &Err);
+  EXPECT_TRUE(Status == RpcStatus::Rejected || Status == RpcStatus::Transport);
+  if (Status == RpcStatus::Rejected) {
+    EXPECT_EQ("draining", ServerError.Code);
+  }
+
+  // ...new connections are refused outright, and wait() quiesces.
+  S->Server.wait();
+  ServiceClient Late;
+  EXPECT_FALSE(Late.connectTcp(Port, &Err));
+  S.reset();
+}
+
+} // namespace

@@ -32,6 +32,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ccra.h"
+#include "support/BuildInfo.h"
 #include "support/Table.h"
 #include "workloads/SpecProxies.h"
 
@@ -55,6 +56,7 @@ struct CliOptions {
   bool EmitIr = false;
   bool Locations = false;
   bool List = false;
+  bool Version = false;
   bool EmitTelemetry = false;
   std::string TelemetryFormat = "json";
 };
@@ -73,6 +75,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     std::string Arg = Argv[I];
     if (Arg == "--list") {
       Opts.List = true;
+    } else if (Arg == "--version") {
+      Opts.Version = true;
     } else if (Arg == "--static") {
       Opts.Mode = FrequencyMode::Static;
     } else if (Arg == "--emit-ir") {
@@ -176,6 +180,10 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Cli)) {
     printUsage();
     return 1;
+  }
+  if (Cli.Version) {
+    std::cout << buildInfoString() << '\n';
+    return 0;
   }
   if (Cli.List) {
     for (const std::string &Name : specProxyNames())

@@ -1,0 +1,480 @@
+//===- tools/ccra_client.cpp - Allocation service client ------------------===//
+//
+// Command-line client for ccra_serve: submit one allocation, fetch server
+// stats, or drive the mixed smoke burst used by CI.
+//
+//   ccra_client [--unix=PATH | --port=N] [--timeout=MS] <command> [args]
+//
+//   commands:
+//     alloc [--allocator=NAME] [--config=Ri,Rf,Ei,Ef] [--static]
+//           [--deadline-ms=N] [--emit-ir] <input>
+//        Allocate one module (IR file, '-' for stdin, or a built-in proxy
+//        name) on the server; print the cost breakdown (and the allocated
+//        IR with --emit-ir).
+//     stats
+//        Print the server-wide telemetry snapshot (JSON).
+//     burst [--requests=N] [--clients=N] [--malformed-every=N]
+//           [--deadline-every=N]
+//        CI smoke: N requests (default 200) across C concurrent client
+//        connections (default 4), cycling the built-in proxies and
+//        allocator configurations, interleaving malformed frames (every
+//        Nth request opens a throwaway connection and writes garbage;
+//        default 17) and tiny deadlines (default 31). Every successful
+//        response is verified BIT-IDENTICAL to an in-process allocation of
+//        the same module/options. Exits non-zero on any mismatch, crash,
+//        or transport error on a valid request.
+//     --version
+//        Print build info and exit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EngineBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "service/Client.h"
+#include "support/BuildInfo.h"
+#include "workloads/SpecProxies.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace ccra;
+
+namespace {
+
+struct Endpoint {
+  std::string UnixPath;
+  int Port = -1;
+  int TimeoutMs = 30000;
+
+  bool connect(ServiceClient &C, std::string *Err) const {
+    C.setTimeoutMs(TimeoutMs);
+    if (!UnixPath.empty())
+      return C.connectUnix(UnixPath, Err);
+    return C.connectTcp(Port, Err);
+  }
+};
+
+void printUsage() {
+  std::cerr
+      << "usage: ccra_client [--unix=PATH | --port=N] [--timeout=MS] "
+         "<command>\n"
+         "  commands: alloc [opts] <input> | stats | burst [opts] | "
+         "--version\n"
+         "  alloc opts: --allocator=NAME --config=Ri,Rf,Ei,Ef --static\n"
+         "              --deadline-ms=N --emit-ir\n"
+         "  burst opts: --requests=N --clients=N --malformed-every=N\n"
+         "              --deadline-every=N\n";
+}
+
+bool allocatorOptionsFor(const std::string &Name, AllocatorOptions &Opts) {
+  if (Name == "base")
+    Opts = baseChaitinOptions();
+  else if (Name == "optimistic")
+    Opts = optimisticOptions();
+  else if (Name == "improved")
+    Opts = improvedOptions();
+  else if (Name == "improved-opt")
+    Opts = improvedOptimisticOptions();
+  else if (Name == "priority")
+    Opts = priorityOptions();
+  else if (Name == "cbh")
+    Opts = cbhOptions();
+  else
+    return false;
+  return true;
+}
+
+std::unique_ptr<Module> loadInput(const std::string &Input) {
+  const auto &Proxies = specProxyNames();
+  if (std::find(Proxies.begin(), Proxies.end(), Input) != Proxies.end())
+    return buildSpecProxy(Input);
+
+  std::string Text;
+  if (Input == "-") {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Text = Buffer.str();
+  } else {
+    std::ifstream File(Input);
+    if (!File) {
+      std::cerr << "cannot open '" << Input << "'\n";
+      return nullptr;
+    }
+    std::ostringstream Buffer;
+    Buffer << File.rdbuf();
+    Text = Buffer.str();
+  }
+  ParseResult R = parseModule(Text);
+  if (!R.ok()) {
+    for (const std::string &E : R.Errors)
+      std::cerr << Input << ": " << E << '\n';
+    return nullptr;
+  }
+  std::vector<std::string> Errors;
+  if (!verifyModule(*R.M, &Errors)) {
+    for (const std::string &E : Errors)
+      std::cerr << Input << ": " << E << '\n';
+    return nullptr;
+  }
+  return std::move(R.M);
+}
+
+std::string moduleText(const Module &M) {
+  std::ostringstream OS;
+  printModule(M, OS);
+  return OS.str();
+}
+
+/// The in-process half of the bit-identity contract: allocate \p Request's
+/// module locally and render exactly what the server renders.
+bool expectedAllocation(const AllocRequest &Request, std::string &IrOut,
+                        CostBreakdown &TotalsOut) {
+  ParseResult PR = parseModule(Request.ModuleText);
+  if (!PR.ok())
+    return false;
+  FrequencyInfo Freq = FrequencyInfo::compute(*PR.M, Request.Mode);
+  AllocationEngine Engine =
+      EngineBuilder(Request.Config).options(Request.Options).build();
+  ModuleAllocationResult R = Engine.allocateModule(*PR.M, Freq);
+  IrOut = moduleText(*PR.M);
+  TotalsOut = R.Totals;
+  return true;
+}
+
+int runAlloc(const Endpoint &EP, int Argc, char **Argv, int First) {
+  AllocRequest Request;
+  std::string Allocator = "improved";
+  std::string Input;
+  bool EmitIr = false;
+  for (int I = First; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--static") {
+      Request.Mode = FrequencyMode::Static;
+    } else if (Arg == "--emit-ir") {
+      EmitIr = true;
+    } else if (Arg.rfind("--allocator=", 0) == 0) {
+      Allocator = Arg.substr(12);
+    } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      if (std::sscanf(Arg.c_str() + 14, "%u", &Request.DeadlineMs) != 1) {
+        printUsage();
+        return 2;
+      }
+    } else if (Arg.rfind("--config=", 0) == 0) {
+      unsigned Ri, Rf, Ei, Ef;
+      if (std::sscanf(Arg.c_str() + 9, "%u,%u,%u,%u", &Ri, &Rf, &Ei, &Ef) !=
+          4) {
+        printUsage();
+        return 2;
+      }
+      Request.Config = RegisterConfig(Ri, Rf, Ei, Ef);
+    } else if (Arg.rfind("--", 0) == 0 || !Input.empty()) {
+      printUsage();
+      return 2;
+    } else {
+      Input = Arg;
+    }
+  }
+  if (Input.empty() || !allocatorOptionsFor(Allocator, Request.Options)) {
+    printUsage();
+    return 2;
+  }
+  std::unique_ptr<Module> M = loadInput(Input);
+  if (!M)
+    return 1;
+  Request.ModuleText = moduleText(*M);
+
+  ServiceClient Client;
+  std::string Err;
+  if (!EP.connect(Client, &Err)) {
+    std::cerr << "ccra_client: " << Err << '\n';
+    return 1;
+  }
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  RpcStatus Status = Client.allocate(Request, Response, ServerError, &Err);
+  if (Status == RpcStatus::Shed) {
+    std::cerr << "ccra_client: shed: " << ServerError.Message << '\n';
+    return 3;
+  }
+  if (Status == RpcStatus::Rejected) {
+    std::cerr << "ccra_client: server error [" << ServerError.Code << "] "
+              << ServerError.Message << '\n';
+    return 1;
+  }
+  if (Status != RpcStatus::Ok) {
+    std::cerr << "ccra_client: " << Err << '\n';
+    return 1;
+  }
+
+  std::cout << "total " << formatExactDouble(Response.Totals.total())
+            << " (spill " << formatExactDouble(Response.Totals.Spill)
+            << ", caller-save " << formatExactDouble(Response.Totals.CallerSave)
+            << ", callee-save " << formatExactDouble(Response.Totals.CalleeSave)
+            << ", shuffle " << formatExactDouble(Response.Totals.Shuffle)
+            << ")\n";
+  for (const FunctionSummary &F : Response.Functions)
+    std::cout << "  " << F.Name << ": cost "
+              << formatExactDouble(F.Costs.total()) << ", rounds " << F.Rounds
+              << ", spilled " << F.SpilledRanges << '\n';
+  if (EmitIr)
+    std::cout << Response.AllocatedIr;
+  return 0;
+}
+
+int runStats(const Endpoint &EP) {
+  ServiceClient Client;
+  std::string Err;
+  if (!EP.connect(Client, &Err)) {
+    std::cerr << "ccra_client: " << Err << '\n';
+    return 1;
+  }
+  TelemetrySnapshot Snapshot;
+  ErrorResponse ServerError;
+  if (Client.stats(Snapshot, ServerError, &Err) != RpcStatus::Ok) {
+    std::cerr << "ccra_client: " << Err << '\n';
+    return 1;
+  }
+  std::cout << Snapshot.toJson() << '\n';
+  return 0;
+}
+
+// --- burst: the CI smoke ------------------------------------------------
+
+struct BurstOptions {
+  unsigned Requests = 200;
+  unsigned Clients = 4;
+  unsigned MalformedEvery = 17;
+  unsigned DeadlineEvery = 31;
+};
+
+struct BurstTally {
+  std::atomic<unsigned> Ok{0};
+  std::atomic<unsigned> Shed{0};
+  std::atomic<unsigned> Deadline{0};
+  std::atomic<unsigned> MalformedAnswered{0};
+  std::atomic<unsigned> Failures{0};
+};
+
+/// One precomputed request: what to send plus the bit-exact expectation.
+struct BurstCase {
+  AllocRequest Request;
+  std::string ExpectedIr;
+  CostBreakdown ExpectedTotals;
+};
+
+std::string encodeGarbageTornFrame(unsigned Seed);
+
+void burstWorker(const Endpoint &EP, const BurstOptions &Opts,
+                 const std::vector<BurstCase> &Cases, unsigned Worker,
+                 BurstTally &Tally, std::mutex &LogMutex) {
+  auto Fail = [&](const std::string &Msg) {
+    std::lock_guard<std::mutex> Lock(LogMutex);
+    std::cerr << "ccra_client: worker " << Worker << ": " << Msg << '\n';
+    Tally.Failures.fetch_add(1);
+  };
+
+  ServiceClient Client;
+  std::string Err;
+  if (!EP.connect(Client, &Err)) {
+    Fail("connect: " + Err);
+    return;
+  }
+
+  for (unsigned I = Worker; I < Opts.Requests; I += Opts.Clients) {
+    if (Opts.MalformedEvery && I % Opts.MalformedEvery == 0) {
+      // A torn/garbage frame burns its own throwaway connection: the
+      // server is expected to answer (or close on a torn header) and keep
+      // serving everyone else.
+      ServiceClient Bad;
+      if (!EP.connect(Bad, &Err)) {
+        Fail("malformed-leg connect: " + Err);
+        return;
+      }
+      std::string Garbage = (I % 2 == 0)
+                                ? std::string("\x13\x37not a frame at all", 19)
+                                : encodeGarbageTornFrame(I);
+      if (Bad.sendRawBytes(Garbage)) {
+        Frame Resp;
+        if (Bad.readResponse(Resp) == FrameReadStatus::Ok)
+          Tally.MalformedAnswered.fetch_add(1);
+      }
+      Bad.close();
+      continue;
+    }
+
+    const BurstCase &Case = Cases[I % Cases.size()];
+    AllocRequest Request = Case.Request;
+    bool TinyDeadline = Opts.DeadlineEvery && I % Opts.DeadlineEvery == 0;
+    if (TinyDeadline)
+      Request.DeadlineMs = 1;
+
+    AllocResponse Response;
+    ErrorResponse ServerError;
+    RpcStatus Status = Client.allocate(Request, Response, ServerError, &Err);
+    if (Status == RpcStatus::Shed) {
+      Tally.Shed.fetch_add(1);
+      continue;
+    }
+    if (Status == RpcStatus::Rejected) {
+      if (ServerError.Code == "deadline" && TinyDeadline) {
+        Tally.Deadline.fetch_add(1);
+        continue;
+      }
+      Fail("request " + std::to_string(I) + " rejected [" + ServerError.Code +
+           "] " + ServerError.Message);
+      continue;
+    }
+    if (Status != RpcStatus::Ok) {
+      Fail("request " + std::to_string(I) + " transport: " + Err);
+      if (!EP.connect(Client, &Err)) {
+        Fail("reconnect: " + Err);
+        return;
+      }
+      continue;
+    }
+
+    // The bit-identity contract: IR and exact costs must match the
+    // in-process allocation of the same module/options.
+    if (Response.AllocatedIr != Case.ExpectedIr) {
+      Fail("request " + std::to_string(I) +
+           ": allocated IR differs from in-process allocation");
+      continue;
+    }
+    if (Response.Totals != Case.ExpectedTotals) {
+      Fail("request " + std::to_string(I) +
+           ": cost totals differ from in-process allocation");
+      continue;
+    }
+    Tally.Ok.fetch_add(1);
+  }
+}
+
+std::string encodeGarbageTornFrame(unsigned Seed) {
+  // A valid header announcing more payload than we send: the server's
+  // frame read must time out or see EOF, count it malformed, and move on.
+  Frame F;
+  F.Type = FrameType::AllocRequest;
+  F.Payload = "config: 9,7,3,3\nmodule:\nmodule torn\n";
+  std::string Bytes;
+  encodeFrame(F, Bytes);
+  return Bytes.substr(0, WireHeaderSize + (Seed % 10));
+}
+
+int runBurst(const Endpoint &EP, int Argc, char **Argv, int First) {
+  BurstOptions Opts;
+  for (int I = First; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Unsigned = [&](std::size_t Prefix, unsigned &Out) {
+      return std::sscanf(Arg.c_str() + Prefix, "%u", &Out) == 1;
+    };
+    if (Arg.rfind("--requests=", 0) == 0) {
+      if (!Unsigned(11, Opts.Requests))
+        return 2;
+    } else if (Arg.rfind("--clients=", 0) == 0) {
+      if (!Unsigned(10, Opts.Clients) || Opts.Clients == 0)
+        return 2;
+    } else if (Arg.rfind("--malformed-every=", 0) == 0) {
+      if (!Unsigned(18, Opts.MalformedEvery))
+        return 2;
+    } else if (Arg.rfind("--deadline-every=", 0) == 0) {
+      if (!Unsigned(17, Opts.DeadlineEvery))
+        return 2;
+    } else {
+      printUsage();
+      return 2;
+    }
+  }
+
+  // Precompute the case mix and its bit-exact expectations once, so the
+  // hot loop only compares.
+  const char *Allocators[] = {"improved", "base", "cbh", "priority"};
+  std::vector<BurstCase> Cases;
+  for (const std::string &Proxy : specProxyNames()) {
+    BurstCase Case;
+    std::unique_ptr<Module> M = buildSpecProxy(Proxy);
+    Case.Request.ModuleText = moduleText(*M);
+    allocatorOptionsFor(Allocators[Cases.size() % 4], Case.Request.Options);
+    Case.Request.Mode =
+        Cases.size() % 2 ? FrequencyMode::Static : FrequencyMode::Profile;
+    if (!expectedAllocation(Case.Request, Case.ExpectedIr,
+                            Case.ExpectedTotals)) {
+      std::cerr << "ccra_client: failed to precompute expectation for "
+                << Proxy << '\n';
+      return 1;
+    }
+    Cases.push_back(std::move(Case));
+  }
+
+  BurstTally Tally;
+  std::mutex LogMutex;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Opts.Clients; ++W)
+    Workers.emplace_back([&, W] {
+      burstWorker(EP, Opts, Cases, W, Tally, LogMutex);
+    });
+  for (std::thread &T : Workers)
+    T.join();
+
+  std::cout << "burst: " << Tally.Ok.load() << " ok, " << Tally.Shed.load()
+            << " shed, " << Tally.Deadline.load() << " deadline, "
+            << Tally.MalformedAnswered.load() << " malformed answered, "
+            << Tally.Failures.load() << " failures\n";
+  if (Tally.Failures.load())
+    return 1;
+  if (Tally.Ok.load() == 0) {
+    std::cerr << "ccra_client: burst completed no successful requests\n";
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Endpoint EP;
+  int I = 1;
+  for (; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--version") {
+      std::cout << buildInfoString() << '\n';
+      return 0;
+    } else if (Arg.rfind("--unix=", 0) == 0) {
+      EP.UnixPath = Arg.substr(7);
+    } else if (Arg.rfind("--port=", 0) == 0) {
+      if (std::sscanf(Arg.c_str() + 7, "%d", &EP.Port) != 1) {
+        printUsage();
+        return 2;
+      }
+    } else if (Arg.rfind("--timeout=", 0) == 0) {
+      if (std::sscanf(Arg.c_str() + 10, "%d", &EP.TimeoutMs) != 1) {
+        printUsage();
+        return 2;
+      }
+    } else {
+      break;
+    }
+  }
+  if (I >= Argc || (EP.UnixPath.empty() && EP.Port < 0)) {
+    printUsage();
+    return 2;
+  }
+  std::string Command = Argv[I];
+  if (Command == "alloc")
+    return runAlloc(EP, Argc, Argv, I + 1);
+  if (Command == "stats")
+    return runStats(EP);
+  if (Command == "burst")
+    return runBurst(EP, Argc, Argv, I + 1);
+  printUsage();
+  return 2;
+}

@@ -37,11 +37,13 @@
 #include "fuzz/Oracle.h"
 #include "fuzz/Shrinker.h"
 #include "ir/IRPrinter.h"
+#include "support/BuildInfo.h"
 #include "support/Rng.h"
 #include "workloads/FuzzGen.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -82,7 +84,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   };
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "--smoke")
+    if (Arg == "--version") {
+      std::cout << buildInfoString() << '\n';
+      std::exit(0);
+    } else if (Arg == "--smoke")
       Opts.Smoke = true;
     else if (Arg == "--keep-going")
       Opts.KeepGoing = true;

@@ -10,10 +10,15 @@
 # diverge bit-for-bit from the legacy execution model; and last, the
 # time-boxed differential-fuzz smoke (tools/ccra_fuzz --smoke): a fixed
 # seed range through the full oracle lattice — the same range the CI
-# smoke step sweeps, so a local pass predicts a CI pass.
+# smoke step sweeps, so a local pass predicts a CI pass; and the serving
+# stack's gates: a live ccra_serve daemon driven through a mixed client
+# burst (valid + malformed frames) and drained with SIGTERM, then the
+# 10k-request soak (bench/perf_service) whose every valid response must be
+# bit-identical to in-process allocation.
 #
 # Usage: tools/check.sh [extra cmake args...]
 #   JOBS=N   parallel build jobs (default: nproc)
+#   SOAK_REQUESTS=N   perf_service soak size (default: 10000)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,11 +30,12 @@ cmake -B build -S . "$@"
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "== ThreadSanitizer: thread pool / parallel determinism / telemetry =="
+echo "== ThreadSanitizer: thread pool / parallel determinism / telemetry / service =="
 cmake -B build-tsan -S . -DCCRA_TSAN=ON "$@"
-cmake --build build-tsan -j "$JOBS" --target test_parallel test_telemetry
+cmake --build build-tsan -j "$JOBS" --target test_parallel test_telemetry \
+      test_service
 ctest --test-dir build-tsan --output-on-failure \
-      -R 'ThreadPool|ParallelAllocation|Telemetry'
+      -R 'ThreadPool|ParallelAllocation|Telemetry|Service|WireCodec'
 
 echo "== Release perf smokes: bit-identity gates (perf_grid, perf_scaling) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release "$@"
@@ -42,5 +48,27 @@ cmake --build build-release -j "$JOBS" --target ccra_fuzz
 # --smoke pins the seed range and shrink budget; the 10-minute box only
 # guards against a pathological slowdown, it is not reached normally.
 ./build-release/tools/ccra_fuzz --smoke --time-budget=600 --keep-going
+
+echo "== Service smoke: live daemon + mixed burst + graceful SIGTERM drain =="
+cmake --build build-release -j "$JOBS" --target ccra_serve ccra_client \
+      perf_service
+SOCK="$(mktemp -u /tmp/ccra-check-XXXXXX.sock)"
+./build-release/tools/ccra_serve --unix="$SOCK" &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+# 200 mixed requests (valid across the proxy/config grid, malformed
+# frames, tiny deadlines) from 4 concurrent clients; every valid response
+# is checked bit-identical to in-process allocation.
+./build-release/tools/ccra_client --unix="$SOCK" burst --requests=200 \
+      --clients=4
+./build-release/tools/ccra_client --unix="$SOCK" stats > /dev/null
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"   # exit 0 == clean drain
+trap - EXIT
+
+echo "== Service soak gate (perf_service -> BENCH_service.json) =="
+(cd build-release && ./bench/perf_service \
+      --requests="${SOAK_REQUESTS:-10000}")
 
 echo "check.sh: all green"
