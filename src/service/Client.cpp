@@ -14,6 +14,14 @@ bool ServiceClient::connectTcp(int Port, std::string *Err) {
   return finishConnect(Err);
 }
 
+std::size_t ServiceClient::maxResponseBytes() const {
+  // An AllocResponse echoes the allocated module (comparable in size to
+  // the request payload the server caps at MaxPayloadBytes) plus
+  // per-function stats and telemetry; twice the cap plus 1 MiB of fixed
+  // slack covers every legitimate response.
+  return Hello.MaxPayloadBytes * 2 + (1u << 20);
+}
+
 bool ServiceClient::finishConnect(std::string *Err) {
   if (!Conn.valid())
     return false;
@@ -53,7 +61,7 @@ RpcStatus ServiceClient::roundTrip(const Frame &Request, Frame &In,
     return RpcStatus::Transport;
   }
   FrameReadStatus RS =
-      readFrame(Conn, In, SIZE_MAX, TimeoutMs, TimeoutMs, Err);
+      readFrame(Conn, In, maxResponseBytes(), TimeoutMs, TimeoutMs, Err);
   if (RS != FrameReadStatus::Ok) {
     Conn.close();
     return RpcStatus::Transport;
@@ -118,5 +126,5 @@ bool ServiceClient::sendRawBytes(const std::string &Bytes, std::string *Err) {
 }
 
 FrameReadStatus ServiceClient::readResponse(Frame &Out, std::string *Err) {
-  return readFrame(Conn, Out, SIZE_MAX, TimeoutMs, TimeoutMs, Err);
+  return readFrame(Conn, Out, maxResponseBytes(), TimeoutMs, TimeoutMs, Err);
 }

@@ -72,6 +72,11 @@ private:
   /// Sends \p Request and reads the one response frame into \p In.
   RpcStatus roundTrip(const Frame &Request, Frame &In,
                       ErrorResponse &ServerError, std::string *Err);
+  /// Largest response frame this client will buffer. Derived from the
+  /// server's advertised MaxPayloadBytes (plus slack for response
+  /// overhead) so a corrupted or hostile length field cannot make the
+  /// client allocate up to 4 GiB before the checksum is even validated.
+  std::size_t maxResponseBytes() const;
 
   Socket Conn;
   HelloInfo Hello;

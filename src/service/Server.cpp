@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include <sys/socket.h>
+
 using namespace ccra;
 
 namespace {
@@ -70,6 +72,15 @@ void AllocationServer::requestDrain() {
     Draining.store(true);
   }
   QueueReady.notify_all();
+  // Wake connection threads parked in a mid-frame read: without this a
+  // peer that sent a torn header and went silent pins its thread for the
+  // full frame-read budget and drain waits it out. Read side only —
+  // responses for already-admitted requests still flush.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (const auto &Entry : ConnFds)
+      ::shutdown(Entry.second, SHUT_RD);
+  }
 }
 
 void AllocationServer::wait() {
@@ -79,7 +90,10 @@ void AllocationServer::wait() {
   std::vector<std::thread> Conns;
   {
     std::lock_guard<std::mutex> Lock(ConnMutex);
-    Conns.swap(ConnThreads);
+    for (auto &Entry : ConnThreads)
+      Conns.push_back(std::move(Entry.second));
+    ConnThreads.clear();
+    FinishedConns.clear();
   }
   for (std::thread &T : Conns)
     if (T.joinable())
@@ -119,8 +133,30 @@ Frame AllocationServer::helloFrame() const {
   return F;
 }
 
+void AllocationServer::reapFinishedConns() {
+  std::vector<std::thread> Done;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (std::uint64_t Id : FinishedConns) {
+      auto It = ConnThreads.find(Id);
+      if (It != ConnThreads.end()) {
+        Done.push_back(std::move(It->second));
+        ConnThreads.erase(It);
+      }
+    }
+    FinishedConns.clear();
+  }
+  // Joins happen outside ConnMutex: the finishing thread's last act is to
+  // push its id under the same mutex, and join() only waits for the final
+  // return after that.
+  for (std::thread &T : Done)
+    if (T.joinable())
+      T.join();
+}
+
 void AllocationServer::acceptLoop() {
   while (!Draining.load()) {
+    reapFinishedConns();
     IoStatus Status = IoStatus::Error;
     Socket Conn = Listener.accept(PollIntervalMs, Status);
     if (Status == IoStatus::Timeout)
@@ -133,8 +169,20 @@ void AllocationServer::acceptLoop() {
       ++ActiveConnections;
     }
     std::lock_guard<std::mutex> Lock(ConnMutex);
-    ConnThreads.emplace_back(
-        [this, C = std::move(Conn)]() mutable { connectionLoop(std::move(C)); });
+    std::uint64_t Id = NextConnId++;
+    ConnFds.emplace(Id, Conn.fd());
+    ConnThreads.emplace(Id, std::thread([this, Id, C = std::move(Conn)]() mutable {
+      connectionLoop(Id, std::move(C));
+      std::lock_guard<std::mutex> FinLock(ConnMutex);
+      FinishedConns.push_back(Id);
+    }));
+  }
+  // Drain may have raced past connections admitted in this loop's final
+  // iterations; re-run the read-side shutdown now that the set is final.
+  if (Draining.load()) {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (const auto &Entry : ConnFds)
+      ::shutdown(Entry.second, SHUT_RD);
   }
   // Refuse connections the moment drain starts: close (and for Unix
   // sockets unlink) the listener so clients see ECONNREFUSED/ENOENT
@@ -142,7 +190,7 @@ void AllocationServer::acceptLoop() {
   Listener.close();
 }
 
-void AllocationServer::connectionLoop(Socket Conn) {
+void AllocationServer::connectionLoop(std::uint64_t Id, Socket Conn) {
   std::string Err;
   bool HelloOk =
       writeFrame(Conn, helloFrame(), Config.WriteTimeoutMs) == IoStatus::Ok;
@@ -260,7 +308,13 @@ void AllocationServer::connectionLoop(Socket Conn) {
     }
   }
 
-  Conn.close();
+  {
+    // Deregister before closing, under the same mutex drain's shutdown
+    // sweep holds, so drain never shuts down a recycled fd number.
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    ConnFds.erase(Id);
+    Conn.close();
+  }
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     --ActiveConnections;

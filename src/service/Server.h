@@ -52,6 +52,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -60,6 +61,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace ccra {
@@ -136,7 +138,12 @@ private:
   };
 
   void acceptLoop();
-  void connectionLoop(Socket Conn);
+  void connectionLoop(std::uint64_t Id, Socket Conn);
+  /// Joins connection threads whose loop has returned. Called from the
+  /// accept loop every iteration so a long-lived daemon under connection
+  /// churn holds handles only for live connections, never one per
+  /// connection ever served.
+  void reapFinishedConns();
   void batcherLoop();
   /// Forms one batch from \p Taken and fulfills every promise.
   void runBatch(std::vector<std::unique_ptr<PendingRequest>> Taken);
@@ -156,8 +163,19 @@ private:
   std::thread BatcherThread;
 
   mutable std::mutex ConnMutex;
-  std::vector<std::thread> ConnThreads; ///< joined in wait()
-  unsigned ActiveConnections = 0;       ///< guarded by QueueMutex
+  /// Live connection threads by id; finished ones are reaped by the accept
+  /// loop, stragglers joined in wait().
+  std::unordered_map<std::uint64_t, std::thread> ConnThreads;
+  /// Raw fds of live connections, so requestDrain() can shutdown(SHUT_RD)
+  /// each one: a peer parked mid-frame (torn header, stalled stream) would
+  /// otherwise hold drain hostage for the full frame-read budget. Writes
+  /// stay open so in-flight responses still flush. Entries are erased
+  /// (under ConnMutex, before the fd is closed) by the owning connection
+  /// thread, so drain never touches a reused fd.
+  std::unordered_map<std::uint64_t, int> ConnFds;
+  std::vector<std::uint64_t> FinishedConns; ///< ids ready to join
+  std::uint64_t NextConnId = 0;             ///< guarded by ConnMutex
+  unsigned ActiveConnections = 0;           ///< guarded by QueueMutex
 
   mutable std::mutex QueueMutex;
   std::condition_variable QueueReady;

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstring>
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -20,6 +21,15 @@ namespace {
 void setError(std::string *Err, const char *What) {
   if (Err)
     *Err = std::string(What) + ": " + std::strerror(errno);
+}
+
+/// Every connected socket is switched to O_NONBLOCK so that send()/recv()
+/// can never block past the poll() deadline: a full send buffer (slow
+/// client that stopped reading) surfaces as EAGAIN and the transfer loop
+/// re-checks the total deadline instead of wedging in the kernel.
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
 }
 
 /// Remaining milliseconds until \p Deadline (-1 = no deadline), clamped to
@@ -155,7 +165,10 @@ Socket Socket::connectUnix(const std::string &Path, std::string *Err) {
     setError(Err, "socket");
     return Socket();
   }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+  // Blocking connect (loopback/unix — effectively instant), then switch to
+  // non-blocking for the deadline-bounded transfer loops.
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      !setNonBlocking(Fd)) {
     setError(Err, "connect");
     ::close(Fd);
     return Socket();
@@ -176,7 +189,8 @@ Socket Socket::connectTcp(int Port, std::string *Err) {
   Addr.sin_family = AF_INET;
   Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
   Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      !setNonBlocking(Fd)) {
     setError(Err, "connect");
     ::close(Fd);
     return Socket();
@@ -283,6 +297,12 @@ Socket ListenSocket::accept(int TimeoutMs, IoStatus &Status,
       return Socket();
     int Conn = ::accept(Fd, nullptr, nullptr);
     if (Conn >= 0) {
+      if (!setNonBlocking(Conn)) {
+        setError(Err, "fcntl");
+        ::close(Conn);
+        Status = IoStatus::Error;
+        return Socket();
+      }
       int One = 1;
       ::setsockopt(Conn, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
       Status = IoStatus::Ok;

@@ -27,8 +27,11 @@ namespace ccra {
 /// cleanly mid-transfer (for recvAll: before the first byte too).
 enum class IoStatus { Ok, Timeout, Closed, Error };
 
-/// A connected stream socket (move-only; closes on destruction). Writes
-/// never raise SIGPIPE — a dead peer surfaces as IoStatus::Error.
+/// A connected stream socket (move-only; closes on destruction). The fd is
+/// kept in O_NONBLOCK mode so the deadline bounds the actual transfer, not
+/// just readiness — a peer that stops draining its receive buffer makes
+/// send() return EAGAIN rather than blocking past the poll() deadline.
+/// Writes never raise SIGPIPE — a dead peer surfaces as IoStatus::Error.
 class Socket {
 public:
   Socket() = default;

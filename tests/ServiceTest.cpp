@@ -31,6 +31,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <sys/socket.h>
@@ -174,6 +175,32 @@ TEST(WireCodec, TornFrameIsMalformedChecksumGuardsPayload) {
     Frame In;
     EXPECT_EQ(FrameReadStatus::TooLarge, readFrame(Reader, In, 4, 1000, 1000));
   }
+}
+
+TEST(Sockets, SendAllDeadlineHoldsWhenPeerStopsReading) {
+  // A slow client that accepts the connection but never drains its receive
+  // buffer must surface as Timeout within the write budget — the server's
+  // slow-client guarantee (and with it SIGTERM drain) rests on this. Uses
+  // real connect/accept sockets because those are the fds the fix switches
+  // to O_NONBLOCK; a blocking fd would wedge in ::send() here.
+  std::string Err;
+  ListenSocket L = ListenSocket::listenTcp(0, 4, &Err);
+  ASSERT_TRUE(L.valid()) << Err;
+  Socket Client = Socket::connectTcp(L.boundPort(), &Err);
+  ASSERT_TRUE(Client.valid()) << Err;
+  IoStatus St = IoStatus::Error;
+  Socket Server = L.accept(1000, St, &Err);
+  ASSERT_EQ(IoStatus::Ok, St) << Err;
+
+  // Far larger than any kernel socket buffer pair, so the transfer cannot
+  // complete without the peer reading.
+  std::string Big(64u << 20, 'x');
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_EQ(IoStatus::Timeout, Server.sendAll(Big.data(), Big.size(), 300));
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_LT(ElapsedMs, 5000) << "send blocked far past its deadline";
 }
 
 TEST(WireCodec, AllocRequestRoundTripsExactly) {
@@ -508,6 +535,32 @@ TEST(Service, DrainFinishesInFlightWorkAndRefusesNew) {
   S->Server.wait();
   ServiceClient Late;
   EXPECT_FALSE(Late.connectTcp(Port, &Err));
+  S.reset();
+}
+
+TEST(Service, DrainInterruptsSilentAndMidFramePeers) {
+  auto S = std::make_unique<LiveServer>();
+  std::string Err;
+
+  // One peer that never reads its Hello and goes silent, and one that
+  // sends a torn header fragment then stalls: without the read-side
+  // shutdown in requestDrain() the second would pin its connection thread
+  // for the full mid-frame read budget (30 s) and wait() would hang on it.
+  Socket Silent = Socket::connectTcp(S->Server.boundPort(), &Err);
+  ASSERT_TRUE(Silent.valid()) << Err;
+  Socket Torn = Socket::connectTcp(S->Server.boundPort(), &Err);
+  ASSERT_TRUE(Torn.valid()) << Err;
+  const char Fragment[2] = {'\x00', '\x01'};
+  ASSERT_EQ(IoStatus::Ok, Torn.sendAll(Fragment, sizeof(Fragment), 1000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  auto Start = std::chrono::steady_clock::now();
+  S->Server.requestDrain();
+  S->Server.wait();
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_LT(ElapsedMs, 5000) << "drain waited out a wedged peer";
   S.reset();
 }
 

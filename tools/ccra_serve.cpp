@@ -107,6 +107,16 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Graceful drain on SIGTERM/SIGINT. The handler only flips a flag (all
+  // the real work is async-signal-unsafe); the main thread polls it.
+  // Installed before start() so a supervisor's fast restart signal in the
+  // startup window still drains instead of taking the default action.
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onStopSignal;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+
   AllocationServer Server(Config);
   std::string Err;
   if (!Server.start(&Err)) {
@@ -118,14 +128,6 @@ int main(int Argc, char **Argv) {
   else
     std::cout << "listening tcp " << Server.boundPort() << std::endl;
   std::cerr << buildInfoString() << '\n';
-
-  // Graceful drain on SIGTERM/SIGINT. The handler only flips a flag (all
-  // the real work is async-signal-unsafe); this thread polls it.
-  struct sigaction SA;
-  std::memset(&SA, 0, sizeof(SA));
-  SA.sa_handler = onStopSignal;
-  sigaction(SIGTERM, &SA, nullptr);
-  sigaction(SIGINT, &SA, nullptr);
 
   while (!StopRequested.load())
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
