@@ -17,10 +17,20 @@
 // BENCH_service.json. Exits non-zero on any bit-identity divergence,
 // unexplained failure, or unclean drain.
 //
-//   perf_service [--requests=N] [--clients=N] [--queue=N] [--max-batch=N]
-//                [--pool-threads=N]
+// Phase 3 is the caching-tier gate: a Zipfian workload (skew 1.1 over the
+// proxy x config x mode case population) against a cache-enabled, sharded
+// server. Every response — cached or cold — is still checked bit-identical
+// to in-process allocation, and the phase must clear 100x the committed
+// pre-cache baseline (~64 req/s) with a nonzero hit rate. The mixed soak
+// above runs with the cache DISABLED so "rps_before" stays comparable to
+// that committed baseline.
 //
-// Defaults: 10000 requests, 6 clients — the soak gate CI runs.
+//   perf_service [--requests=N] [--clients=N] [--queue=N] [--max-batch=N]
+//                [--pool-threads=N] [--zipf-requests=N] [--shards=N]
+//                [--cache-bytes=N]
+//
+// Defaults: 10000 requests, 6 clients, 20000 Zipf requests, 2 shards —
+// the soak gate CI runs.
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,7 +39,10 @@
 #include "ir/IRPrinter.h"
 #include "service/Client.h"
 #include "service/Server.h"
+#include "support/Rng.h"
 #include "workloads/SpecProxies.h"
+
+#include <cmath>
 
 #include <algorithm>
 #include <atomic>
@@ -46,6 +59,11 @@ using namespace ccra;
 
 namespace {
 
+/// The committed pre-cache serving baseline this machine class measured
+/// (BENCH_service.json before the caching tier landed). The Zipf phase
+/// gates on 100x this number.
+constexpr double CommittedBaselineRps = 64.0;
+
 struct SoakOptions {
   unsigned Requests = 10000;
   unsigned Clients = 6;
@@ -55,6 +73,9 @@ struct SoakOptions {
   unsigned MalformedEvery = 23;
   unsigned DeadlineEvery = 41;
   unsigned ShedEvery = 97;
+  unsigned ZipfRequests = 20000;
+  unsigned Shards = 2;
+  std::size_t CacheBytes = 64u << 20;
 };
 
 struct SoakCase {
@@ -206,6 +227,172 @@ void soakWorker(int Port, const SoakOptions &Opts,
   LatenciesMs.insert(LatenciesMs.end(), Local.begin(), Local.end());
 }
 
+double percentile(std::vector<double> &Sorted, double P);
+
+/// The Zipf phase's case population: every proxy crossed with the full
+/// configuration rotation and both frequency modes, so the hot head of the
+/// distribution is a handful of (module, options, mode) tuples and the
+/// tail still forces cold allocations.
+std::vector<SoakCase> buildZipfCases() {
+  const AllocatorOptions Configs[] = {improvedOptions(), baseChaitinOptions(),
+                                      cbhOptions(), priorityOptions(),
+                                      improvedOptimisticOptions()};
+  std::vector<SoakCase> Cases;
+  for (const std::string &Proxy : specProxyNames()) {
+    std::unique_ptr<Module> M = buildSpecProxy(Proxy);
+    std::string Text = printed(*M);
+    for (const AllocatorOptions &Opts : Configs) {
+      for (FrequencyMode Mode :
+           {FrequencyMode::Profile, FrequencyMode::Static}) {
+        SoakCase Case;
+        Case.Request.ModuleText = Text;
+        Case.Request.Options = Opts;
+        Case.Request.Mode = Mode;
+
+        ParseResult PR = parseModule(Text);
+        FrequencyInfo Freq = FrequencyInfo::compute(*PR.M, Mode);
+        AllocationEngine Engine = EngineBuilder(Case.Request.Config)
+                                      .options(Case.Request.Options)
+                                      .build();
+        ModuleAllocationResult R = Engine.allocateModule(*PR.M, Freq);
+        Case.ExpectedIr = printed(*PR.M);
+        Case.ExpectedTotals = R.Totals;
+        Cases.push_back(std::move(Case));
+      }
+    }
+  }
+  return Cases;
+}
+
+/// Zipf(1.1) cumulative distribution over case ranks; rank 0 is hottest.
+std::vector<double> zipfCdf(std::size_t Count) {
+  std::vector<double> Cdf;
+  Cdf.reserve(Count);
+  double Sum = 0;
+  for (std::size_t R = 0; R < Count; ++R) {
+    Sum += 1.0 / std::pow(static_cast<double>(R + 1), 1.1);
+    Cdf.push_back(Sum);
+  }
+  for (double &V : Cdf)
+    V /= Sum;
+  return Cdf;
+}
+
+struct ZipfResult {
+  unsigned Ok = 0;
+  unsigned Failures = 0;
+  unsigned BitDivergences = 0;
+  double Seconds = 0, Rps = 0;
+  double P50 = 0, P95 = 0, P99 = 0;
+  double Hits = 0, Misses = 0, HitRate = 0;
+};
+
+/// Phase 3: the caching-tier gate. Pure allocation traffic sampled from a
+/// Zipfian distribution against a cache-enabled, sharded server; every
+/// response is still verified bit-identical to in-process allocation.
+ZipfResult zipfPhase(const SoakOptions &Opts,
+                     const std::vector<SoakCase> &Cases) {
+  ZipfResult Result;
+  ServerConfig Config;
+  Config.TcpPort = 0;
+  Config.QueueCapacity = Opts.QueueCapacity;
+  Config.MaxBatch = Opts.MaxBatch;
+  Config.PoolThreads = Opts.PoolThreads;
+  Config.Shards = Opts.Shards;
+  Config.CacheBytes = Opts.CacheBytes;
+  AllocationServer Server(Config);
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::cerr << "perf_service: zipf phase: " << Err << '\n';
+    Result.Failures = 1;
+    return Result;
+  }
+  int Port = Server.boundPort();
+
+  const std::vector<double> Cdf = zipfCdf(Cases.size());
+  std::atomic<unsigned> Ok{0}, Failures{0}, BitDivergences{0};
+  std::vector<double> LatenciesMs;
+  std::mutex Mutex;
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Opts.Clients; ++W)
+    Workers.emplace_back([&, W] {
+      auto Fail = [&](const std::string &Msg) {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        std::cerr << "perf_service: zipf worker " << W << ": " << Msg << '\n';
+        Failures.fetch_add(1);
+      };
+      ServiceClient Client;
+      std::string CErr;
+      if (!Client.connectTcp(Port, &CErr)) {
+        Fail("connect: " + CErr);
+        return;
+      }
+      Rng R(0x21bful + W); // deterministic per-worker sample path
+      std::vector<double> Local;
+      for (unsigned I = W; I < Opts.ZipfRequests; I += Opts.Clients) {
+        double U = R.nextDouble();
+        std::size_t Rank = static_cast<std::size_t>(
+            std::lower_bound(Cdf.begin(), Cdf.end(), U) - Cdf.begin());
+        const SoakCase &Case = Cases[std::min(Rank, Cases.size() - 1)];
+
+        AllocResponse Response;
+        ErrorResponse ServerError;
+        auto T0 = std::chrono::steady_clock::now();
+        RpcStatus Status =
+            Client.allocate(Case.Request, Response, ServerError, &CErr);
+        double Ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - T0)
+                        .count();
+        if (Status != RpcStatus::Ok) {
+          Fail("request " + std::to_string(I) + " status " +
+               std::to_string(static_cast<int>(Status)) + ": [" +
+               ServerError.Code + "] " + CErr);
+          if (Status == RpcStatus::Transport &&
+              !Client.connectTcp(Port, &CErr))
+            return;
+          continue;
+        }
+        if (Response.AllocatedIr != Case.ExpectedIr ||
+            !(Response.Totals == Case.ExpectedTotals)) {
+          BitDivergences.fetch_add(1);
+          Fail("request " + std::to_string(I) +
+               ": response diverges from in-process allocation");
+          continue;
+        }
+        Local.push_back(Ms);
+        Ok.fetch_add(1);
+      }
+      std::lock_guard<std::mutex> Lock(Mutex);
+      LatenciesMs.insert(LatenciesMs.end(), Local.begin(), Local.end());
+    });
+  for (std::thread &T : Workers)
+    T.join();
+  Result.Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  TelemetrySnapshot Stats = Server.stats();
+  Server.requestDrain();
+  Server.wait();
+
+  Result.Ok = Ok.load();
+  Result.Failures = Failures.load();
+  Result.BitDivergences = BitDivergences.load();
+  Result.Rps = Result.Seconds > 0 ? Result.Ok / Result.Seconds : 0.0;
+  std::sort(LatenciesMs.begin(), LatenciesMs.end());
+  Result.P50 = percentile(LatenciesMs, 0.50);
+  Result.P95 = percentile(LatenciesMs, 0.95);
+  Result.P99 = percentile(LatenciesMs, 0.99);
+  Result.Hits = Stats.count(telemetry::CacheHits);
+  Result.Misses = Stats.count(telemetry::CacheMisses);
+  Result.HitRate = (Result.Hits + Result.Misses) > 0
+                       ? Result.Hits / (Result.Hits + Result.Misses)
+                       : 0.0;
+  return Result;
+}
+
 double percentile(std::vector<double> &Sorted, double P) {
   if (Sorted.empty())
     return 0.0;
@@ -303,8 +490,20 @@ int main(int Argc, char **Argv) {
       continue;
     if (Arg.rfind("--pool-threads=", 0) == 0 && Unsigned(15, Opts.PoolThreads))
       continue;
+    if (Arg.rfind("--zipf-requests=", 0) == 0 && Unsigned(16, Opts.ZipfRequests))
+      continue;
+    if (Arg.rfind("--shards=", 0) == 0 && Unsigned(9, Opts.Shards) &&
+        Opts.Shards > 0)
+      continue;
+    unsigned CacheBytes = 0;
+    if (Arg.rfind("--cache-bytes=", 0) == 0 && Unsigned(14, CacheBytes)) {
+      Opts.CacheBytes = CacheBytes;
+      continue;
+    }
     std::cerr << "usage: perf_service [--requests=N] [--clients=N] "
-                 "[--queue=N] [--max-batch=N] [--pool-threads=N]\n";
+                 "[--queue=N] [--max-batch=N] [--pool-threads=N]\n"
+                 "                    [--zipf-requests=N] [--shards=N] "
+                 "[--cache-bytes=N]\n";
     return 2;
   }
 
@@ -315,6 +514,10 @@ int main(int Argc, char **Argv) {
   Config.QueueCapacity = Opts.QueueCapacity;
   Config.MaxBatch = Opts.MaxBatch;
   Config.PoolThreads = Opts.PoolThreads;
+  // The mixed soak measures the ENGINE path: cache off so "rps_before"
+  // stays comparable to the committed pre-cache baseline the Zipf phase
+  // gates against.
+  Config.CacheBytes = 0;
   // SHED slices: every ShedEvery-th admission is forced to overflow, so
   // the soak exercises backpressure even when the queue keeps up.
   std::atomic<unsigned> Admissions{0};
@@ -359,6 +562,14 @@ int main(int Argc, char **Argv) {
   bool BitIdentical = Tally.BitDivergences.load() == 0;
   bool Healthy = Tally.Failures.load() == 0 && Tally.Ok.load() > 0;
 
+  // Phase 3: the Zipfian caching-tier gate.
+  std::vector<SoakCase> ZipfCases = buildZipfCases();
+  ZipfResult Zipf = zipfPhase(Opts, ZipfCases);
+  double Speedup = Zipf.Rps / CommittedBaselineRps;
+  bool ZipfBitIdentical = Zipf.BitDivergences == 0;
+  bool ZipfHealthy = Zipf.Failures == 0 && Zipf.Ok > 0 && Zipf.Hits > 0;
+  bool ZipfFastEnough = Speedup >= 100.0;
+
   std::cout << "== perf_service: " << Opts.Requests << " requests, "
             << Opts.Clients << " clients ==\n"
             << "ok:          " << Tally.Ok.load() << '\n'
@@ -375,6 +586,23 @@ int main(int Argc, char **Argv) {
             << Stats.count(telemetry::ServePeakQueue) << ", peak batch: "
             << Stats.count(telemetry::ServePeakBatch) << '\n';
 
+  std::cout << "== zipf phase: " << Opts.ZipfRequests << " requests, "
+            << Opts.Clients << " clients, " << Opts.Shards << " shards, "
+            << (Opts.CacheBytes >> 20) << " MiB cache ==\n"
+            << "ok:          " << Zipf.Ok << '\n'
+            << "failures:    " << Zipf.Failures << '\n'
+            << "throughput:  " << Zipf.Rps << " req/s ("
+            << Speedup << "x the committed " << CommittedBaselineRps
+            << " req/s baseline)\n"
+            << "hit rate:    " << Zipf.HitRate << " (" << Zipf.Hits
+            << " hits, " << Zipf.Misses << " misses)\n"
+            << "latency p50: " << Zipf.P50 << " ms, p95: " << Zipf.P95
+            << " ms, p99: " << Zipf.P99 << " ms\n"
+            << "bit-identical responses: "
+            << (ZipfBitIdentical ? "yes" : "NO") << '\n'
+            << "gate (>=100x): " << (ZipfFastEnough ? "pass" : "FAIL")
+            << '\n';
+
   std::ofstream Json("BENCH_service.json");
   Json << "{\n"
        << "  \"requests\": " << Opts.Requests << ",\n"
@@ -389,12 +617,27 @@ int main(int Argc, char **Argv) {
        << "  \"latency_p50_ms\": " << P50 << ",\n"
        << "  \"latency_p95_ms\": " << P95 << ",\n"
        << "  \"latency_p99_ms\": " << P99 << ",\n"
-       << "  \"bit_identical\": " << (BitIdentical ? "true" : "false")
-       << ",\n"
+       << "  \"bit_identical\": "
+       << (BitIdentical && ZipfBitIdentical ? "true" : "false") << ",\n"
        << "  \"drain_clean\": " << (DrainClean ? "true" : "false") << ",\n"
+       << "  \"shards\": " << Opts.Shards << ",\n"
+       << "  \"cache_bytes\": " << Opts.CacheBytes << ",\n"
+       << "  \"zipf_requests\": " << Opts.ZipfRequests << ",\n"
+       << "  \"zipf_ok\": " << Zipf.Ok << ",\n"
+       << "  \"zipf_seconds\": " << Zipf.Seconds << ",\n"
+       << "  \"hit_rate\": " << Zipf.HitRate << ",\n"
+       << "  \"rps_before\": " << Throughput << ",\n"
+       << "  \"rps_after\": " << Zipf.Rps << ",\n"
+       << "  \"speedup_vs_committed\": " << Speedup << ",\n"
+       << "  \"zipf_latency_p50_ms\": " << Zipf.P50 << ",\n"
+       << "  \"zipf_latency_p95_ms\": " << Zipf.P95 << ",\n"
+       << "  \"zipf_latency_p99_ms\": " << Zipf.P99 << ",\n"
        << "  \"server\": ";
   Stats.writeJson(Json);
   Json << "\n}\n";
 
-  return (BitIdentical && DrainClean && Healthy) ? 0 : 1;
+  return (BitIdentical && DrainClean && Healthy && ZipfBitIdentical &&
+          ZipfHealthy && ZipfFastEnough)
+             ? 0
+             : 1;
 }

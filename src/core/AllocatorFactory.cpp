@@ -2,7 +2,6 @@
 
 #include "core/AllocatorFactory.h"
 
-#include "core/EngineBuilder.h"
 #include "core/ImprovedChaitinAllocator.h"
 #include "regalloc/CBHAllocator.h"
 #include "regalloc/ChaitinAllocator.h"
@@ -26,9 +25,4 @@ ccra::createAllocator(const AllocatorOptions &Opts) {
   }
   assert(false && "unknown allocator kind");
   return nullptr;
-}
-
-AllocationEngine ccra::makeEngine(MachineDescription MD,
-                                  const AllocatorOptions &Opts) {
-  return EngineBuilder(MD).options(Opts).build();
 }

@@ -20,11 +20,9 @@ namespace ccra {
 /// concurrently; matches the AllocatorFactory signature.
 std::unique_ptr<RegAllocBase> createAllocator(const AllocatorOptions &Opts);
 
-/// \deprecated Thin shim over EngineBuilder (core/EngineBuilder.h), the
-/// preferred construction API:
-///   EngineBuilder(Config).options(Opts).jobs(N).telemetry(&T).build()
-AllocationEngine makeEngine(MachineDescription MD,
-                            const AllocatorOptions &Opts);
+// The deprecated makeEngine(MD, Opts) shim was retired; build engines with
+// EngineBuilder (core/EngineBuilder.h):
+//   EngineBuilder(Config).options(Opts).jobs(N).telemetry(&T).build()
 
 } // namespace ccra
 

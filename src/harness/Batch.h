@@ -22,6 +22,8 @@
 #include "support/Telemetry.h"
 #include "target/MachineDescription.h"
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace ccra {
@@ -42,15 +44,27 @@ struct AllocationBatchResult {
   TelemetrySnapshot Telemetry; ///< this item's engine telemetry
 };
 
+/// Called once per finished item, with the item's index and its result,
+/// on whichever thread ran the item and as soon as it completes — items
+/// finishing early are observable before the batch drains. Callbacks for
+/// different items may run concurrently; the callee synchronizes anything
+/// shared. The allocation service uses this to flush each response (and
+/// publish its cache entry) without waiting for the slowest item of the
+/// batch.
+using BatchItemCallback =
+    std::function<void(std::size_t, AllocationBatchResult &)>;
+
 /// Runs every item of \p Items, fanning the batch across \p Pool when one
 /// is given (items run concurrently, and each item's engine additionally
 /// fans its functions out on the same pool when its Options.Jobs asks for
 /// parallelism — nested batches, never nested pools). Output order matches
 /// input order and each result is bit-identical to a serial run of the
-/// same item.
+/// same item. An item whose engine throws never reaches \p OnItemDone; the
+/// first such exception is rethrown after the batch drains.
 std::vector<AllocationBatchResult>
 runAllocationBatch(const std::vector<AllocationBatchItem> &Items,
-                   ThreadPool *Pool);
+                   ThreadPool *Pool,
+                   const BatchItemCallback &OnItemDone = {});
 
 } // namespace ccra
 

@@ -134,6 +134,22 @@ std::string ccra::serializeAllocatorOptions(const AllocatorOptions &Opts) {
   return OS.str();
 }
 
+std::string AllocatorOptions::canonicalKey() const {
+  std::ostringstream OS;
+  OS << "kind=" << kindName(Kind)                            //
+     << " optimistic=" << (Optimistic ? 1 : 0)               //
+     << " storage-class=" << (StorageClass ? 1 : 0)          //
+     << " benefit-simplify=" << (BenefitSimplify ? 1 : 0)    //
+     << " preference-decision=" << (PreferenceDecision ? 1 : 0)
+     << " bs-key=" << bsKeyName(BSKey)                       //
+     << " callee-model=" << calleeModelName(CalleeModel)     //
+     << " ordering=" << orderingName(Ordering)               //
+     << " aggressive-coalescing=" << (AggressiveCoalescing ? 1 : 0)
+     << " materialize=" << (MaterializeSaveRestore ? 1 : 0)  //
+     << " max-rounds=" << MaxRounds;
+  return OS.str();
+}
+
 bool ccra::parseAllocatorOptions(const std::string &Text, AllocatorOptions &Out,
                                  std::string *Err) {
   Out = AllocatorOptions();

@@ -131,14 +131,35 @@ struct AllocatorOptions {
   /// Short human-readable tag ("base", "opt", "SC+BS+PR", ...).
   std::string describe() const;
 
+  /// The one true cache/serialization form: a fixed-order `key=value` line
+  /// covering ONLY the fields that can change the allocation *result*
+  /// (assignment, costs, emitted IR) — Kind, Optimistic, the three
+  /// improvements, BSKey, CalleeModel, Ordering, AggressiveCoalescing,
+  /// MaterializeSaveRestore, MaxRounds. Execution-strategy fields (Jobs,
+  /// GraphMode, ScratchArenas, IncrementalLiveness/Reconstruction,
+  /// LegacySimplifier, Verify, VerifyReportOnly) are excluded: the oracle
+  /// lattice (tools/ccra_fuzz) holds results bit-identical across all of
+  /// them, so two options differing only there MUST share a key. The form
+  /// is order- and default-insensitive by construction (fixed order, every
+  /// included field always emitted) and parses back through
+  /// parseAllocatorOptions (omitted fields keep their defaults).
+  /// Property-tested in tests/PropertyTest.cpp: semantically equal options
+  /// produce equal keys and every behavior-affecting field perturbs the
+  /// key. The wire protocol and the content-addressed allocation cache
+  /// (service/AllocationCache.h) both key on this form.
+  std::string canonicalKey() const;
+
   bool operator==(const AllocatorOptions &Other) const = default;
 };
 
-/// Canonical one-line textual form of \p Opts: every field emitted as
-/// `key=value`, space-separated, in a fixed order. The wire protocol
-/// (service/WireProtocol.h) and reproducer headers embed this form;
-/// parseAllocatorOptions reproduces the exact struct
-/// (property-tested over the full option space in tests/PropertyTest.cpp).
+/// Full one-line textual form of \p Opts: every field emitted as
+/// `key=value`, space-separated, in a fixed order. Fuzz reproducer headers
+/// embed this form (they must replay the exact execution configuration,
+/// not just the behavior); parseAllocatorOptions reproduces the exact
+/// struct (property-tested over the full option space in
+/// tests/PropertyTest.cpp). The wire protocol ships
+/// AllocatorOptions::canonicalKey() instead — behavior-affecting fields
+/// only.
 std::string serializeAllocatorOptions(const AllocatorOptions &Opts);
 
 /// Parses text produced by serializeAllocatorOptions. Tokens may appear in

@@ -1,0 +1,159 @@
+//===- service/AllocationCache.cpp ----------------------------------------===//
+
+#include "service/AllocationCache.h"
+
+#include "support/Hash.h"
+
+#include <algorithm>
+
+using namespace ccra;
+
+std::string ccra::allocationCacheKey(const AllocRequest &R) {
+  std::string Key;
+  Key.reserve(R.ModuleText.size() + 256);
+  Key += R.Options.canonicalKey();
+  Key += " config=";
+  Key += std::to_string(R.Config.IntCallerSave) + "," +
+         std::to_string(R.Config.FloatCallerSave) + "," +
+         std::to_string(R.Config.IntCalleeSave) + "," +
+         std::to_string(R.Config.FloatCalleeSave);
+  Key += " mode=";
+  Key += R.Mode == FrequencyMode::Static ? "static" : "profile";
+  Key += '\n';
+  Key += R.ModuleText;
+  return Key;
+}
+
+namespace {
+
+std::size_t snapshotBytes(const TelemetrySnapshot &S) {
+  std::size_t N = 0;
+  for (const auto &E : S.Counters)
+    N += E.first.size() + sizeof(double);
+  for (const auto &E : S.TimersMs)
+    N += E.first.size() + sizeof(double);
+  return N;
+}
+
+std::size_t recordBytes(const AllocationCache::FunctionRecord &F) {
+  return F.Ir.size() + F.Summary.Name.size() + sizeof(FunctionSummary);
+}
+
+} // namespace
+
+bool AllocationCache::lookup(const std::string &Key, AllocResponse &Out) {
+  if (!enabled())
+    return false;
+  std::uint64_t Hash = fnv1a64(Key);
+  std::lock_guard<std::mutex> Lock(M);
+  auto BucketIt = Buckets.find(Hash);
+  ModuleEntry *Entry = nullptr;
+  if (BucketIt != Buckets.end()) {
+    for (std::uint64_t Id : BucketIt->second) {
+      ModuleEntry &E = Modules.at(Id);
+      if (E.Key == Key) {
+        Entry = &E;
+        break;
+      }
+    }
+  }
+  if (!Entry) {
+    ++Misses;
+    return false;
+  }
+  ++Hits;
+  Lru.splice(Lru.begin(), Lru, Entry->LruPos);
+
+  Out = AllocResponse();
+  Out.Totals = Entry->Totals;
+  Out.Telemetry = Entry->Telemetry;
+  Out.AllocatedIr = Entry->IrHeader;
+  for (unsigned I = 0; I < Entry->FunctionCount; ++I) {
+    const FunctionRecord &F = Functions.at({Entry->Id, I});
+    Out.AllocatedIr += F.Ir;
+    if (F.HasSummary)
+      Out.Functions.push_back(F.Summary);
+  }
+  return true;
+}
+
+void AllocationCache::insert(const std::string &Key,
+                             const std::string &IrHeader,
+                             const CostBreakdown &Totals,
+                             const TelemetrySnapshot &Telemetry,
+                             std::vector<FunctionRecord> Records) {
+  if (!enabled())
+    return;
+  std::uint64_t Hash = fnv1a64(Key);
+
+  std::size_t EntryBytes = Key.size() + IrHeader.size() +
+                           snapshotBytes(Telemetry) + sizeof(ModuleEntry);
+  for (const FunctionRecord &F : Records)
+    EntryBytes += recordBytes(F);
+  if (EntryBytes > MaxBytes)
+    return; // would evict everything and still not fit
+
+  std::lock_guard<std::mutex> Lock(M);
+  for (std::uint64_t Id : Buckets[Hash])
+    if (Modules.at(Id).Key == Key)
+      return; // lost a publish race; the existing entry is identical
+
+  std::uint64_t Id = NextId++;
+  ModuleEntry E;
+  E.Id = Id;
+  E.Hash = Hash;
+  E.Key = Key;
+  E.IrHeader = IrHeader;
+  E.Totals = Totals;
+  E.Telemetry = Telemetry;
+  E.FunctionCount = static_cast<unsigned>(Records.size());
+  E.Bytes = EntryBytes;
+  Lru.push_front(Id);
+  E.LruPos = Lru.begin();
+  for (unsigned I = 0; I < E.FunctionCount; ++I)
+    Functions.emplace(std::make_pair(Id, I), std::move(Records[I]));
+  Buckets[Hash].push_back(Id);
+  Modules.emplace(Id, std::move(E));
+  TotalBytes += EntryBytes;
+  ++Insertions;
+  evictToFit();
+}
+
+void AllocationCache::evictToFit() {
+  while (TotalBytes > MaxBytes && !Lru.empty()) {
+    erase(Lru.back());
+    ++Evictions;
+  }
+}
+
+void AllocationCache::erase(std::uint64_t Id) {
+  auto It = Modules.find(Id);
+  if (It == Modules.end())
+    return;
+  ModuleEntry &E = It->second;
+  TotalBytes -= E.Bytes;
+  Functions.erase(Functions.lower_bound({Id, 0}),
+                  Functions.upper_bound({Id, ~0u}));
+  auto BucketIt = Buckets.find(E.Hash);
+  if (BucketIt != Buckets.end()) {
+    auto &Ids = BucketIt->second;
+    Ids.erase(std::remove(Ids.begin(), Ids.end(), Id), Ids.end());
+    if (Ids.empty())
+      Buckets.erase(BucketIt);
+  }
+  Lru.erase(E.LruPos);
+  Modules.erase(It);
+}
+
+AllocationCacheStats AllocationCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  AllocationCacheStats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Evictions = Evictions;
+  S.Insertions = Insertions;
+  S.Bytes = TotalBytes;
+  S.Modules = Modules.size();
+  S.Functions = Functions.size();
+  return S;
+}

@@ -8,6 +8,7 @@
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "support/BuildInfo.h"
+#include "support/Hash.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -37,7 +38,8 @@ Frame errorFrame(const std::string &Code, const std::string &Message) {
 } // namespace
 
 AllocationServer::AllocationServer(ServerConfig Config, ServerTestHooks Hooks)
-    : Config(std::move(Config)), Hooks(std::move(Hooks)) {}
+    : Config(std::move(Config)), Hooks(std::move(Hooks)),
+      Cache(this->Config.CacheBytes) {}
 
 AllocationServer::~AllocationServer() {
   requestDrain();
@@ -59,19 +61,38 @@ bool AllocationServer::start(std::string *Err) {
   if (!Listener.valid())
     return false;
 
-  Pool = std::make_unique<ThreadPool>(Config.PoolThreads);
+  unsigned NumShards = std::max(1u, Config.Shards);
+  PerShardCapacity = std::max(1u, Config.QueueCapacity / NumShards);
+  Ring = ConsistentHashRing(NumShards);
+  // Split the engine pool budget evenly: each shard gets a PRIVATE pool
+  // (the scratch-arena slot discipline allows one outside submitter per
+  // pool, and each batcher is exactly that submitter for its shard).
+  unsigned TotalThreads = Config.PoolThreads ? Config.PoolThreads
+                                             : ThreadPool::defaultParallelism();
+  unsigned PerShardThreads = std::max(1u, TotalThreads / NumShards);
+  for (unsigned I = 0; I < NumShards; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Pool = std::make_unique<ThreadPool>(PerShardThreads);
+    Shards.push_back(std::move(S));
+  }
+
   Started.store(true);
   AcceptThread = std::thread([this] { acceptLoop(); });
-  BatcherThread = std::thread([this] { batcherLoop(); });
+  for (auto &S : Shards)
+    S->Batcher = std::thread([this, SP = S.get()] { batcherLoop(*SP); });
   return true;
 }
 
-void AllocationServer::requestDrain() {
-  {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
-    Draining.store(true);
+void AllocationServer::notifyAllShards() {
+  for (auto &S : Shards) {
+    { std::lock_guard<std::mutex> Lock(S->QueueMutex); }
+    S->QueueReady.notify_all();
   }
-  QueueReady.notify_all();
+}
+
+void AllocationServer::requestDrain() {
+  Draining.store(true);
+  notifyAllShards();
   // Wake connection threads parked in a mid-frame read: without this a
   // peer that sent a torn header and went silent pins its thread for the
   // full frame-read budget and drain waits it out. Read side only —
@@ -98,25 +119,52 @@ void AllocationServer::wait() {
   for (std::thread &T : Conns)
     if (T.joinable())
       T.join();
-  if (BatcherThread.joinable())
-    BatcherThread.join();
+  for (auto &S : Shards)
+    if (S->Batcher.joinable())
+      S->Batcher.join();
   Listener.close();
-  Pool.reset();
+  for (auto &S : Shards)
+    S->Pool.reset();
 }
 
 int AllocationServer::boundPort() const { return Listener.boundPort(); }
 
 TelemetrySnapshot AllocationServer::stats() const {
   TelemetrySnapshot S = Telem.snapshot();
-  {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
-    S.Counters["serve.queue_depth"] = static_cast<double>(Queue.size());
+  std::size_t TotalDepth = 0;
+  ThreadPool::Stats PoolTotal;
+  for (std::size_t I = 0; I < Shards.size(); ++I) {
+    const Shard &Sh = *Shards[I];
+    std::size_t Depth;
+    {
+      std::lock_guard<std::mutex> Lock(Sh.QueueMutex);
+      Depth = Sh.Queue.size();
+    }
+    TotalDepth += Depth;
+    std::string Prefix = "shard." + std::to_string(I);
+    S.Counters[Prefix + ".queue_depth"] = static_cast<double>(Depth);
+    S.Counters[Prefix + ".dispatched"] =
+        static_cast<double>(Sh.Dispatched.load());
+    if (Sh.Pool) {
+      ThreadPool::Stats PS = Sh.Pool->stats();
+      PoolTotal.Batches += PS.Batches;
+      PoolTotal.Tasks += PS.Tasks;
+    }
   }
-  if (Pool) {
-    ThreadPool::Stats PS = Pool->stats();
-    S.Counters[telemetry::SchedPoolBatches] = static_cast<double>(PS.Batches);
-    S.Counters[telemetry::SchedPoolTasks] = static_cast<double>(PS.Tasks);
-  }
+  S.Counters["serve.queue_depth"] = static_cast<double>(TotalDepth);
+  S.Counters[telemetry::ShardCount] = static_cast<double>(Shards.size());
+  S.Counters[telemetry::SchedPoolBatches] =
+      static_cast<double>(PoolTotal.Batches);
+  S.Counters[telemetry::SchedPoolTasks] = static_cast<double>(PoolTotal.Tasks);
+
+  AllocationCacheStats CS = Cache.stats();
+  S.Counters[telemetry::CacheHits] = static_cast<double>(CS.Hits);
+  S.Counters[telemetry::CacheMisses] = static_cast<double>(CS.Misses);
+  S.Counters[telemetry::CacheEvictions] = static_cast<double>(CS.Evictions);
+  S.Counters[telemetry::CacheBytes] = static_cast<double>(CS.Bytes);
+  S.Counters[telemetry::CacheInsertions] =
+      static_cast<double>(CS.Insertions);
+  S.Counters[telemetry::CacheModules] = static_cast<double>(CS.Modules);
   return S;
 }
 
@@ -127,6 +175,9 @@ Frame AllocationServer::helloFrame() const {
   H.MaxPayloadBytes = Config.MaxPayloadBytes;
   H.QueueCapacity = Config.QueueCapacity;
   H.MaxBatch = Config.MaxBatch;
+  H.ProtocolMinor = WireMinorVersion;
+  H.CacheEnabled = Cache.enabled();
+  H.Shards = static_cast<unsigned>(Shards.size());
   Frame F;
   F.Type = FrameType::Hello;
   F.Payload = encodeHello(H);
@@ -164,10 +215,7 @@ void AllocationServer::acceptLoop() {
     if (Status != IoStatus::Ok)
       break; // listener closed or broken; drain handles the rest
     Telem.addCount(telemetry::ServeConnections);
-    {
-      std::lock_guard<std::mutex> Lock(QueueMutex);
-      ++ActiveConnections;
-    }
+    ActiveConnections.fetch_add(1);
     std::lock_guard<std::mutex> Lock(ConnMutex);
     std::uint64_t Id = NextConnId++;
     ConnFds.emplace(Id, Conn.fd());
@@ -247,6 +295,36 @@ void AllocationServer::connectionLoop(std::uint64_t Id, Socket Conn) {
         break;
       continue;
     }
+
+    if (Draining.load()) {
+      Telem.addCount(telemetry::ServeDraining);
+      writeFrame(Conn, errorFrame("draining", "server is shutting down"),
+                 Config.WriteTimeoutMs);
+      break;
+    }
+
+    // Cache front: a hit replays the stored response byte-identically and
+    // skips parse, IR verification, queueing, and the engine entirely.
+    // Safe before verification — an entry only exists because the same
+    // byte-identical request text once parsed, verified, and allocated.
+    if (Cache.enabled()) {
+      Pending->CacheKey = allocationCacheKey(Pending->Request);
+      AllocResponse Cached;
+      if (Cache.lookup(Pending->CacheKey, Cached)) {
+        Telem.addCount(telemetry::ServeResponsesOk);
+        Frame Out;
+        Out.Type = FrameType::AllocResponse;
+        Out.Payload = encodeAllocResponse(Cached);
+        IoStatus WS = writeFrame(Conn, Out, Config.WriteTimeoutMs);
+        if (WS != IoStatus::Ok) {
+          if (WS == IoStatus::Timeout)
+            Telem.addCount(telemetry::ServeWriteTimeouts);
+          break;
+        }
+        continue;
+      }
+    }
+
     {
       ParseResult PR = parseModule(Pending->Request.ModuleText);
       std::vector<std::string> VerifyErrors;
@@ -263,25 +341,25 @@ void AllocationServer::connectionLoop(std::uint64_t Id, Socket Conn) {
       Pending->M = std::move(PR.M);
     }
 
-    if (Draining.load()) {
-      Telem.addCount(telemetry::ServeDraining);
-      writeFrame(Conn, errorFrame("draining", "server is shutting down"),
-                 Config.WriteTimeoutMs);
-      break;
-    }
+    // Consistent-hash dispatch on the module text alone (not the full
+    // cache key): every configuration of a hot module lands on the same
+    // shard, whose warm pool just allocated it.
+    Shard &Sh = *Shards[Ring.shardFor(fnv1a64(Pending->Request.ModuleText))];
+    Sh.Dispatched.fetch_add(1, std::memory_order_relaxed);
 
-    // Admission control: bounded queue, explicit SHED on overflow.
+    // Admission control: bounded per-shard queue, explicit SHED on
+    // overflow.
     std::future<Frame> Response;
     bool Shed = false;
     {
-      std::lock_guard<std::mutex> Lock(QueueMutex);
-      Shed = Queue.size() >= Config.QueueCapacity ||
+      std::lock_guard<std::mutex> Lock(Sh.QueueMutex);
+      Shed = Sh.Queue.size() >= PerShardCapacity ||
              (Hooks.ForceQueueOverflow && Hooks.ForceQueueOverflow());
       if (!Shed) {
         Response = Pending->Response.get_future();
-        Queue.push_back(std::move(Pending));
+        Sh.Queue.push_back(std::move(Pending));
         Telem.noteMax(telemetry::ServePeakQueue,
-                      static_cast<double>(Queue.size()));
+                      static_cast<double>(Sh.Queue.size()));
       }
     }
     if (Shed) {
@@ -289,15 +367,15 @@ void AllocationServer::connectionLoop(std::uint64_t Id, Socket Conn) {
       Frame Out;
       Out.Type = FrameType::Shed;
       Out.Payload = "queue full (capacity " +
-                    std::to_string(Config.QueueCapacity) + "); retry later";
+                    std::to_string(PerShardCapacity) + "); retry later";
       if (writeFrame(Conn, Out, Config.WriteTimeoutMs) != IoStatus::Ok)
         break;
       continue;
     }
-    QueueReady.notify_all();
+    Sh.QueueReady.notify_all();
 
     // The batch former always fulfills the promise: this connection counts
-    // as active until it returns, and the batcher only exits once the
+    // as active until it returns, and each batcher only exits once its
     // queue is empty and every connection is gone.
     Frame Out = Response.get();
     IoStatus WS = writeFrame(Conn, Out, Config.WriteTimeoutMs);
@@ -315,22 +393,20 @@ void AllocationServer::connectionLoop(std::uint64_t Id, Socket Conn) {
     ConnFds.erase(Id);
     Conn.close();
   }
-  {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
-    --ActiveConnections;
-  }
-  QueueReady.notify_all(); // batcher may be waiting on the exit condition
+  ActiveConnections.fetch_sub(1);
+  notifyAllShards(); // batchers may be waiting on the exit condition
 }
 
-void AllocationServer::batcherLoop() {
+void AllocationServer::batcherLoop(Shard &S) {
   for (;;) {
     std::vector<std::unique_ptr<PendingRequest>> Taken;
     {
-      std::unique_lock<std::mutex> Lock(QueueMutex);
-      QueueReady.wait_for(Lock, std::chrono::milliseconds(PollIntervalMs),
-                          [this] { return !Queue.empty() || Draining.load(); });
-      if (Queue.empty()) {
-        if (Draining.load() && ActiveConnections == 0)
+      std::unique_lock<std::mutex> Lock(S.QueueMutex);
+      S.QueueReady.wait_for(
+          Lock, std::chrono::milliseconds(PollIntervalMs),
+          [&] { return !S.Queue.empty() || Draining.load(); });
+      if (S.Queue.empty()) {
+        if (Draining.load() && ActiveConnections.load() == 0)
           return;
         continue;
       }
@@ -341,18 +417,18 @@ void AllocationServer::batcherLoop() {
         Hooks.BeforeBatch();
         Lock.lock();
       }
-      std::size_t Take = std::min<std::size_t>(Queue.size(), Config.MaxBatch);
+      std::size_t Take = std::min<std::size_t>(S.Queue.size(), Config.MaxBatch);
       for (std::size_t I = 0; I < Take; ++I) {
-        Taken.push_back(std::move(Queue.front()));
-        Queue.pop_front();
+        Taken.push_back(std::move(S.Queue.front()));
+        S.Queue.pop_front();
       }
     }
-    runBatch(std::move(Taken));
+    runBatch(S, std::move(Taken));
   }
 }
 
 void AllocationServer::runBatch(
-    std::vector<std::unique_ptr<PendingRequest>> Taken) {
+    Shard &S, std::vector<std::unique_ptr<PendingRequest>> Taken) {
   // Admission checks first: expired deadlines and injected worker faults
   // are answered without occupying the engine.
   std::vector<PendingRequest *> Runnable;
@@ -390,46 +466,68 @@ void AllocationServer::runBatch(
     Items.push_back({P->M.get(), P->Request.Config, P->Request.Options,
                      P->Request.Mode});
 
-  std::vector<AllocationBatchResult> Results;
-  try {
-    Telemetry::ScopedTimer Timer(&Telem, telemetry::ServeBatchPhase);
-    Results = runAllocationBatch(Items, Pool.get());
-  } catch (const std::exception &E) {
-    // Graceful degradation: one poisoned batch answers "internal" instead
-    // of taking the daemon down; subsequent batches run normally.
-    for (PendingRequest *P : Runnable)
-      P->Response.set_value(errorFrame("internal", E.what()));
-    return;
-  }
-
-  for (std::size_t I = 0; I < Runnable.size(); ++I) {
+  // Per-item completion: build the response from per-function IR slices
+  // (the exact pieces the cache stores, so a later hit reassembles
+  // byte-identical output), publish it to the cache, and fulfill the
+  // promise — the client's connection thread starts writing while the
+  // rest of the batch is still allocating. Runs on pool worker threads;
+  // Telem and Cache are internally locked, Answered entries are disjoint.
+  std::vector<char> Answered(Runnable.size(), 0);
+  auto Publish = [&](std::size_t I, AllocationBatchResult &R) {
     PendingRequest *P = Runnable[I];
-    AllocationBatchResult &R = Results[I];
-
     AllocResponse Resp;
     Resp.Totals = R.Result.Totals;
+    std::string IrHeader = "module " + P->M->getName() + "\n";
+    std::vector<AllocationCache::FunctionRecord> Records;
+    Records.reserve(P->M->functions().size());
     for (const auto &F : P->M->functions()) {
-      if (F->isDeclaration())
-        continue;
-      auto It = R.Result.PerFunction.find(F.get());
-      if (It == R.Result.PerFunction.end())
-        continue;
-      const FunctionAllocation &FA = It->second;
-      Resp.Functions.push_back({F->getName(), FA.Costs, FA.Rounds,
-                                FA.SpilledRanges, FA.VoluntarySpills,
-                                FA.CoalescedMoves, FA.CalleeRegsPaid});
+      AllocationCache::FunctionRecord Rec;
+      std::ostringstream FnIr;
+      printFunction(*F, FnIr);
+      FnIr << '\n';
+      Rec.Ir = FnIr.str();
+      if (!F->isDeclaration()) {
+        auto It = R.Result.PerFunction.find(F.get());
+        if (It != R.Result.PerFunction.end()) {
+          const FunctionAllocation &FA = It->second;
+          Rec.HasSummary = true;
+          Rec.Summary = {F->getName(),       FA.Costs,
+                         FA.Rounds,          FA.SpilledRanges,
+                         FA.VoluntarySpills, FA.CoalescedMoves,
+                         FA.CalleeRegsPaid};
+          Resp.Functions.push_back(Rec.Summary);
+        }
+      }
+      Records.push_back(std::move(Rec));
     }
     Resp.Telemetry = R.Telemetry;
-    std::ostringstream IR;
-    printModule(*P->M, IR);
-    Resp.AllocatedIr = IR.str();
+    Resp.AllocatedIr = IrHeader;
+    for (const AllocationCache::FunctionRecord &Rec : Records)
+      Resp.AllocatedIr += Rec.Ir;
+
+    if (!P->CacheKey.empty())
+      Cache.insert(P->CacheKey, IrHeader, Resp.Totals, R.Telemetry,
+                   std::move(Records));
 
     Telem.merge(R.Telemetry);
     Telem.addCount(telemetry::ServeResponsesOk);
-
     Frame Out;
     Out.Type = FrameType::AllocResponse;
     Out.Payload = encodeAllocResponse(Resp);
     P->Response.set_value(std::move(Out));
+    Answered[I] = 1;
+  };
+
+  try {
+    Telemetry::ScopedTimer Timer(&Telem, telemetry::ServeBatchPhase);
+    runAllocationBatch(Items, S.Pool.get(), Publish);
+  } catch (const std::exception &E) {
+    // Graceful degradation: items whose engine (or response build) threw
+    // answer "internal" instead of taking the daemon down; items that
+    // already flushed keep their real responses, and subsequent batches
+    // run normally.
+    for (std::size_t I = 0; I < Runnable.size(); ++I)
+      if (!Answered[I])
+        Runnable[I]->Response.set_value(errorFrame("internal", E.what()));
   }
 }

@@ -1,33 +1,47 @@
 //===- service/Server.h - Networked allocation service ----------*- C++ -*-===//
 ///
 /// \file
-/// A long-lived allocation daemon: keeps one warm engine substrate (a
-/// shared ThreadPool) resident and feeds it a stream of allocation
-/// requests arriving over a Unix-domain or loopback-TCP socket, speaking
-/// the framed protocol of service/WireProtocol.h.
+/// A long-lived allocation daemon: keeps warm engine substrate resident
+/// and feeds it a stream of allocation requests arriving over a
+/// Unix-domain or loopback-TCP socket, speaking the framed protocol of
+/// service/WireProtocol.h.
 ///
 /// Architecture (one box per thread kind):
 ///
-///   accept loop ──> connection threads ──> bounded request queue
-///                      │     ▲                    │
-///                      │     └── responses ◄──────┤
-///                      │                    batch former thread
-///                      │                          │
-///                      └─ SHED / errors     runAllocationBatch
-///                         written directly  over the shared pool
+///   accept loop ──> connection threads ──> content-addressed cache
+///                      │     ▲               │hit          │miss
+///                      │     └── responses ◄─┘   consistent-hash ring
+///                      │                              │
+///                      │                    shard 0 .. shard N-1, each:
+///                      └─ SHED / errors       bounded queue
+///                         written directly    batch former thread
+///                                             runAllocationBatch over a
+///                                             private thread pool
 ///
-/// - **Backpressure.** The request queue is bounded; when it is full an
-///   arriving request is answered immediately with an explicit SHED frame
-///   instead of being buffered without limit. Clients see shedding as a
-///   first-class signal and retry with backoff.
-/// - **Batching.** The batch former takes whatever is queued (up to
-///   MaxBatch) and runs it as ONE engine grid pass over the shared thread
-///   pool, amortizing pool wake-ups under load while staying at batch size
-///   1 when idle (no added latency).
+/// - **Caching.** Allocation is deterministic (the oracle lattice proves
+///   bit-identity across every engine configuration), so each response is
+///   a pure function of (module text, canonical options, config, mode).
+///   The connection thread hashes that tuple and serves repeat requests
+///   straight from the AllocationCache — no parse, no IR verify, no
+///   engine run, byte-identical to a cold allocation.
+/// - **Sharding.** Cold requests dispatch to one of Config.Shards worker
+///   shards through a consistent-hash ring over the module-text hash, so
+///   a hot module keeps hitting the same warm shard while distinct
+///   modules spread across cores. Shards live in this process: see
+///   DESIGN.md ("Threads, not processes") — each owns a PRIVATE thread
+///   pool because the pool's scratch-arena slot discipline allows one
+///   outside submitter per pool, and determinism means shards can share
+///   the one cache with no coherence protocol.
+/// - **Backpressure.** Each shard's queue is bounded (QueueCapacity split
+///   evenly); when full an arriving request is answered immediately with
+///   an explicit SHED frame instead of being buffered without limit.
+/// - **Batching.** Each shard's batch former takes whatever is queued (up
+///   to MaxBatch) and runs it as ONE engine grid pass over the shard's
+///   pool; responses flush per item as they finish, not when the batch
+///   drains.
 /// - **Deadlines.** A request may carry `deadline-ms`; if it is still
 ///   queued when the deadline expires it is answered with an Error frame
-///   ("deadline") instead of occupying the engine — admission control for
-///   the highly variable per-request allocation cost.
+///   ("deadline") instead of occupying the engine.
 /// - **Slow clients.** Every response write carries a timeout; a client
 ///   that stops reading loses its connection, never a server thread.
 /// - **Graceful degradation / drain.** requestDrain() (the daemon wires
@@ -35,17 +49,20 @@
 ///   queued and in-flight work finish, flushes those responses, then
 ///   closes everything; wait() returns once the server is fully quiesced.
 ///
-/// A STATS request returns the server-wide telemetry: "serve." operational
-/// counters plus the merged engine telemetry of everything allocated.
-/// ServerTestHooks mirrors the fuzz subsystem's InjectedFault: tests force
-/// queue overflow, mid-request worker failure, and batcher stalls without
-/// needing to win races.
+/// A STATS request returns the server-wide telemetry: "serve."
+/// operational counters, the "cache." and "shard." namespaces of the
+/// cache-and-shard tier, plus the merged engine telemetry of everything
+/// allocated. ServerTestHooks mirrors the fuzz subsystem's InjectedFault:
+/// tests force queue overflow, mid-request worker failure, and batcher
+/// stalls without needing to win races.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCRA_SERVICE_SERVER_H
 #define CCRA_SERVICE_SERVER_H
 
+#include "service/AllocationCache.h"
+#include "service/Sharding.h"
 #include "service/WireProtocol.h"
 #include "support/Telemetry.h"
 
@@ -75,12 +92,18 @@ struct ServerConfig {
   std::string UnixPath;
   int TcpPort = 0;
 
-  unsigned PoolThreads = 0;  ///< engine pool width (0 = hardware)
-  unsigned QueueCapacity = 64;
+  unsigned PoolThreads = 0;  ///< total engine pool width (0 = hardware),
+                             ///< split evenly across shards
+  unsigned QueueCapacity = 64; ///< total; split evenly across shards
   unsigned MaxBatch = 8;
   std::size_t MaxPayloadBytes = 16u << 20;
   int WriteTimeoutMs = 5000; ///< slow-client response write budget
   int AcceptBacklog = 64;
+
+  /// Worker shards behind the consistent-hash dispatcher.
+  unsigned Shards = 1;
+  /// Content-addressed allocation cache budget; 0 disables the cache.
+  std::size_t CacheBytes = 64u << 20;
 };
 
 /// Test-only fault injection (all hooks optional, called concurrently).
@@ -90,7 +113,7 @@ struct ServerTestHooks {
   /// Fail this request mid-worker → Error("fault") response; the rest of
   /// its batch completes normally.
   std::function<bool(const AllocRequest &)> FailRequest;
-  /// Called by the batch former before it drains the queue (tests stall
+  /// Called by every batch former before it drains its queue (tests stall
   /// here to make deadlines expire deterministically).
   std::function<void()> BeforeBatch;
 };
@@ -122,8 +145,9 @@ public:
   /// TCP only: the port actually bound (for TcpPort = 0).
   int boundPort() const;
 
-  /// Server-wide telemetry: "serve." counters plus merged engine
-  /// telemetry. What a STATS request returns.
+  /// Server-wide telemetry: "serve." counters, the "cache." / "shard."
+  /// namespaces, and merged engine telemetry. What a STATS request
+  /// returns.
   TelemetrySnapshot stats() const;
 
 private:
@@ -133,8 +157,23 @@ private:
     /// ever holds admissible work and malformed modules are rejected
     /// without occupying the batch former.
     std::unique_ptr<Module> M;
+    /// allocationCacheKey of the request; empty when the cache is off.
+    /// Computed once in the connection thread, reused for the publish.
+    std::string CacheKey;
     std::chrono::steady_clock::time_point Arrival;
     std::promise<Frame> Response;
+  };
+
+  /// One worker shard: a bounded queue, a batch former, and a PRIVATE
+  /// thread pool (the pool's per-worker scratch arenas tolerate exactly
+  /// one non-worker submitter, so batchers cannot share a pool).
+  struct Shard {
+    mutable std::mutex QueueMutex;
+    std::condition_variable QueueReady;
+    std::deque<std::unique_ptr<PendingRequest>> Queue;
+    std::unique_ptr<ThreadPool> Pool;
+    std::thread Batcher;
+    std::atomic<std::uint64_t> Dispatched{0};
   };
 
   void acceptLoop();
@@ -144,23 +183,28 @@ private:
   /// churn holds handles only for live connections, never one per
   /// connection ever served.
   void reapFinishedConns();
-  void batcherLoop();
-  /// Forms one batch from \p Taken and fulfills every promise.
-  void runBatch(std::vector<std::unique_ptr<PendingRequest>> Taken);
+  void batcherLoop(Shard &S);
+  /// Forms one batch from \p Taken and fulfills every promise (per item,
+  /// as each finishes), publishing successful results to the cache.
+  void runBatch(Shard &S, std::vector<std::unique_ptr<PendingRequest>> Taken);
   Frame helloFrame() const;
+  /// Wakes every shard's batcher (drain and connection-exit signals).
+  void notifyAllShards();
 
   ServerConfig Config;
   ServerTestHooks Hooks;
   Telemetry Telem;
 
   ListenSocket Listener;
-  std::unique_ptr<ThreadPool> Pool;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  ConsistentHashRing Ring;
+  AllocationCache Cache;
+  unsigned PerShardCapacity = 0;
 
   std::atomic<bool> Started{false};
   std::atomic<bool> Draining{false};
 
   std::thread AcceptThread;
-  std::thread BatcherThread;
 
   mutable std::mutex ConnMutex;
   /// Live connection threads by id; finished ones are reaped by the accept
@@ -175,11 +219,9 @@ private:
   std::unordered_map<std::uint64_t, int> ConnFds;
   std::vector<std::uint64_t> FinishedConns; ///< ids ready to join
   std::uint64_t NextConnId = 0;             ///< guarded by ConnMutex
-  unsigned ActiveConnections = 0;           ///< guarded by QueueMutex
-
-  mutable std::mutex QueueMutex;
-  std::condition_variable QueueReady;
-  std::deque<std::unique_ptr<PendingRequest>> Queue;
+  /// Batchers exit only once this reaches zero during drain; connection
+  /// threads notify every shard on exit (see notifyAllShards).
+  std::atomic<unsigned> ActiveConnections{0};
 };
 
 } // namespace ccra

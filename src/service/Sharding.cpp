@@ -1,0 +1,39 @@
+//===- service/Sharding.cpp -----------------------------------------------===//
+
+#include "service/Sharding.h"
+
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace ccra;
+
+ConsistentHashRing::ConsistentHashRing(unsigned Shards,
+                                       unsigned VNodesPerShard)
+    : NumShards(Shards == 0 ? 1 : Shards) {
+  if (NumShards == 1)
+    return; // one shard owns the whole ring; no points needed
+  Points.reserve(static_cast<std::size_t>(NumShards) * VNodesPerShard);
+  for (unsigned S = 0; S < NumShards; ++S) {
+    for (unsigned V = 0; V < VNodesPerShard; ++V) {
+      std::string Label =
+          "shard " + std::to_string(S) + " vnode " + std::to_string(V);
+      Points.emplace_back(fnv1a64(Label), S);
+    }
+  }
+  std::sort(Points.begin(), Points.end());
+}
+
+unsigned ConsistentHashRing::shardFor(std::uint64_t KeyHash) const {
+  if (Points.empty())
+    return 0;
+  auto It = std::lower_bound(
+      Points.begin(), Points.end(), KeyHash,
+      [](const std::pair<std::uint64_t, unsigned> &P, std::uint64_t H) {
+        return P.first < H;
+      });
+  if (It == Points.end())
+    It = Points.begin(); // wrap past the highest point
+  return It->second;
+}

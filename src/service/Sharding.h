@@ -1,0 +1,47 @@
+//===- service/Sharding.h - Consistent-hash shard dispatch ------*- C++ -*-===//
+///
+/// \file
+/// The dispatch half of the serving tier's cache-and-shard design: a
+/// classic consistent-hash ring mapping a 64-bit content hash (the hash of
+/// a request's module text) to one of N worker shards. Each shard gets
+/// VNodesPerShard pseudo-random points on the ring; a key is owned by the
+/// first point at or after its hash (wrapping). Virtual nodes keep the
+/// per-shard load share close to 1/N, and growing the shard count by one
+/// moves only ~1/(N+1) of the key space — the property that makes warm
+/// per-shard working sets survive a reconfiguration.
+///
+/// The mapping is a pure function of (Shards, VNodesPerShard, key), so two
+/// ring instances built with the same parameters dispatch identically —
+/// tests and the dispatcher never need to share an object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_SERVICE_SHARDING_H
+#define CCRA_SERVICE_SHARDING_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ccra {
+
+class ConsistentHashRing {
+public:
+  /// An empty ring dispatches everything to shard 0.
+  ConsistentHashRing() = default;
+  explicit ConsistentHashRing(unsigned Shards, unsigned VNodesPerShard = 64);
+
+  unsigned shards() const { return NumShards; }
+
+  /// The shard owning \p KeyHash: index in [0, shards()).
+  unsigned shardFor(std::uint64_t KeyHash) const;
+
+private:
+  unsigned NumShards = 1;
+  /// (ring position, shard index), sorted by position.
+  std::vector<std::pair<std::uint64_t, unsigned>> Points;
+};
+
+} // namespace ccra
+
+#endif // CCRA_SERVICE_SHARDING_H

@@ -213,6 +213,13 @@ std::string ccra::encodeHello(const HelloInfo &H) {
   Out += "max-payload: " + std::to_string(H.MaxPayloadBytes) + "\n";
   Out += "queue: " + std::to_string(H.QueueCapacity) + "\n";
   Out += "batch: " + std::to_string(H.MaxBatch) + "\n";
+  if (H.ProtocolMinor > 0) {
+    // v1.1 capability fields; a v1.0 hello carries none of them and a
+    // v1.0 parser skips them as unknown keys.
+    Out += "minor: " + std::to_string(H.ProtocolMinor) + "\n";
+    Out += "cache: " + std::string(H.CacheEnabled ? "1" : "0") + "\n";
+    Out += "shards: " + std::to_string(H.Shards) + "\n";
+  }
   return Out;
 }
 
@@ -246,6 +253,16 @@ bool ccra::parseHello(const std::string &Payload, HelloInfo &Out,
       if (!parseUnsigned(Value, N))
         return fail(Err, "bad batch");
       Out.MaxBatch = static_cast<unsigned>(N);
+    } else if (Key == "minor") {
+      if (!parseUnsigned(Value, N))
+        return fail(Err, "bad minor");
+      Out.ProtocolMinor = static_cast<std::uint16_t>(N);
+    } else if (Key == "cache") {
+      Out.CacheEnabled = Value == "1";
+    } else if (Key == "shards") {
+      if (!parseUnsigned(Value, N))
+        return fail(Err, "bad shards");
+      Out.Shards = static_cast<unsigned>(N);
     }
     // Unknown keys are ignored: the hello may grow fields.
   }
@@ -266,7 +283,9 @@ std::string ccra::encodeAllocRequest(const AllocRequest &R) {
          (R.Mode == FrequencyMode::Static ? "static" : "profile") + "\n";
   if (R.DeadlineMs > 0)
     Out += "deadline-ms: " + std::to_string(R.DeadlineMs) + "\n";
-  Out += "options: " + serializeAllocatorOptions(R.Options) + "\n";
+  // canonicalKey, not serializeAllocatorOptions: the wire carries behavior,
+  // not execution strategy (see AllocRequest::Options).
+  Out += "options: " + R.Options.canonicalKey() + "\n";
   Out += "module:\n";
   Out += R.ModuleText;
   return Out;

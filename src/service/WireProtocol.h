@@ -45,6 +45,12 @@ namespace ccra {
 
 inline constexpr std::uint32_t WireMagic = 0x41524343; // "CCRA" in LE bytes
 inline constexpr std::uint16_t WireVersion = 1;
+/// Protocol minor version, advertised as a Hello payload field rather than
+/// in the frame header: the header version is a hard compatibility gate
+/// (readFrame rejects a mismatch), while minor revisions only ADD payload
+/// fields that old peers ignore. v1.1 adds the cache/shard capability
+/// fields to Hello and the "cache."/"shard." counter namespaces to STATS.
+inline constexpr std::uint16_t WireMinorVersion = 1;
 inline constexpr std::size_t WireHeaderSize = 16;
 
 enum class FrameType : std::uint16_t {
@@ -103,6 +109,13 @@ struct HelloInfo {
   std::size_t MaxPayloadBytes = 0;
   unsigned QueueCapacity = 0;
   unsigned MaxBatch = 0;
+  /// v1.1 capability fields. Version-gated: emitted only when
+  /// ProtocolMinor > 0, ignored (left at their v1.0 zero defaults) by old
+  /// parsers, and defaulted to zero when a v1.0 server omits them — both
+  /// directions of a mixed-version conversation keep working.
+  std::uint16_t ProtocolMinor = 0;
+  bool CacheEnabled = false; ///< content-addressed allocation cache on
+  unsigned Shards = 0;       ///< worker shards behind the dispatcher
 };
 std::string encodeHello(const HelloInfo &H);
 bool parseHello(const std::string &Payload, HelloInfo &Out,
@@ -111,6 +124,12 @@ bool parseHello(const std::string &Payload, HelloInfo &Out,
 struct AllocRequest {
   RegisterConfig Config = RegisterConfig(9, 7, 3, 3);
   FrequencyMode Mode = FrequencyMode::Profile;
+  /// Ships as AllocatorOptions::canonicalKey(): behavior-affecting fields
+  /// only. Execution-strategy fields (Jobs, GraphMode, ...) are the
+  /// SERVER's policy, not the client's — results are bit-identical across
+  /// them, so a request carrying them could only fragment the server's
+  /// content-addressed cache. A parsed request therefore holds defaults
+  /// for every excluded field.
   AllocatorOptions Options;
   /// Admission deadline in milliseconds from arrival; 0 = none. A request
   /// still queued when its deadline expires is answered with an Error

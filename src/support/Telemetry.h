@@ -188,6 +188,21 @@ inline constexpr const char *ServeStatsRequests = "serve.stats_requests";
 inline constexpr const char *ServePeakQueue = "serve.peak_queue_depth";
 inline constexpr const char *ServePeakBatch = "serve.peak_batch_size";
 
+// Content-addressed allocation cache ("cache." namespace) and shard
+// dispatch ("shard." namespace): the serving tier's cache-and-shard
+// telemetry, reported through STATS since wire protocol v1.1. Operational
+// like "serve." — hit/miss split depends on arrival order, never on
+// allocation results (which are deterministic and therefore cacheable in
+// the first place). Per-shard keys are dynamic: "shard.<i>.queue_depth"
+// and "shard.<i>.dispatched" for each shard index i.
+inline constexpr const char *CacheHits = "cache.hits";
+inline constexpr const char *CacheMisses = "cache.misses";
+inline constexpr const char *CacheEvictions = "cache.evictions";
+inline constexpr const char *CacheBytes = "cache.bytes";
+inline constexpr const char *CacheInsertions = "cache.insertions";
+inline constexpr const char *CacheModules = "cache.modules";
+inline constexpr const char *ShardCount = "shard.count";
+
 // Phase timers.
 inline constexpr const char *CoalescePhase = "coalesce";
 inline constexpr const char *BuildRangesPhase = "build_ranges";

@@ -1,7 +1,7 @@
 //===- tests/EngineTest.cpp - Allocation-engine driver tests --------------===//
 
 #include "analysis/Frequency.h"
-#include "core/AllocatorFactory.h"
+#include "core/EngineBuilder.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
 #include "workloads/SpecProxies.h"
@@ -48,8 +48,8 @@ struct SmallProgram {
 TEST(Engine, RecordsLocationsForEveryRegister) {
   SmallProgram P;
   FrequencyInfo Freq = FrequencyInfo::compute(P.M, FrequencyMode::Profile);
-  AllocationEngine Engine = makeEngine(
-      MachineDescription(RegisterConfig(4, 2, 2, 2)), improvedOptions());
+  AllocationEngine Engine = EngineBuilder(RegisterConfig(4, 2, 2, 2))
+      .options(improvedOptions()).build();
   ModuleAllocationResult R = Engine.allocateModule(P.M, Freq);
   const FunctionAllocation &FA = R.PerFunction.at(P.MainF);
   for (unsigned V = 0; V < P.MainF->numVRegs(); ++V)
@@ -60,8 +60,8 @@ TEST(Engine, DeclarationsAreSkipped) {
   Module M("m");
   M.createFunction("external_only");
   FrequencyInfo Freq = FrequencyInfo::compute(M, FrequencyMode::Profile);
-  AllocationEngine Engine = makeEngine(
-      MachineDescription(RegisterConfig(4, 2, 0, 0)), baseChaitinOptions());
+  AllocationEngine Engine = EngineBuilder(RegisterConfig(4, 2, 0, 0))
+      .options(baseChaitinOptions()).build();
   ModuleAllocationResult R = Engine.allocateModule(M, Freq);
   EXPECT_TRUE(R.PerFunction.empty());
   EXPECT_DOUBLE_EQ(R.Totals.total(), 0.0);
@@ -70,8 +70,8 @@ TEST(Engine, DeclarationsAreSkipped) {
 TEST(Engine, SingleRoundWhenNothingSpills) {
   SmallProgram P;
   FrequencyInfo Freq = FrequencyInfo::compute(P.M, FrequencyMode::Profile);
-  AllocationEngine Engine = makeEngine(
-      MachineDescription(RegisterConfig(8, 4, 4, 2)), improvedOptions());
+  AllocationEngine Engine = EngineBuilder(RegisterConfig(8, 4, 4, 2))
+      .options(improvedOptions()).build();
   ModuleAllocationResult R = Engine.allocateModule(P.M, Freq);
   EXPECT_EQ(R.PerFunction.at(P.MainF).Rounds, 1u);
   EXPECT_EQ(R.PerFunction.at(P.MainF).SpilledRanges, 0u);
@@ -92,8 +92,8 @@ TEST(Engine, SpilledRegisterIsMappedToMemory) {
   B.buildRet(S2);
   M.setEntryFunction(&F);
   FrequencyInfo Freq = FrequencyInfo::compute(M, FrequencyMode::Profile);
-  AllocationEngine Engine = makeEngine(
-      MachineDescription(RegisterConfig(2, 1, 0, 0)), baseChaitinOptions());
+  AllocationEngine Engine = EngineBuilder(RegisterConfig(2, 1, 0, 0))
+      .options(baseChaitinOptions()).build();
   ModuleAllocationResult R = Engine.allocateModule(M, Freq);
   const FunctionAllocation &FA = R.PerFunction.at(&F);
   EXPECT_GE(FA.SpilledRanges, 1u);
@@ -112,7 +112,7 @@ TEST(Engine, MaterializationCanBeDisabled) {
   AllocatorOptions Opts = baseChaitinOptions();
   Opts.MaterializeSaveRestore = false;
   AllocationEngine Engine =
-      makeEngine(MachineDescription(RegisterConfig(4, 2, 2, 2)), Opts);
+      EngineBuilder(RegisterConfig(4, 2, 2, 2)).options(Opts).build();
   ModuleAllocationResult R = Engine.allocateModule(P.M, Freq);
   // Costs are still computed analytically...
   EXPECT_GT(R.Totals.total(), 0.0);
@@ -125,8 +125,8 @@ TEST(Engine, MaterializationCanBeDisabled) {
 TEST(Engine, CalleeRegsPaidMatchesBreakdown) {
   SmallProgram P;
   FrequencyInfo Freq = FrequencyInfo::compute(P.M, FrequencyMode::Profile);
-  AllocationEngine Engine = makeEngine(
-      MachineDescription(RegisterConfig(2, 2, 2, 2)), baseChaitinOptions());
+  AllocationEngine Engine = EngineBuilder(RegisterConfig(2, 2, 2, 2))
+      .options(baseChaitinOptions()).build();
   ModuleAllocationResult R = Engine.allocateModule(P.M, Freq);
   for (const auto &[F, FA] : R.PerFunction) {
     double EntryFreq = Freq.entryFrequency(*F);
@@ -140,8 +140,8 @@ TEST(Engine, ProxiesConvergeWithinAFewRounds) {
     SCOPED_TRACE(Name);
     std::unique_ptr<Module> M = buildSpecProxy(Name);
     FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
-    AllocationEngine Engine = makeEngine(
-        MachineDescription(minimalMipsConfig()), improvedOptions());
+    AllocationEngine Engine = EngineBuilder(minimalMipsConfig())
+        .options(improvedOptions()).build();
     ModuleAllocationResult R = Engine.allocateModule(*M, Freq);
     for (const auto &[F, FA] : R.PerFunction) {
       (void)F;

@@ -18,7 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Frequency.h"
-#include "core/AllocatorFactory.h"
+#include "core/EngineBuilder.h"
 #include "ir/Cloner.h"
 #include "ir/Verifier.h"
 #include "regalloc/CostAccounting.h"
@@ -85,7 +85,7 @@ TEST_P(AllocationProperty, ConvergesAndStaysWellFormed) {
     std::unique_ptr<Module> M = makeProgram();
     FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
     AllocationEngine Engine =
-        makeEngine(MachineDescription(Config), options());
+        EngineBuilder(Config).options(options()).build();
     ModuleAllocationResult Result = Engine.allocateModule(*M, Freq);
     EXPECT_TRUE(verifyModule(*M, nullptr)) << Config.label();
     EXPECT_GE(Result.Totals.total(), 0.0);
@@ -97,7 +97,7 @@ TEST_P(AllocationProperty, MeasuredCostMatchesAnalytic) {
   std::unique_ptr<Module> M = makeProgram();
   FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
   AllocationEngine Engine =
-      makeEngine(MachineDescription(RegisterConfig(8, 6, 2, 2)), options());
+      EngineBuilder(RegisterConfig(8, 6, 2, 2)).options(options()).build();
   ModuleAllocationResult Result = Engine.allocateModule(*M, Freq);
 
   CostBreakdown Measured;
@@ -116,8 +116,8 @@ TEST_P(AllocationProperty, Deterministic) {
   auto RunOnce = [&]() {
     std::unique_ptr<Module> M = makeProgram();
     FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
-    AllocationEngine Engine = makeEngine(
-        MachineDescription(RegisterConfig(7, 5, 1, 1)), options());
+    AllocationEngine Engine = EngineBuilder(RegisterConfig(7, 5, 1, 1))
+        .options(options()).build();
     return Engine.allocateModule(*M, Freq).Totals.total();
   };
   EXPECT_DOUBLE_EQ(RunOnce(), RunOnce());
@@ -139,8 +139,8 @@ TEST_P(AllocationProperty, AbundantRegistersMeanNoInvoluntarySpills) {
   Params.RegionsPerFunction = 3;
   std::unique_ptr<Module> M = generateRandomProgram(Params);
   FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
-  AllocationEngine Engine = makeEngine(
-      MachineDescription(RegisterConfig(60, 60, 60, 60)), options());
+  AllocationEngine Engine = EngineBuilder(RegisterConfig(60, 60, 60, 60))
+      .options(options()).build();
   ModuleAllocationResult Result = Engine.allocateModule(*M, Freq);
   for (const auto &[F, FA] : Result.PerFunction) {
     (void)F;
@@ -174,8 +174,8 @@ TEST(AllocationRelations, OptimisticNeverSpillsMoreThanChaitin) {
     auto SpillOf = [&](const AllocatorOptions &Opts) {
       std::unique_ptr<Module> M = cloneModule(*Source);
       FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
-      AllocationEngine Engine = makeEngine(
-          MachineDescription(RegisterConfig(7, 5, 1, 1)), Opts);
+      AllocationEngine Engine = EngineBuilder(RegisterConfig(7, 5, 1, 1))
+          .options(Opts).build();
       return Engine.allocateModule(*M, Freq).Totals.Spill;
     };
     EXPECT_LE(SpillOf(optimisticOptions()),
@@ -186,9 +186,10 @@ TEST(AllocationRelations, OptimisticNeverSpillsMoreThanChaitin) {
 
 // --- AllocatorOptions textual round trip ---------------------------------------
 //
-// The wire protocol ships options as serializeAllocatorOptions text, so the
-// round trip must be exact over the *whole* option space — every field,
-// including Jobs, the cost-model enums, and the legacy toggles.
+// Fuzz reproducer headers embed the full serializeAllocatorOptions form, so
+// the round trip must be exact over the *whole* option space — every field,
+// including Jobs, the cost-model enums, and the legacy toggles. (The wire
+// protocol ships the behavior-only canonicalKey() instead; see below.)
 
 AllocatorOptions randomOptions(Rng &R) {
   AllocatorOptions O;
@@ -279,6 +280,113 @@ TEST(OptionsRoundTrip, MalformedInputIsRejected) {
   // Empty text is the all-defaults struct, not an error.
   EXPECT_TRUE(parseAllocatorOptions("", O));
   EXPECT_TRUE(O == AllocatorOptions());
+}
+
+// --- AllocatorOptions::canonicalKey --------------------------------------
+//
+// The one true cache/serialization form: the wire protocol and the
+// allocation cache both key on it, so it must cover exactly the fields
+// that change WHAT is computed and be blind to every field that only
+// changes HOW. The determinism lattice (OracleTest) proves the excluded
+// fields never change results; these tests pin the key to that split.
+
+/// Rerandomizes every execution-strategy field canonicalKey excludes.
+void scrambleExecutionFields(AllocatorOptions &O, Rng &R) {
+  O.Verify = R.nextBool();
+  O.VerifyReportOnly = R.nextBool();
+  O.IncrementalReconstruction = R.nextBool();
+  O.IncrementalLiveness = R.nextBool();
+  O.ScratchArenas = R.nextBool();
+  O.GraphMode = static_cast<GraphRep>(R.nextBelow(3));
+  O.LegacySimplifier = R.nextBool();
+  O.Jobs = static_cast<unsigned>(R.nextBelow(64));
+}
+
+TEST(CanonicalKey, ExecutionStrategyNeverPerturbsTheKey) {
+  Rng R(20260809);
+  for (int I = 0; I < 1000; ++I) {
+    AllocatorOptions A = randomOptions(R);
+    AllocatorOptions B = A;
+    scrambleExecutionFields(B, R);
+    EXPECT_EQ(A.canonicalKey(), B.canonicalKey())
+        << serializeAllocatorOptions(A) << " vs "
+        << serializeAllocatorOptions(B);
+  }
+}
+
+TEST(CanonicalKey, EveryBehaviorFieldPerturbsTheKey) {
+  using Mutator = void (*)(AllocatorOptions &);
+  const Mutator Mutations[] = {
+      [](AllocatorOptions &O) {
+        O.Kind = static_cast<AllocatorKind>(
+            (static_cast<unsigned>(O.Kind) + 1) % 4);
+      },
+      [](AllocatorOptions &O) { O.Optimistic = !O.Optimistic; },
+      [](AllocatorOptions &O) { O.StorageClass = !O.StorageClass; },
+      [](AllocatorOptions &O) { O.BenefitSimplify = !O.BenefitSimplify; },
+      [](AllocatorOptions &O) {
+        O.PreferenceDecision = !O.PreferenceDecision;
+      },
+      [](AllocatorOptions &O) {
+        O.BSKey = O.BSKey == BenefitKeyStrategy::MaxBenefit
+                      ? BenefitKeyStrategy::Delta
+                      : BenefitKeyStrategy::MaxBenefit;
+      },
+      [](AllocatorOptions &O) {
+        O.CalleeModel = O.CalleeModel == CalleeCostModel::FirstUserPays
+                            ? CalleeCostModel::Shared
+                            : CalleeCostModel::FirstUserPays;
+      },
+      [](AllocatorOptions &O) {
+        O.Ordering = static_cast<PriorityOrdering>(
+            (static_cast<unsigned>(O.Ordering) + 1) % 3);
+      },
+      [](AllocatorOptions &O) {
+        O.AggressiveCoalescing = !O.AggressiveCoalescing;
+      },
+      [](AllocatorOptions &O) {
+        O.MaterializeSaveRestore = !O.MaterializeSaveRestore;
+      },
+      [](AllocatorOptions &O) { O.MaxRounds += 1; },
+  };
+
+  Rng R(424242);
+  for (int I = 0; I < 200; ++I) {
+    AllocatorOptions A = randomOptions(R);
+    const std::string Key = A.canonicalKey();
+    for (Mutator Mutate : Mutations) {
+      AllocatorOptions B = A;
+      Mutate(B);
+      EXPECT_NE(Key, B.canonicalKey()) << serializeAllocatorOptions(A);
+    }
+  }
+}
+
+TEST(CanonicalKey, KeyIsAParsableFixpoint) {
+  // The wire protocol ships the key and parses it with
+  // parseAllocatorOptions: the key must parse, reproduce every behavior
+  // field, and leave the execution fields at their defaults.
+  Rng R(7);
+  for (int I = 0; I < 500; ++I) {
+    AllocatorOptions A = randomOptions(R);
+    AllocatorOptions Back;
+    std::string Err;
+    ASSERT_TRUE(parseAllocatorOptions(A.canonicalKey(), Back, &Err))
+        << A.canonicalKey() << ": " << Err;
+    EXPECT_EQ(A.canonicalKey(), Back.canonicalKey());
+
+    AllocatorOptions Expected = A;
+    AllocatorOptions Defaults;
+    Expected.Verify = Defaults.Verify;
+    Expected.VerifyReportOnly = Defaults.VerifyReportOnly;
+    Expected.IncrementalReconstruction = Defaults.IncrementalReconstruction;
+    Expected.IncrementalLiveness = Defaults.IncrementalLiveness;
+    Expected.ScratchArenas = Defaults.ScratchArenas;
+    Expected.GraphMode = Defaults.GraphMode;
+    Expected.LegacySimplifier = Defaults.LegacySimplifier;
+    Expected.Jobs = Defaults.Jobs;
+    EXPECT_TRUE(Expected == Back) << A.canonicalKey();
+  }
 }
 
 } // namespace

@@ -8,7 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Frequency.h"
-#include "core/AllocatorFactory.h"
+#include "core/EngineBuilder.h"
 #include "ir/Cloner.h"
 #include "ir/IRBuilder.h"
 #include "regalloc/GraphReconstructor.h"
@@ -175,8 +175,8 @@ TEST(GraphReconstruction, EngineResultsIdenticalOnOrOff) {
       FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
       AllocatorOptions Opts = improvedOptions();
       Opts.IncrementalReconstruction = Incremental;
-      AllocationEngine Engine = makeEngine(
-          MachineDescription(RegisterConfig(6, 4, 1, 1)), Opts);
+      AllocationEngine Engine = EngineBuilder(RegisterConfig(6, 4, 1, 1))
+          .options(Opts).build();
       return Engine.allocateModule(*M, Freq);
     };
     ModuleAllocationResult On = Run(true);

@@ -208,6 +208,8 @@ TEST(WireCodec, AllocRequestRoundTripsExactly) {
   R.Config = RegisterConfig(6, 4, 2, 1);
   R.Mode = FrequencyMode::Static;
   R.Options = cbhOptions();
+  // Execution-strategy fields are the server's policy, not the request's:
+  // the wire ships canonicalKey(), so Jobs must NOT survive the round trip.
   R.Options.Jobs = 5;
   R.DeadlineMs = 1234;
   R.ModuleText = "module m\nfunc @f (external)\n";
@@ -218,7 +220,11 @@ TEST(WireCodec, AllocRequestRoundTripsExactly) {
   EXPECT_EQ(R.Config.IntCallerSave, Back.Config.IntCallerSave);
   EXPECT_EQ(R.Config.FloatCalleeSave, Back.Config.FloatCalleeSave);
   EXPECT_EQ(R.Mode, Back.Mode);
-  EXPECT_EQ(R.Options, Back.Options);
+  EXPECT_EQ(1u, Back.Options.Jobs);
+  EXPECT_EQ(R.Options.canonicalKey(), Back.Options.canonicalKey());
+  AllocatorOptions Canonical = R.Options;
+  Canonical.Jobs = 1;
+  EXPECT_EQ(Canonical, Back.Options);
   EXPECT_EQ(R.DeadlineMs, Back.DeadlineMs);
   EXPECT_EQ(R.ModuleText, Back.ModuleText);
 }
@@ -536,6 +542,164 @@ TEST(Service, DrainFinishesInFlightWorkAndRefusesNew) {
   ServiceClient Late;
   EXPECT_FALSE(Late.connectTcp(Port, &Err));
   S.reset();
+}
+
+// --- cache and shards (wire v1.1) ----------------------------------------
+
+TEST(WireCodec, HelloMinorVersionFieldsAreVersionGated) {
+  // A v1.0 hello (ProtocolMinor == 0) must not emit the v1.1 keys, and a
+  // v1.0 payload parsed by a v1.1 client must land on the defaults — the
+  // two directions of the mixed-version contract.
+  HelloInfo Old;
+  Old.ServerInfo = "old server";
+  Old.ProtocolMinor = 0;
+  std::string OldPayload = encodeHello(Old);
+  EXPECT_EQ(std::string::npos, OldPayload.find("minor:"));
+  EXPECT_EQ(std::string::npos, OldPayload.find("cache:"));
+  EXPECT_EQ(std::string::npos, OldPayload.find("shards:"));
+
+  HelloInfo ParsedOld;
+  std::string Err;
+  ASSERT_TRUE(parseHello(OldPayload, ParsedOld, &Err)) << Err;
+  EXPECT_EQ(0u, ParsedOld.ProtocolMinor);
+  EXPECT_FALSE(ParsedOld.CacheEnabled);
+  EXPECT_EQ(0u, ParsedOld.Shards);
+
+  // v1.1 round-trips its capability fields...
+  HelloInfo New;
+  New.ServerInfo = "new server";
+  New.ProtocolMinor = WireMinorVersion;
+  New.CacheEnabled = true;
+  New.Shards = 4;
+  HelloInfo ParsedNew;
+  ASSERT_TRUE(parseHello(encodeHello(New), ParsedNew, &Err)) << Err;
+  EXPECT_EQ(WireMinorVersion, ParsedNew.ProtocolMinor);
+  EXPECT_TRUE(ParsedNew.CacheEnabled);
+  EXPECT_EQ(4u, ParsedNew.Shards);
+
+  // ...and an old client's parser (which ignores unknown keys) survives a
+  // v1.1 payload: the same parse simply never sees the keys it predates.
+  HelloInfo Tolerant;
+  ASSERT_TRUE(parseHello("server: x\nfuture-key: whatever\n", Tolerant, &Err))
+      << Err;
+  EXPECT_EQ("x", Tolerant.ServerInfo);
+}
+
+TEST(Service, HelloAdvertisesCacheAndShards) {
+  {
+    LiveServer S; // defaults: cache on, one shard
+    ServiceClient C = S.connect();
+    EXPECT_EQ(WireMinorVersion, C.hello().ProtocolMinor);
+    EXPECT_TRUE(C.hello().CacheEnabled);
+    EXPECT_EQ(1u, C.hello().Shards);
+  }
+  {
+    ServerConfig Config;
+    Config.CacheBytes = 0;
+    Config.Shards = 3;
+    LiveServer S(Config);
+    ServiceClient C = S.connect();
+    EXPECT_FALSE(C.hello().CacheEnabled);
+    EXPECT_EQ(3u, C.hello().Shards);
+  }
+}
+
+TEST(Service, RepeatRequestServedFromCacheByteIdentical) {
+  LiveServer S;
+  ServiceClient C = S.connect();
+
+  // Raw frames so the comparison covers the ENTIRE response payload —
+  // costs, per-function summaries, telemetry, and IR — not just the
+  // fields a parsed AllocResponse happens to surface.
+  AllocRequest Request = proxyRequest("eqntott");
+  Frame Req;
+  Req.Type = FrameType::AllocRequest;
+  Req.Payload = encodeAllocRequest(Request);
+  std::string Bytes;
+  encodeFrame(Req, Bytes);
+
+  std::string Payloads[2];
+  for (int I = 0; I < 2; ++I) {
+    std::string Err;
+    ASSERT_TRUE(C.sendRawBytes(Bytes, &Err)) << Err;
+    Frame Resp;
+    ASSERT_EQ(FrameReadStatus::Ok, C.readResponse(Resp, &Err)) << Err;
+    ASSERT_EQ(FrameType::AllocResponse, Resp.Type);
+    Payloads[I] = Resp.Payload;
+  }
+  EXPECT_EQ(Payloads[0], Payloads[1])
+      << "cache hit diverged from the cold allocation";
+
+  TelemetrySnapshot Stats;
+  ErrorResponse ServerError;
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  EXPECT_EQ(1.0, Stats.count(telemetry::CacheHits));
+  EXPECT_EQ(1.0, Stats.count(telemetry::CacheMisses));
+  EXPECT_EQ(1.0, Stats.count(telemetry::CacheInsertions));
+  EXPECT_EQ(1.0, Stats.count(telemetry::CacheModules));
+  EXPECT_GT(Stats.count(telemetry::CacheBytes), 0.0);
+  // The hit bypassed the engine: only the cold run was batched.
+  EXPECT_EQ(1.0, Stats.count(telemetry::ServeBatches));
+  EXPECT_EQ(2.0, Stats.count(telemetry::ServeResponsesOk));
+}
+
+TEST(Service, OptionsPerturbationMissesCache) {
+  LiveServer S;
+  ServiceClient C = S.connect();
+
+  AllocRequest Request = proxyRequest("eqntott");
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  ASSERT_EQ(RpcStatus::Ok, C.allocate(Request, Response, ServerError));
+
+  // Same module, one behavior field perturbed: a different allocation
+  // problem, so it must miss and be solved cold.
+  AllocRequest Perturbed = Request;
+  Perturbed.Options.AggressiveCoalescing =
+      !Perturbed.Options.AggressiveCoalescing;
+  ASSERT_EQ(RpcStatus::Ok, C.allocate(Perturbed, Response, ServerError));
+
+  TelemetrySnapshot Stats;
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  EXPECT_EQ(0.0, Stats.count(telemetry::CacheHits));
+  EXPECT_EQ(2.0, Stats.count(telemetry::CacheMisses));
+  EXPECT_EQ(2.0, Stats.count(telemetry::CacheInsertions));
+}
+
+TEST(Service, ShardedDispatchStaysBitIdentical) {
+  ServerConfig Config;
+  Config.Shards = 3;
+  LiveServer S(Config);
+  ServiceClient C = S.connect();
+
+  TelemetrySnapshot Stats;
+  ErrorResponse ServerError;
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  EXPECT_EQ(3.0, Stats.count(telemetry::ShardCount));
+
+  unsigned Sent = 0;
+  for (const std::string &Proxy : specProxyNames()) {
+    AllocRequest Request = proxyRequest(Proxy);
+    std::string ExpectedIr;
+    CostBreakdown ExpectedTotals;
+    expectedAllocation(Request.ModuleText, Request, ExpectedIr,
+                       ExpectedTotals);
+    AllocResponse Response;
+    std::string Err;
+    ASSERT_EQ(RpcStatus::Ok, C.allocate(Request, Response, ServerError, &Err))
+        << Proxy << ": " << Err;
+    EXPECT_EQ(ExpectedIr, Response.AllocatedIr) << Proxy;
+    EXPECT_TRUE(ExpectedTotals == Response.Totals) << Proxy;
+    ++Sent;
+  }
+
+  // Every cold request was dispatched to exactly one shard.
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  double Dispatched = 0;
+  for (unsigned I = 0; I < 3; ++I)
+    Dispatched +=
+        Stats.count("shard." + std::to_string(I) + ".dispatched");
+  EXPECT_EQ(static_cast<double>(Sent), Dispatched);
 }
 
 TEST(Service, DrainInterruptsSilentAndMidFramePeers) {

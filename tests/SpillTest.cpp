@@ -1,7 +1,7 @@
 //===- tests/SpillTest.cpp - Spill code & overhead materialization --------===//
 
 #include "analysis/Frequency.h"
-#include "core/AllocatorFactory.h"
+#include "core/EngineBuilder.h"
 #include "ir/Cloner.h"
 #include "ir/IRBuilder.h"
 #include "ir/Verifier.h"
@@ -149,8 +149,8 @@ TEST(OverheadMaterialization, SaveRestoreBracketsCalls) {
   FrequencyInfo Freq = FrequencyInfo::compute(M, FrequencyMode::Profile);
   // No callee-save registers: A must live in a caller-save register.
   AllocationEngine Engine =
-      makeEngine(MachineDescription(RegisterConfig(4, 2, 0, 0)),
-                 baseChaitinOptions());
+      EngineBuilder(RegisterConfig(4, 2, 0, 0))
+          .options(baseChaitinOptions()).build();
   Engine.allocateModule(M, Freq);
 
   const auto &Insts = F.getEntryBlock()->instructions();
@@ -187,8 +187,8 @@ TEST(OverheadMaterialization, CalleeSavePrologueEpilogue) {
   // exist (config minimum); use base model which prefers callee-save for
   // call-crossing ranges.
   AllocationEngine Engine =
-      makeEngine(MachineDescription(RegisterConfig(2, 2, 2, 2)),
-                 baseChaitinOptions());
+      EngineBuilder(RegisterConfig(2, 2, 2, 2))
+          .options(baseChaitinOptions()).build();
   Engine.allocateModule(M, Freq);
 
   const auto &Insts = F.getEntryBlock()->instructions();
@@ -211,8 +211,8 @@ TEST(CostAccounting, MeasuredEqualsAnalyticOnProxies) {
          {baseChaitinOptions(), improvedOptions(), cbhOptions()}) {
       std::unique_ptr<Module> M = buildSpecProxy(Name);
       FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
-      AllocationEngine Engine = makeEngine(
-          MachineDescription(RegisterConfig(9, 7, 3, 3)), Opts);
+      AllocationEngine Engine = EngineBuilder(RegisterConfig(9, 7, 3, 3))
+          .options(Opts).build();
       ModuleAllocationResult Result = Engine.allocateModule(*M, Freq);
 
       CostBreakdown Measured;
@@ -237,8 +237,8 @@ TEST(SpillIteration, ConvergesUnderExtremePressure) {
   // rounds, and the result still verifies (the engine aborts otherwise).
   std::unique_ptr<Module> M = buildSpecProxy("fpppp");
   FrequencyInfo Freq = FrequencyInfo::compute(*M, FrequencyMode::Profile);
-  AllocationEngine Engine = makeEngine(
-      MachineDescription(minimalMipsConfig()), baseChaitinOptions());
+  AllocationEngine Engine = EngineBuilder(minimalMipsConfig())
+      .options(baseChaitinOptions()).build();
   ModuleAllocationResult Result = Engine.allocateModule(*M, Freq);
   unsigned MaxRounds = 0;
   for (const auto &[F, FA] : Result.PerFunction) {

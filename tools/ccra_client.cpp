@@ -14,7 +14,7 @@
 //     stats
 //        Print the server-wide telemetry snapshot (JSON).
 //     burst [--requests=N] [--clients=N] [--malformed-every=N]
-//           [--deadline-every=N]
+//           [--deadline-every=N] [--zipf]
 //        CI smoke: N requests (default 200) across C concurrent client
 //        connections (default 4), cycling the built-in proxies and
 //        allocator configurations, interleaving malformed frames (every
@@ -23,6 +23,13 @@
 //        response is verified BIT-IDENTICAL to an in-process allocation of
 //        the same module/options. Exits non-zero on any mismatch, crash,
 //        or transport error on a valid request.
+//        --zipf is the cache smoke: cases are sampled from a Zipfian
+//        distribution (skew 1.1) instead of round-robin, and when the
+//        server's hello advertises the v1.1 cache capability the burst
+//        additionally requires a nonzero cache hit count from STATS (the
+//        bit-identity check above then covers cached responses too). A
+//        v1.0 server without the capability fields just skips the
+//        hit-rate assertion — the mixed-version path.
 //     --version
 //        Print build info and exit.
 //
@@ -34,10 +41,12 @@
 #include "ir/Verifier.h"
 #include "service/Client.h"
 #include "support/BuildInfo.h"
+#include "support/Rng.h"
 #include "workloads/SpecProxies.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -73,7 +82,7 @@ void printUsage() {
          "  alloc opts: --allocator=NAME --config=Ri,Rf,Ei,Ef --static\n"
          "              --deadline-ms=N --emit-ir\n"
          "  burst opts: --requests=N --clients=N --malformed-every=N\n"
-         "              --deadline-every=N\n";
+         "              --deadline-every=N --zipf\n";
 }
 
 bool allocatorOptionsFor(const std::string &Name, AllocatorOptions &Opts) {
@@ -255,7 +264,31 @@ struct BurstOptions {
   unsigned Clients = 4;
   unsigned MalformedEvery = 17;
   unsigned DeadlineEvery = 31;
+  bool Zipf = false;
 };
+
+/// Cumulative Zipf(1.1) distribution over case ranks: Cdf[R] is the
+/// probability of drawing a case of rank <= R. Rank 0 is the hottest.
+std::vector<double> zipfCdf(std::size_t Count) {
+  std::vector<double> Cdf;
+  Cdf.reserve(Count);
+  double Sum = 0;
+  for (std::size_t R = 0; R < Count; ++R) {
+    Sum += 1.0 / std::pow(static_cast<double>(R + 1), 1.1);
+    Cdf.push_back(Sum);
+  }
+  for (double &V : Cdf)
+    V /= Sum;
+  return Cdf;
+}
+
+std::size_t sampleZipf(const std::vector<double> &Cdf, Rng &R) {
+  double U = R.nextDouble();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    return Cdf.size() - 1;
+  return static_cast<std::size_t>(It - Cdf.begin());
+}
 
 struct BurstTally {
   std::atomic<unsigned> Ok{0};
@@ -275,13 +308,16 @@ struct BurstCase {
 std::string encodeGarbageTornFrame(unsigned Seed);
 
 void burstWorker(const Endpoint &EP, const BurstOptions &Opts,
-                 const std::vector<BurstCase> &Cases, unsigned Worker,
+                 const std::vector<BurstCase> &Cases,
+                 const std::vector<double> &ZipfTable, unsigned Worker,
                  BurstTally &Tally, std::mutex &LogMutex) {
   auto Fail = [&](const std::string &Msg) {
     std::lock_guard<std::mutex> Lock(LogMutex);
     std::cerr << "ccra_client: worker " << Worker << ": " << Msg << '\n';
     Tally.Failures.fetch_add(1);
   };
+  // Deterministic per-worker stream: reruns replay the same sample path.
+  Rng ZipfRng(0x5eedull + Worker);
 
   ServiceClient Client;
   std::string Err;
@@ -312,7 +348,9 @@ void burstWorker(const Endpoint &EP, const BurstOptions &Opts,
       continue;
     }
 
-    const BurstCase &Case = Cases[I % Cases.size()];
+    const BurstCase &Case = ZipfTable.empty()
+                                ? Cases[I % Cases.size()]
+                                : Cases[sampleZipf(ZipfTable, ZipfRng)];
     AllocRequest Request = Case.Request;
     bool TinyDeadline = Opts.DeadlineEvery && I % Opts.DeadlineEvery == 0;
     if (TinyDeadline)
@@ -389,6 +427,8 @@ int runBurst(const Endpoint &EP, int Argc, char **Argv, int First) {
     } else if (Arg.rfind("--deadline-every=", 0) == 0) {
       if (!Unsigned(17, Opts.DeadlineEvery))
         return 2;
+    } else if (Arg == "--zipf") {
+      Opts.Zipf = true;
     } else {
       printUsage();
       return 2;
@@ -415,12 +455,16 @@ int runBurst(const Endpoint &EP, int Argc, char **Argv, int First) {
     Cases.push_back(std::move(Case));
   }
 
+  std::vector<double> ZipfTable;
+  if (Opts.Zipf)
+    ZipfTable = zipfCdf(Cases.size());
+
   BurstTally Tally;
   std::mutex LogMutex;
   std::vector<std::thread> Workers;
   for (unsigned W = 0; W < Opts.Clients; ++W)
     Workers.emplace_back([&, W] {
-      burstWorker(EP, Opts, Cases, W, Tally, LogMutex);
+      burstWorker(EP, Opts, Cases, ZipfTable, W, Tally, LogMutex);
     });
   for (std::thread &T : Workers)
     T.join();
@@ -434,6 +478,38 @@ int runBurst(const Endpoint &EP, int Argc, char **Argv, int First) {
   if (Tally.Ok.load() == 0) {
     std::cerr << "ccra_client: burst completed no successful requests\n";
     return 1;
+  }
+
+  if (Opts.Zipf) {
+    // The cache smoke's second assertion: a skewed workload against a
+    // cache-capable server must actually hit. A v1.0 server never
+    // advertises the capability, so mixed-version runs skip the check.
+    ServiceClient Client;
+    std::string Err;
+    if (!EP.connect(Client, &Err)) {
+      std::cerr << "ccra_client: zipf stats connect: " << Err << '\n';
+      return 1;
+    }
+    bool CacheCapable =
+        Client.hello().ProtocolMinor >= 1 && Client.hello().CacheEnabled;
+    TelemetrySnapshot Snapshot;
+    ErrorResponse ServerError;
+    if (Client.stats(Snapshot, ServerError, &Err) != RpcStatus::Ok) {
+      std::cerr << "ccra_client: zipf stats: " << Err << '\n';
+      return 1;
+    }
+    double Hits = Snapshot.count(telemetry::CacheHits);
+    double Misses = Snapshot.count(telemetry::CacheMisses);
+    double Rate = (Hits + Misses) > 0 ? Hits / (Hits + Misses) : 0.0;
+    std::cout << "zipf: cache hits " << Hits << ", misses " << Misses
+              << ", hit-rate " << Rate
+              << (CacheCapable ? "" : " (server not cache-capable; skipped)")
+              << '\n';
+    if (CacheCapable && Hits <= 0) {
+      std::cerr << "ccra_client: zipf burst produced no cache hits against a "
+                   "cache-capable server\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -2,20 +2,28 @@
 //
 // The allocation engine as a long-lived daemon: binds a Unix-domain or
 // loopback-TCP socket, speaks the framed protocol of service/WireProtocol.h,
-// batches queued requests into shared-pool engine runs, sheds load when the
-// bounded queue overflows, and drains gracefully on SIGTERM/SIGINT (stops
-// accepting, finishes in-flight work, flushes responses, exits 0).
+// answers repeat requests from a content-addressed allocation cache,
+// consistent-hashes cold requests across in-process shards that batch them
+// into engine runs, sheds load when a shard's bounded queue overflows, and
+// drains gracefully on SIGTERM/SIGINT (stops accepting, finishes in-flight
+// work, flushes responses, exits 0).
 //
 //   ccra_serve [options]
 //     --unix=PATH        listen on a Unix-domain socket at PATH
 //     --port=N           listen on 127.0.0.1:N (default; 0 = ephemeral,
 //                        the chosen port is printed on stdout)
-//     --pool-threads=N   engine thread-pool width     (default 0 = hardware)
-//     --queue=N          request queue capacity        (default 64)
+//     --pool-threads=N   engine thread-pool width, split across shards
+//                        (default 0 = hardware)
+//     --queue=N          request queue capacity, split across shards
+//                        (default 64)
 //     --max-batch=N      max requests fused into one engine grid run
 //                        (default 8)
 //     --max-payload=N    per-frame payload limit in bytes (default 16 MiB)
 //     --write-timeout=MS slow-client response write budget (default 5000)
+//     --shards=N         in-process dispatch shards (default 1); requests
+//                        route by consistent hash of the module text
+//     --cache-bytes=N    allocation cache budget in bytes (default 64 MiB;
+//                        0 disables the cache)
 //     --version          print build info and exit
 //
 // On successful startup prints exactly one line to stdout:
@@ -47,7 +55,8 @@ void printUsage() {
   std::cerr << "usage: ccra_serve [--unix=PATH | --port=N] [--pool-threads=N]\n"
                "                  [--queue=N] [--max-batch=N] "
                "[--max-payload=N]\n"
-               "                  [--write-timeout=MS] [--version]\n";
+               "                  [--write-timeout=MS] [--shards=N]\n"
+               "                  [--cache-bytes=N] [--version]\n";
 }
 
 bool parseUnsigned(const std::string &Arg, std::size_t Prefix, unsigned &Out) {
@@ -100,6 +109,17 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Config.WriteTimeoutMs = static_cast<int>(V);
+    } else if (Arg.rfind("--shards=", 0) == 0) {
+      if (!parseUnsigned(Arg, 9, Config.Shards) || Config.Shards == 0) {
+        printUsage();
+        return 2;
+      }
+    } else if (Arg.rfind("--cache-bytes=", 0) == 0) {
+      if (!parseUnsigned(Arg, 14, V)) {
+        printUsage();
+        return 2;
+      }
+      Config.CacheBytes = V;
     } else {
       std::cerr << "unknown option " << Arg << '\n';
       printUsage();
@@ -145,6 +165,9 @@ int main(int Argc, char **Argv) {
                    Final.count(telemetry::ServeResponsesOk))
             << " ok, "
             << static_cast<unsigned long long>(Final.count(telemetry::ServeShed))
-            << " shed)\n";
+            << " shed, "
+            << static_cast<unsigned long long>(
+                   Final.count(telemetry::CacheHits))
+            << " cache hits)\n";
   return 0;
 }

@@ -12,13 +12,17 @@
 # seed range through the full oracle lattice — the same range the CI
 # smoke step sweeps, so a local pass predicts a CI pass; and the serving
 # stack's gates: a live ccra_serve daemon driven through a mixed client
-# burst (valid + malformed frames) and drained with SIGTERM, then the
-# 10k-request soak (bench/perf_service) whose every valid response must be
-# bit-identical to in-process allocation.
+# burst (valid + malformed frames) and drained with SIGTERM, a cache
+# smoke (a Zipfian burst against a cache-enabled sharded daemon that must
+# produce a nonzero hit rate with every response still bit-identical),
+# then the soak (bench/perf_service) whose every valid response must be
+# bit-identical to in-process allocation and whose Zipf phase must clear
+# 100x the committed pre-cache baseline.
 #
 # Usage: tools/check.sh [extra cmake args...]
 #   JOBS=N   parallel build jobs (default: nproc)
 #   SOAK_REQUESTS=N   perf_service soak size (default: 10000)
+#   ZIPF_REQUESTS=N   perf_service Zipf phase size (default: 20000)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,12 +34,12 @@ cmake -B build -S . "$@"
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "== ThreadSanitizer: thread pool / parallel determinism / telemetry / service =="
+echo "== ThreadSanitizer: thread pool / parallel determinism / telemetry / service / cache =="
 cmake -B build-tsan -S . -DCCRA_TSAN=ON "$@"
 cmake --build build-tsan -j "$JOBS" --target test_parallel test_telemetry \
-      test_service
+      test_service test_cache
 ctest --test-dir build-tsan --output-on-failure \
-      -R 'ThreadPool|ParallelAllocation|Telemetry|Service|WireCodec'
+      -R 'ThreadPool|ParallelAllocation|Telemetry|Service|WireCodec|AllocationCache|ShardRing|CacheService'
 
 echo "== Release perf smokes: bit-identity gates (perf_grid, perf_scaling) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release "$@"
@@ -67,8 +71,24 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"   # exit 0 == clean drain
 trap - EXIT
 
+echo "== Cache smoke: Zipfian burst must hit, bit-identically =="
+SOCK="$(mktemp -u /tmp/ccra-cache-XXXXXX.sock)"
+./build-release/tools/ccra_serve --unix="$SOCK" --shards=2 &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+# Zipf-sampled cases repeat, so the burst exits non-zero unless the
+# daemon's STATS report a nonzero cache hit count AND every response
+# (cached or cold) is bit-identical to in-process allocation.
+./build-release/tools/ccra_client --unix="$SOCK" burst --requests=300 \
+      --clients=4 --zipf
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"   # exit 0 == clean drain
+trap - EXIT
+
 echo "== Service soak gate (perf_service -> BENCH_service.json) =="
 (cd build-release && ./bench/perf_service \
-      --requests="${SOAK_REQUESTS:-10000}")
+      --requests="${SOAK_REQUESTS:-10000}" \
+      --zipf-requests="${ZIPF_REQUESTS:-20000}")
 
 echo "check.sh: all green"
