@@ -25,16 +25,30 @@
 // above runs with the cache DISABLED so "rps_before" stays comparable to
 // that committed baseline.
 //
+// Phase 4 is the connection-scaling gate for the event-loop server: it
+// raises RLIMIT_NOFILE, parks --c10k-connections idle peers on the daemon
+// (default 10000; 0 skips the phase), verifies allocations still complete
+// bit-identical THROUGH the idle crowd, and then drains mid-flight — the
+// whole crowd must be swept promptly, not waited out one timeout at a
+// time.
+//
+// The mixed soak alternates wire codecs request-by-request (v1 text /
+// v2 binary), so the soak numbers cover both ingestion paths, and it
+// gates serve.batch <= 1.5x allocate_total: the response path may not
+// cost more than half again the allocation work it transports.
+//
 //   perf_service [--requests=N] [--clients=N] [--queue=N] [--max-batch=N]
 //                [--pool-threads=N] [--zipf-requests=N] [--shards=N]
-//                [--cache-bytes=N]
+//                [--cache-bytes=N] [--c10k-connections=N]
 //
-// Defaults: 10000 requests, 6 clients, 20000 Zipf requests, 2 shards —
-// the soak gate CI runs.
+// Defaults: 10000 requests, 6 clients, 20000 Zipf requests, 2 shards,
+// 10000 idle connections — the soak gate CI runs (CI sizes the idle
+// crowd down to 5000 to stay within runner fd limits).
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/EngineBuilder.h"
+#include "ir/IRBinary.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "service/Client.h"
@@ -43,6 +57,9 @@
 #include "workloads/SpecProxies.h"
 
 #include <cmath>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -76,10 +93,15 @@ struct SoakOptions {
   unsigned ZipfRequests = 20000;
   unsigned Shards = 2;
   std::size_t CacheBytes = 64u << 20;
+  unsigned C10kConnections = 10000;
 };
 
 struct SoakCase {
   AllocRequest Request;
+  /// The same module as Request.ModuleText in the binary interchange
+  /// form; the soak alternates codecs per request so both ingestion
+  /// paths carry the traffic.
+  std::string ModuleBinary;
   std::string ExpectedIr;
   CostBreakdown ExpectedTotals;
 };
@@ -116,6 +138,7 @@ std::vector<SoakCase> buildCases() {
         Cases.size() % 3 == 0 ? FrequencyMode::Static : FrequencyMode::Profile;
 
     ParseResult PR = parseModule(Text);
+    encodeModuleBinary(*PR.M, Case.ModuleBinary);
     FrequencyInfo Freq = FrequencyInfo::compute(*PR.M, Case.Request.Mode);
     AllocationEngine Engine = EngineBuilder(Case.Request.Config)
                                   .options(Case.Request.Options)
@@ -177,6 +200,12 @@ void soakWorker(int Port, const SoakOptions &Opts,
 
     const SoakCase &Case = Cases[I % Cases.size()];
     AllocRequest Request = Case.Request;
+    // Alternate wire codecs: odd requests ship the binary module. The
+    // expected bytes are identical either way — that IS the contract.
+    if (I % 2 == 1 && !Case.ModuleBinary.empty()) {
+      Request.ModuleBinary = Case.ModuleBinary;
+      Request.ModuleText.clear();
+    }
     bool TinyDeadline = I % Opts.DeadlineEvery == 0;
     if (TinyDeadline)
       Request.DeadlineMs = 1;
@@ -470,6 +499,218 @@ bool drainMidFlight(const SoakOptions &Opts,
   return Clean;
 }
 
+struct C10kResult {
+  unsigned Target = 0;
+  unsigned Opened = 0;
+  unsigned VerifiedOk = 0;
+  double PeakConnections = 0;
+  double OpenAtPeak = 0;
+  double DrainSeconds = 0;
+  bool Ok = false;
+  bool DrainClean = false;
+};
+
+/// Phase 4: connection scaling. Parks \p Opts.C10kConnections idle peers
+/// on the daemon, proves allocations still flow through the crowd
+/// bit-identical, then drains mid-flight: the idle crowd and the active
+/// workers must all be swept promptly.
+C10kResult c10kPhase(const SoakOptions &Opts,
+                     const std::vector<SoakCase> &Cases) {
+  C10kResult Result;
+  Result.Target = Opts.C10kConnections;
+
+  // The server side of the crowd must fit this process's fd limit; raise
+  // the soft limit to the hard cap before judging feasibility. The CLIENT
+  // side is held by forked children (below), each with its own fd budget,
+  // so a 20k-fd container can still park 10k connections on the daemon.
+  rlimit Rl{};
+  if (getrlimit(RLIMIT_NOFILE, &Rl) == 0 && Rl.rlim_cur < Rl.rlim_max) {
+    rlimit Want = Rl;
+    Want.rlim_cur = Rl.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &Want);
+    getrlimit(RLIMIT_NOFILE, &Rl);
+  }
+  rlim_t Needed = static_cast<rlim_t>(Opts.C10kConnections) + 512;
+  if (Rl.rlim_cur < Needed) {
+    std::cerr << "perf_service: c10k phase: RLIMIT_NOFILE " << Rl.rlim_cur
+              << " < required " << Needed << '\n';
+    return Result;
+  }
+
+  ServerConfig Config;
+  Config.TcpPort = 0;
+  Config.QueueCapacity = Opts.QueueCapacity;
+  Config.MaxBatch = Opts.MaxBatch;
+  Config.PoolThreads = Opts.PoolThreads;
+  AllocationServer Server(Config);
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::cerr << "perf_service: c10k phase: " << Err << '\n';
+    return Result;
+  }
+  int Port = Server.boundPort();
+
+  // The idle crowd, held by forked children so the client-side fds come
+  // out of THEIR limits, not this process's (the server side alone is
+  // 10k fds here). Hellos stay unread in the kernel buffers: an idle
+  // peer costs the server one fd and one epoll registration, nothing
+  // else. Each child reports how many it opened, then parks until the
+  // drain has been verified.
+  const unsigned PerChild = 5000;
+  const unsigned NumChildren =
+      (Opts.C10kConnections + PerChild - 1) / PerChild;
+  struct Child {
+    pid_t Pid = -1;
+    int ReadyFd = -1;   // child -> parent: u32 count of opened conns
+    int ReleaseFd = -1; // parent -> child: one byte releases the child
+  };
+  std::vector<Child> Children;
+  unsigned Remaining = Opts.C10kConnections;
+  for (unsigned C = 0; C < NumChildren; ++C) {
+    unsigned Quota = std::min(PerChild, Remaining);
+    Remaining -= Quota;
+    int Ready[2], Release[2];
+    if (pipe(Ready) != 0 || pipe(Release) != 0) {
+      std::cerr << "perf_service: c10k phase: pipe failed\n";
+      break;
+    }
+    pid_t Pid = fork();
+    if (Pid < 0) {
+      std::cerr << "perf_service: c10k phase: fork failed\n";
+      break;
+    }
+    if (Pid == 0) {
+      // Child: open the quota, report, park, exit (the kernel closes the
+      // crowd when we _exit; the server sees clean EOFs or is already
+      // gone post-drain).
+      ::close(Ready[0]);
+      ::close(Release[1]);
+      std::vector<Socket> Crowd;
+      Crowd.reserve(Quota);
+      std::string CErr;
+      for (unsigned I = 0; I < Quota; ++I) {
+        Socket S = Socket::connectTcp(Port, &CErr);
+        if (!S.valid())
+          break;
+        Crowd.push_back(std::move(S));
+      }
+      std::uint32_t Opened = static_cast<std::uint32_t>(Crowd.size());
+      (void)!::write(Ready[1], &Opened, sizeof(Opened));
+      char Byte;
+      (void)!::read(Release[0], &Byte, 1);
+      _exit(0);
+    }
+    ::close(Ready[1]);
+    ::close(Release[0]);
+    Children.push_back(Child{Pid, Ready[0], Release[1]});
+  }
+  unsigned TotalOpened = 0;
+  for (Child &C : Children) {
+    std::uint32_t Opened = 0;
+    if (::read(C.ReadyFd, &Opened, sizeof(Opened)) == sizeof(Opened))
+      TotalOpened += Opened;
+  }
+  Result.Opened = TotalOpened;
+  if (TotalOpened < Opts.C10kConnections)
+    std::cerr << "perf_service: c10k phase: only " << TotalOpened << " of "
+              << Opts.C10kConnections << " connections opened\n";
+
+  // Active traffic through the crowd, still held bit-identical.
+  unsigned VerifiedOk = 0, Divergences = 0;
+  {
+    ServiceClient Client;
+    if (!Client.connectTcp(Port, &Err)) {
+      std::cerr << "perf_service: c10k phase: active connect: " << Err
+                << '\n';
+    } else {
+      for (unsigned I = 0; I < 100; ++I) {
+        const SoakCase &Case = Cases[I % Cases.size()];
+        AllocRequest Request = Case.Request;
+        if (I % 2 == 1 && !Case.ModuleBinary.empty()) {
+          Request.ModuleBinary = Case.ModuleBinary;
+          Request.ModuleText.clear();
+        }
+        AllocResponse Response;
+        ErrorResponse ServerError;
+        if (Client.allocate(Request, Response, ServerError, &Err) !=
+            RpcStatus::Ok)
+          continue;
+        if (Response.AllocatedIr == Case.ExpectedIr &&
+            Response.Totals == Case.ExpectedTotals)
+          ++VerifiedOk;
+        else
+          ++Divergences;
+      }
+    }
+  }
+  Result.VerifiedOk = VerifiedOk;
+
+  TelemetrySnapshot Stats = Server.stats();
+  Result.PeakConnections = Stats.count(telemetry::ServePeakConnections);
+  Result.OpenAtPeak = Stats.count(telemetry::ServeOpenConnections);
+
+  // Drain mid-flight with the whole crowd still parked: active workers
+  // must be answered or refused, the idle thousands swept immediately.
+  std::atomic<unsigned> Hung{0};
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < 4; ++W)
+    Workers.emplace_back([&, W] {
+      ServiceClient Client;
+      std::string CErr;
+      if (!Client.connectTcp(Port, &CErr))
+        return;
+      Client.setTimeoutMs(30000);
+      for (unsigned I = 0;; ++I) {
+        const SoakCase &Case = Cases[(W + I) % Cases.size()];
+        AllocResponse Response;
+        ErrorResponse ServerError;
+        RpcStatus Status =
+            Client.allocate(Case.Request, Response, ServerError, &CErr);
+        if (Status == RpcStatus::Ok || Status == RpcStatus::Shed)
+          continue;
+        if (Status == RpcStatus::Rejected && ServerError.Code == "draining")
+          return;
+        if (Status == RpcStatus::Transport)
+          return;
+        Hung.fetch_add(1);
+        return;
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  auto DrainStart = std::chrono::steady_clock::now();
+  Server.requestDrain();
+  for (std::thread &T : Workers)
+    T.join();
+  Server.wait();
+  Result.DrainSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - DrainStart)
+                            .count();
+
+  ServiceClient Late;
+  bool Refused = !Late.connectTcp(Port, &Err);
+
+  // Release and reap the crowd-holders.
+  for (Child &C : Children) {
+    char Byte = 'g';
+    (void)!::write(C.ReleaseFd, &Byte, 1);
+  }
+  for (Child &C : Children) {
+    int Status = 0;
+    ::waitpid(C.Pid, &Status, 0);
+    ::close(C.ReadyFd);
+    ::close(C.ReleaseFd);
+  }
+
+  Result.DrainClean = Hung.load() == 0 && Refused &&
+                      Result.DrainSeconds < 10.0;
+  Result.Ok = Result.Opened >= Result.Target && VerifiedOk > 0 &&
+              Divergences == 0 &&
+              Result.PeakConnections >=
+                  static_cast<double>(Result.Target);
+  return Result;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -495,6 +736,9 @@ int main(int Argc, char **Argv) {
     if (Arg.rfind("--shards=", 0) == 0 && Unsigned(9, Opts.Shards) &&
         Opts.Shards > 0)
       continue;
+    if (Arg.rfind("--c10k-connections=", 0) == 0 &&
+        Unsigned(19, Opts.C10kConnections))
+      continue;
     unsigned CacheBytes = 0;
     if (Arg.rfind("--cache-bytes=", 0) == 0 && Unsigned(14, CacheBytes)) {
       Opts.CacheBytes = CacheBytes;
@@ -503,7 +747,7 @@ int main(int Argc, char **Argv) {
     std::cerr << "usage: perf_service [--requests=N] [--clients=N] "
                  "[--queue=N] [--max-batch=N] [--pool-threads=N]\n"
                  "                    [--zipf-requests=N] [--shards=N] "
-                 "[--cache-bytes=N]\n";
+                 "[--cache-bytes=N] [--c10k-connections=N]\n";
     return 2;
   }
 
@@ -562,6 +806,15 @@ int main(int Argc, char **Argv) {
   bool BitIdentical = Tally.BitDivergences.load() == 0;
   bool Healthy = Tally.Failures.load() == 0 && Tally.Ok.load() > 0;
 
+  // The response-path overhead gate: time spent in serve.batch (parse or
+  // decode, cache bookkeeping, response rendering) on top of the engine's
+  // own allocate_total may not exceed half the allocation work again.
+  double ServeBatchMs = Stats.timeMs("serve.batch");
+  double AllocateTotalMs = Stats.timeMs("allocate_total");
+  double BatchRatio =
+      AllocateTotalMs > 0 ? ServeBatchMs / AllocateTotalMs : 0.0;
+  bool BatchLean = AllocateTotalMs > 0 && BatchRatio <= 1.5;
+
   // Phase 3: the Zipfian caching-tier gate.
   std::vector<SoakCase> ZipfCases = buildZipfCases();
   ZipfResult Zipf = zipfPhase(Opts, ZipfCases);
@@ -584,7 +837,10 @@ int main(int Argc, char **Argv) {
             << '\n'
             << "peak queue depth: "
             << Stats.count(telemetry::ServePeakQueue) << ", peak batch: "
-            << Stats.count(telemetry::ServePeakBatch) << '\n';
+            << Stats.count(telemetry::ServePeakBatch) << '\n'
+            << "serve.batch: " << ServeBatchMs << " ms over allocate_total "
+            << AllocateTotalMs << " ms (ratio " << BatchRatio
+            << ", gate <= 1.5: " << (BatchLean ? "pass" : "FAIL") << ")\n";
 
   std::cout << "== zipf phase: " << Opts.ZipfRequests << " requests, "
             << Opts.Clients << " clients, " << Opts.Shards << " shards, "
@@ -602,6 +858,27 @@ int main(int Argc, char **Argv) {
             << (ZipfBitIdentical ? "yes" : "NO") << '\n'
             << "gate (>=100x): " << (ZipfFastEnough ? "pass" : "FAIL")
             << '\n';
+
+  // Phase 4: the connection-scaling gate.
+  C10kResult C10k;
+  bool C10kOk = true, C10kDrainClean = true;
+  if (Opts.C10kConnections > 0) {
+    C10k = c10kPhase(Opts, Cases);
+    C10kOk = C10k.Ok;
+    C10kDrainClean = C10k.DrainClean;
+    std::cout << "== c10k phase: " << C10k.Target
+              << " idle connections ==\n"
+              << "opened:      " << C10k.Opened << '\n'
+              << "peak open:   " << C10k.PeakConnections
+              << " (server saw " << C10k.OpenAtPeak
+              << " open at sample time)\n"
+              << "verified ok: " << C10k.VerifiedOk
+              << " allocations through the crowd\n"
+              << "drain:       " << C10k.DrainSeconds << " s, "
+              << (C10k.DrainClean ? "clean" : "NOT CLEAN") << '\n'
+              << "gate: " << (C10kOk && C10kDrainClean ? "pass" : "FAIL")
+              << '\n';
+  }
 
   std::ofstream Json("BENCH_service.json");
   Json << "{\n"
@@ -632,12 +909,22 @@ int main(int Argc, char **Argv) {
        << "  \"zipf_latency_p50_ms\": " << Zipf.P50 << ",\n"
        << "  \"zipf_latency_p95_ms\": " << Zipf.P95 << ",\n"
        << "  \"zipf_latency_p99_ms\": " << Zipf.P99 << ",\n"
+       << "  \"serve_batch_ms\": " << ServeBatchMs << ",\n"
+       << "  \"allocate_total_ms\": " << AllocateTotalMs << ",\n"
+       << "  \"batch_overhead_ratio\": " << BatchRatio << ",\n"
+       << "  \"c10k_connections\": " << C10k.Opened << ",\n"
+       << "  \"c10k_peak_connections\": " << C10k.PeakConnections << ",\n"
+       << "  \"c10k_drain_seconds\": " << C10k.DrainSeconds << ",\n"
+       << "  \"c10k_drain_clean\": "
+       << (Opts.C10kConnections > 0 && C10k.DrainClean ? "true" : "false")
+       << ",\n"
        << "  \"server\": ";
   Stats.writeJson(Json);
   Json << "\n}\n";
 
-  return (BitIdentical && DrainClean && Healthy && ZipfBitIdentical &&
-          ZipfHealthy && ZipfFastEnough)
+  return (BitIdentical && DrainClean && Healthy && BatchLean &&
+          ZipfBitIdentical && ZipfHealthy && ZipfFastEnough && C10kOk &&
+          C10kDrainClean)
              ? 0
              : 1;
 }

@@ -153,7 +153,9 @@ private:
       unsigned NumFns = static_cast<unsigned>(Current->functions().size());
       for (unsigned FnIdx = 0; FnIdx < NumFns && !Restart; ++FnIdx) {
         const Function *F = Current->functions()[FnIdx].get();
-        for (unsigned BbIdx = 0; BbIdx < F->numBlocks() && !Restart;
+        // !Restart must short-circuit first: an accepted rewrite replaced
+        // Current and freed F, so F->numBlocks() would read freed memory.
+        for (unsigned BbIdx = 0; !Restart && BbIdx < F->numBlocks();
              ++BbIdx) {
           const Instruction *Term = F->blocks()[BbIdx]->getTerminator();
           if (!Term || Term->Op != Opcode::CondBr)

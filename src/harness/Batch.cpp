@@ -17,15 +17,18 @@ AllocationBatchResult runItem(const AllocationBatchItem &Item,
   assert(Item.Program && "batch item needs a program");
   AllocationBatchResult Out;
 
-  FrequencyInfo Freq = FrequencyInfo::compute(*Item.Program, Item.Mode);
   Telemetry T;
+  FrequencyInfo Freq = [&] {
+    Telemetry::ScopedTimer Timer(&T, telemetry::FreqComputePhase);
+    return FrequencyInfo::compute(*Item.Program, Item.Mode);
+  }();
   AllocationEngine Engine = EngineBuilder(Item.Config)
                                 .options(Item.Options)
                                 .telemetry(&T)
                                 .pool(Pool)
                                 .build();
   Out.Result = Engine.allocateModule(*Item.Program, Freq);
-  Out.Telemetry = T.snapshot();
+  Out.Telemetry = T.takeSnapshot();
   return Out;
 }
 

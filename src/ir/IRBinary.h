@@ -1,0 +1,69 @@
+//===- ir/IRBinary.h - Length-prefixed binary module encoding ---*- C++ -*-===//
+///
+/// \file
+/// A compact binary encoding of a Module, the payload format behind the
+/// service's wire codec v2 (service/BinaryCodec.h). The textual `.ccra`
+/// grammar (IRPrinter/IRParser) stays the canonical, human-readable form —
+/// fuzz reproducers, docs, and the bit-identity contract are all stated
+/// over it — but re-lexing 16 MiB of text on every cold request is pure
+/// overhead for a machine client that already holds the structured module.
+///
+/// The encoding carries EXACTLY the information the textual round trip
+/// preserves, no more: virtual-register banks but not spill-temp flags,
+/// callees by module function index, CFG edge probabilities as raw IEEE
+/// doubles (the text form is shortest-round-trip, so both directions are
+/// bit-exact). That makes the two ingestion paths equivalent by
+/// construction, and the fuzz harness enforces it:
+///
+///   printModule(decodeModuleBinary(encodeModuleBinary(M)))
+///     == printModule(parseModule(printModule(M)))
+///
+/// Layout (all integers LEB128 varints unless noted; strings are a varint
+/// length followed by raw bytes; doubles are 8 raw little-endian bytes):
+///
+///   u32 magic 'CIR2' (little-endian 0x32524943)
+///   module name, function count
+///   per function: name, vreg count, bank bitmap (ceil(n/8) bytes, set bit
+///     = float), block count (0 = external declaration), block names, then
+///     per block: instruction count, instructions, successor count,
+///     successors (block index + probability)
+///   per instruction: opcode u8, def count + def ids, then the same
+///     opcode-directed operand shapes the textual grammar uses
+///
+/// decodeModuleBinary is hardened against hostile bytes the way the text
+/// parser is: every length and index is validated against the buffer and
+/// the declared tables before use, and misplaced terminators are rejected
+/// (the service still runs verifyModule on the result, exactly as it does
+/// for parsed text).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_IR_IRBINARY_H
+#define CCRA_IR_IRBINARY_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccra {
+
+/// Serializes \p M. Returns false (leaving \p Out in an unspecified state)
+/// only when the module cannot be expressed in the interchange grammar at
+/// all — a call whose callee is not a function of this module, or an
+/// instruction operand referencing a register outside the function's table
+/// — the same modules whose printed text fails to reparse.
+bool encodeModuleBinary(const Module &M, std::string &Out,
+                        std::string *Err = nullptr);
+
+/// Deserializes \p Bytes into a fresh Module. On failure returns null and
+/// explains in \p Err. The decoder sizes every table exactly from the
+/// counted layout before filling it, so ingestion is one linear pass with
+/// no re-lexing, no rehashing, and no reallocation churn.
+std::unique_ptr<Module> decodeModuleBinary(const std::string &Bytes,
+                                           std::string *Err = nullptr);
+
+} // namespace ccra
+
+#endif // CCRA_IR_IRBINARY_H

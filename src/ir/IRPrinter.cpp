@@ -3,95 +3,158 @@
 #include "ir/IRPrinter.h"
 
 #include <charconv>
-#include <sstream>
-#include <string_view>
+#include <ostream>
 
 using namespace ccra;
+
+namespace {
+
+// The printer feeds the bit-identity contract (responses, the allocation
+// cache, fuzz reproducers), so every path below appends to a std::string
+// with to_chars — one pass, no ostringstream, no locale — and the stream
+// overloads render through the string form. Output bytes are part of the
+// wire format; changing them invalidates every committed baseline.
+
+void appendUnsigned(std::string &Out, unsigned long long V) {
+  char Buf[24];
+  auto R = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  Out.append(Buf, R.ptr);
+}
+
+void appendInt64(std::string &Out, long long V) {
+  char Buf[24];
+  auto R = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  Out.append(Buf, R.ptr);
+}
+
+void appendVReg(std::string &Out, const Function &F, VirtReg R) {
+  if (!R.isValid()) {
+    Out += "%<invalid>";
+    return;
+  }
+  Out += '%';
+  Out += F.vregBank(R) == RegBank::Int ? 'i' : 'f';
+  appendUnsigned(Out, R.Id);
+}
+
+void appendPhysReg(std::string &Out, PhysReg R) {
+  if (!R.isValid()) {
+    Out += "<noreg>";
+    return;
+  }
+  Out += R.Bank == RegBank::Int ? "r" : "fp";
+  appendUnsigned(Out, R.Index);
+}
+
+} // namespace
 
 const char *ccra::regBankName(RegBank Bank) {
   return Bank == RegBank::Int ? "int" : "float";
 }
 
 std::string ccra::formatVReg(const Function &F, VirtReg R) {
-  if (!R.isValid())
-    return "%<invalid>";
-  const char Prefix = F.vregBank(R) == RegBank::Int ? 'i' : 'f';
-  return std::string("%") + Prefix + std::to_string(R.Id);
+  std::string Out;
+  appendVReg(Out, F, R);
+  return Out;
 }
 
 std::string ccra::formatPhysReg(PhysReg R) {
-  if (!R.isValid())
-    return "<noreg>";
-  return (R.Bank == RegBank::Int ? "r" : "fp") + std::to_string(R.Index);
+  std::string Out;
+  appendPhysReg(Out, R);
+  return Out;
 }
 
-std::string ccra::formatInstruction(const Function &F, const Instruction &I) {
-  std::ostringstream OS;
+void ccra::formatInstruction(const Function &F, const Instruction &I,
+                             std::string &Out) {
   // Defs first: "%i1, %i2 = op ...".
   for (size_t Idx = 0; Idx < I.Defs.size(); ++Idx) {
     if (Idx != 0)
-      OS << ", ";
-    OS << formatVReg(F, I.Defs[Idx]);
+      Out += ", ";
+    appendVReg(Out, F, I.Defs[Idx]);
   }
   if (!I.Defs.empty())
-    OS << " = ";
-  OS << I.info().Name;
+    Out += " = ";
+  Out += I.info().Name;
 
   switch (I.Op) {
   case Opcode::LoadImm:
   case Opcode::FLoadImm:
-    OS << ' ' << I.Imm;
+    Out += ' ';
+    appendInt64(Out, I.Imm);
     break;
   case Opcode::Call:
-    OS << " @" << (I.Callee ? I.Callee->getName() : I.CalleeName) << '(';
+    Out += " @";
+    Out += I.Callee ? I.Callee->getName() : I.CalleeName;
+    Out += '(';
     for (size_t Idx = 0; Idx < I.Uses.size(); ++Idx) {
       if (Idx != 0)
-        OS << ", ";
-      OS << formatVReg(F, I.Uses[Idx]);
+        Out += ", ";
+      appendVReg(Out, F, I.Uses[Idx]);
     }
-    OS << ')';
+    Out += ')';
     break;
   case Opcode::SpillLoad:
-    OS << " slot" << I.SpillSlot;
+    Out += " slot";
+    appendUnsigned(Out, I.SpillSlot);
     break;
   case Opcode::SpillStore:
-    OS << ' ' << formatVReg(F, I.Uses[0]) << ", slot" << I.SpillSlot;
+    Out += ' ';
+    appendVReg(Out, F, I.Uses[0]);
+    Out += ", slot";
+    appendUnsigned(Out, I.SpillSlot);
     break;
   case Opcode::Save:
   case Opcode::Restore:
-    OS << ' ' << formatPhysReg(I.Phys);
+    Out += ' ';
+    appendPhysReg(Out, I.Phys);
     break;
   case Opcode::ShuffleMove:
-    OS << ' ' << formatPhysReg(I.Phys) << ", " << formatPhysReg(I.PhysSrc);
+    Out += ' ';
+    appendPhysReg(Out, I.Phys);
+    Out += ", ";
+    appendPhysReg(Out, I.PhysSrc);
     break;
   default:
     for (size_t Idx = 0; Idx < I.Uses.size(); ++Idx) {
-      OS << (Idx == 0 ? " " : ", ") << formatVReg(F, I.Uses[Idx]);
+      Out += Idx == 0 ? " " : ", ";
+      appendVReg(Out, F, I.Uses[Idx]);
     }
     break;
   }
-  return OS.str();
 }
 
-void ccra::printFunction(const Function &F, std::ostream &OS) {
-  OS << "func @" << F.getName();
+std::string ccra::formatInstruction(const Function &F, const Instruction &I) {
+  std::string Out;
+  formatInstruction(F, I, Out);
+  return Out;
+}
+
+void ccra::printFunction(const Function &F, std::string &Out) {
+  Out += "func @";
+  Out += F.getName();
   if (F.isDeclaration()) {
-    OS << " (external)\n";
+    Out += " (external)\n";
     return;
   }
-  OS << " {\n";
+  Out += " {\n";
   for (const auto &BB : F.blocks()) {
-    OS << BB->getName() << ':';
+    Out += BB->getName();
+    Out += ':';
     if (!BB->predecessors().empty()) {
-      OS << "    ; preds:";
-      for (const BasicBlock *Pred : BB->predecessors())
-        OS << ' ' << Pred->getName();
+      Out += "    ; preds:";
+      for (const BasicBlock *Pred : BB->predecessors()) {
+        Out += ' ';
+        Out += Pred->getName();
+      }
     }
-    OS << '\n';
-    for (const Instruction &I : BB->instructions())
-      OS << "  " << formatInstruction(F, I) << '\n';
+    Out += '\n';
+    for (const Instruction &I : BB->instructions()) {
+      Out += "  ";
+      formatInstruction(F, I, Out);
+      Out += '\n';
+    }
     if (!BB->successors().empty()) {
-      OS << "  ; succs:";
+      Out += "  ; succs:";
       for (const CfgEdge &E : BB->successors()) {
         // Shortest round-trip-exact form: a reparsed module must carry
         // bit-identical probabilities, or flow conservation (exit
@@ -101,20 +164,36 @@ void ccra::printFunction(const Function &F, std::ostream &OS) {
         auto [End, Ec] =
             std::to_chars(Prob, Prob + sizeof(Prob), E.Probability);
         (void)Ec;
-        OS << ' ' << E.Succ->getName() << '('
-           << std::string_view(Prob, static_cast<size_t>(End - Prob))
-           << ')';
+        Out += ' ';
+        Out += E.Succ->getName();
+        Out += '(';
+        Out.append(Prob, End);
+        Out += ')';
       }
-      OS << '\n';
+      Out += '\n';
     }
   }
-  OS << "}\n";
+  Out += "}\n";
+}
+
+void ccra::printModule(const Module &M, std::string &Out) {
+  Out += "module ";
+  Out += M.getName();
+  Out += '\n';
+  for (const auto &F : M.functions()) {
+    printFunction(*F, Out);
+    Out += '\n';
+  }
+}
+
+void ccra::printFunction(const Function &F, std::ostream &OS) {
+  std::string Out;
+  printFunction(F, Out);
+  OS << Out;
 }
 
 void ccra::printModule(const Module &M, std::ostream &OS) {
-  OS << "module " << M.getName() << '\n';
-  for (const auto &F : M.functions()) {
-    printFunction(*F, OS);
-    OS << '\n';
-  }
+  std::string Out;
+  printModule(M, Out);
+  OS << Out;
 }

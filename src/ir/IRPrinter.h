@@ -26,6 +26,15 @@ std::string formatPhysReg(PhysReg R);
 /// Renders one instruction (no trailing newline).
 std::string formatInstruction(const Function &F, const Instruction &I);
 
+/// Append forms: identical bytes, no ostream in the loop. These are the
+/// serving hot path — the daemon prints every allocated function into the
+/// response (and the cache) for each cold request, so the printer budget
+/// is charged against `serve.batch` in the soak, not just dump quality.
+void formatInstruction(const Function &F, const Instruction &I,
+                       std::string &Out);
+void printFunction(const Function &F, std::string &Out);
+void printModule(const Module &M, std::string &Out);
+
 void printFunction(const Function &F, std::ostream &OS);
 void printModule(const Module &M, std::ostream &OS);
 

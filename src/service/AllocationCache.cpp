@@ -20,7 +20,20 @@ std::string ccra::allocationCacheKey(const AllocRequest &R) {
   Key += " mode=";
   Key += R.Mode == FrequencyMode::Static ? "static" : "profile";
   Key += '\n';
-  Key += R.ModuleText;
+  // Both codecs tag the payload section, so crafted text can never alias a
+  // binary entry (lookup runs before parse — without the tag a text
+  // request whose bytes equal "v2\n" + someone's binary payload would
+  // replay that entry's response). A module submitted through both codecs
+  // occupies two entries: keying on the canonical text would mean decoding
+  // + printing the binary before lookup, putting the parse cost the codec
+  // exists to remove back on every request.
+  if (!R.ModuleBinary.empty()) {
+    Key += "wire=v2\n";
+    Key += R.ModuleBinary;
+  } else {
+    Key += "wire=v1\n";
+    Key += R.ModuleText;
+  }
   return Key;
 }
 

@@ -2,6 +2,8 @@
 
 #include "service/Client.h"
 
+#include "service/BinaryCodec.h"
+
 using namespace ccra;
 
 bool ServiceClient::connectUnix(const std::string &Path, std::string *Err) {
@@ -86,8 +88,21 @@ RpcStatus ServiceClient::allocate(const AllocRequest &Request,
                                   ErrorResponse &ServerError,
                                   std::string *Err) {
   Frame Req;
-  Req.Type = FrameType::AllocRequest;
-  Req.Payload = encodeAllocRequest(Request);
+  if (!Request.ModuleBinary.empty()) {
+    // Codec v2 is negotiated, never assumed: a pre-v1.2 server would
+    // reject the frame type as malformed and drop the stream.
+    if (Hello.MaxCodec < 2) {
+      if (Err)
+        *Err = "server does not accept binary modules (codec-max " +
+               std::to_string(Hello.MaxCodec) + ")";
+      return RpcStatus::Transport;
+    }
+    Req.Type = FrameType::AllocRequestV2;
+    Req.Payload = encodeAllocRequestV2(Request);
+  } else {
+    Req.Type = FrameType::AllocRequest;
+    Req.Payload = encodeAllocRequest(Request);
+  }
   Frame In;
   RpcStatus Status = roundTrip(Req, In, ServerError, Err);
   if (Status != RpcStatus::Ok)

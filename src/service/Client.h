@@ -55,6 +55,10 @@ public:
   /// Runs one allocation. On Ok fills \p Out; on Rejected fills
   /// \p ServerError; on Shed \p ServerError.Message carries the server's
   /// retry hint; on Transport \p Err explains and the connection is dead.
+  /// A request with ModuleBinary set goes out as an AllocRequestV2 frame;
+  /// that requires the server's Hello to advertise codec-max >= 2 (check
+  /// hello().MaxCodec before building binary requests — a request against
+  /// an older server fails as Transport without sending anything).
   RpcStatus allocate(const AllocRequest &Request, AllocResponse &Out,
                      ErrorResponse &ServerError, std::string *Err = nullptr);
 

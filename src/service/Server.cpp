@@ -3,24 +3,23 @@
 #include "service/Server.h"
 
 #include "harness/Batch.h"
+#include "ir/IRBinary.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
+#include "service/BinaryCodec.h"
 #include "support/BuildInfo.h"
 #include "support/Hash.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
-#include <sstream>
-
-#include <sys/socket.h>
 
 using namespace ccra;
 
 namespace {
 
-/// How often parked server threads re-check the drain flag. Short enough
+/// How often parked batch formers re-check the drain flag. Short enough
 /// that SIGTERM drains promptly, long enough to stay off the profiles.
 constexpr int PollIntervalMs = 100;
 /// Total budget for reading the rest of a frame once its first byte
@@ -35,10 +34,18 @@ Frame errorFrame(const std::string &Code, const std::string &Message) {
   return F;
 }
 
+FrameDisposition reply(Frame F) {
+  return {FrameAction::Reply, std::move(F)};
+}
+
 } // namespace
 
 AllocationServer::AllocationServer(ServerConfig Config, ServerTestHooks Hooks)
     : Config(std::move(Config)), Hooks(std::move(Hooks)),
+      Loop(EventLoopConfig{this->Config.MaxPayloadBytes,
+                           this->Config.WriteTimeoutMs, FrameReadTimeoutMs,
+                           PollIntervalMs},
+           &Telem),
       Cache(this->Config.CacheBytes) {}
 
 AllocationServer::~AllocationServer() {
@@ -52,6 +59,7 @@ bool AllocationServer::start(std::string *Err) {
       *Err = "server already started";
     return false;
   }
+  ListenSocket Listener;
   if (!Config.UnixPath.empty())
     Listener = ListenSocket::listenUnix(Config.UnixPath, Config.AcceptBacklog,
                                         Err);
@@ -60,6 +68,7 @@ bool AllocationServer::start(std::string *Err) {
                                        Err);
   if (!Listener.valid())
     return false;
+  BoundPort = Listener.boundPort();
 
   unsigned NumShards = std::max(1u, Config.Shards);
   PerShardCapacity = std::max(1u, Config.QueueCapacity / NumShards);
@@ -76,8 +85,24 @@ bool AllocationServer::start(std::string *Err) {
     Shards.push_back(std::move(S));
   }
 
+  if (!Loop.start(
+          std::move(Listener), helloFrame(),
+          [this](std::uint64_t ConnId, Frame &In) {
+            return handleFrame(ConnId, In);
+          },
+          [this] {
+            // Runs on the loop thread after drain processing: every
+            // enqueue also runs there, so once this flag is visible the
+            // queues can only shrink.
+            AdmissionsClosed.store(true);
+            notifyAllShards();
+          },
+          Err)) {
+    Shards.clear();
+    return false;
+  }
+
   Started.store(true);
-  AcceptThread = std::thread([this] { acceptLoop(); });
   for (auto &S : Shards)
     S->Batcher = std::thread([this, SP = S.get()] { batcherLoop(*SP); });
   return true;
@@ -92,42 +117,18 @@ void AllocationServer::notifyAllShards() {
 
 void AllocationServer::requestDrain() {
   Draining.store(true);
+  Loop.requestDrain();
   notifyAllShards();
-  // Wake connection threads parked in a mid-frame read: without this a
-  // peer that sent a torn header and went silent pins its thread for the
-  // full frame-read budget and drain waits it out. Read side only —
-  // responses for already-admitted requests still flush.
-  {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    for (const auto &Entry : ConnFds)
-      ::shutdown(Entry.second, SHUT_RD);
-  }
 }
 
 void AllocationServer::wait() {
-  if (AcceptThread.joinable())
-    AcceptThread.join();
-  // No new connection threads can appear once the accept loop is gone.
-  std::vector<std::thread> Conns;
-  {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    for (auto &Entry : ConnThreads)
-      Conns.push_back(std::move(Entry.second));
-    ConnThreads.clear();
-    FinishedConns.clear();
-  }
-  for (std::thread &T : Conns)
-    if (T.joinable())
-      T.join();
+  Loop.wait();
   for (auto &S : Shards)
     if (S->Batcher.joinable())
       S->Batcher.join();
-  Listener.close();
   for (auto &S : Shards)
     S->Pool.reset();
 }
-
-int AllocationServer::boundPort() const { return Listener.boundPort(); }
 
 TelemetrySnapshot AllocationServer::stats() const {
   TelemetrySnapshot S = Telem.snapshot();
@@ -152,6 +153,8 @@ TelemetrySnapshot AllocationServer::stats() const {
     }
   }
   S.Counters["serve.queue_depth"] = static_cast<double>(TotalDepth);
+  S.Counters[telemetry::ServeOpenConnections] =
+      static_cast<double>(Loop.openConnections());
   S.Counters[telemetry::ShardCount] = static_cast<double>(Shards.size());
   S.Counters[telemetry::SchedPoolBatches] =
       static_cast<double>(PoolTotal.Batches);
@@ -177,224 +180,130 @@ Frame AllocationServer::helloFrame() const {
   H.MaxBatch = Config.MaxBatch;
   H.ProtocolMinor = WireMinorVersion;
   H.CacheEnabled = Cache.enabled();
-  H.Shards = static_cast<unsigned>(Shards.size());
+  H.Shards = std::max(1u, Config.Shards);
+  H.MaxCodec = WireMaxCodec;
   Frame F;
   F.Type = FrameType::Hello;
   F.Payload = encodeHello(H);
   return F;
 }
 
-void AllocationServer::reapFinishedConns() {
-  std::vector<std::thread> Done;
-  {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    for (std::uint64_t Id : FinishedConns) {
-      auto It = ConnThreads.find(Id);
-      if (It != ConnThreads.end()) {
-        Done.push_back(std::move(It->second));
-        ConnThreads.erase(It);
-      }
-    }
-    FinishedConns.clear();
-  }
-  // Joins happen outside ConnMutex: the finishing thread's last act is to
-  // push its id under the same mutex, and join() only waits for the final
-  // return after that.
-  for (std::thread &T : Done)
-    if (T.joinable())
-      T.join();
-}
-
-void AllocationServer::acceptLoop() {
-  while (!Draining.load()) {
-    reapFinishedConns();
-    IoStatus Status = IoStatus::Error;
-    Socket Conn = Listener.accept(PollIntervalMs, Status);
-    if (Status == IoStatus::Timeout)
-      continue;
-    if (Status != IoStatus::Ok)
-      break; // listener closed or broken; drain handles the rest
-    Telem.addCount(telemetry::ServeConnections);
-    ActiveConnections.fetch_add(1);
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    std::uint64_t Id = NextConnId++;
-    ConnFds.emplace(Id, Conn.fd());
-    ConnThreads.emplace(Id, std::thread([this, Id, C = std::move(Conn)]() mutable {
-      connectionLoop(Id, std::move(C));
-      std::lock_guard<std::mutex> FinLock(ConnMutex);
-      FinishedConns.push_back(Id);
-    }));
-  }
-  // Drain may have raced past connections admitted in this loop's final
-  // iterations; re-run the read-side shutdown now that the set is final.
-  if (Draining.load()) {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    for (const auto &Entry : ConnFds)
-      ::shutdown(Entry.second, SHUT_RD);
-  }
-  // Refuse connections the moment drain starts: close (and for Unix
-  // sockets unlink) the listener so clients see ECONNREFUSED/ENOENT
-  // instead of hanging in a never-accepted backlog.
-  Listener.close();
-}
-
-void AllocationServer::connectionLoop(std::uint64_t Id, Socket Conn) {
+FrameDisposition AllocationServer::handleFrame(std::uint64_t ConnId,
+                                               Frame &In) {
   std::string Err;
-  bool HelloOk =
-      writeFrame(Conn, helloFrame(), Config.WriteTimeoutMs) == IoStatus::Ok;
+  if (In.Type == FrameType::StatsRequest) {
+    Telem.addCount(telemetry::ServeStatsRequests);
+    Frame Out;
+    Out.Type = FrameType::StatsResponse;
+    Out.Payload = stats().toJson();
+    return reply(std::move(Out));
+  }
+  if (In.Type != FrameType::AllocRequest &&
+      In.Type != FrameType::AllocRequestV2) {
+    // Well-formed frame of a kind only servers send; protocol misuse, but
+    // the stream is intact, so answer and keep the connection.
+    return reply(errorFrame("malformed", "unexpected frame type"));
+  }
 
-  while (HelloOk) {
-    Frame In;
-    FrameReadStatus RS = readFrame(Conn, In, Config.MaxPayloadBytes,
-                                   PollIntervalMs, FrameReadTimeoutMs, &Err);
-    if (RS == FrameReadStatus::Idle) {
-      if (Draining.load())
-        break;
-      continue;
-    }
-    if (RS == FrameReadStatus::Eof)
-      break;
-    if (RS == FrameReadStatus::Malformed || RS == FrameReadStatus::TooLarge) {
-      // Torn frame, garbage magic, checksum mismatch, or an oversized
-      // declaration: answer if the pipe still works, then drop the
-      // connection — the stream cannot be resynchronized.
-      Telem.addCount(telemetry::ServeMalformed);
-      const char *Code =
-          RS == FrameReadStatus::TooLarge ? "too-large" : "malformed";
-      writeFrame(Conn, errorFrame(Code, Err), Config.WriteTimeoutMs);
-      break;
-    }
-    if (RS != FrameReadStatus::Ok)
-      break; // Timeout mid-frame or I/O error: stream unusable
+  Telem.addCount(telemetry::ServeRequests);
+  auto Pending = std::make_unique<PendingRequest>();
+  Pending->Arrival = std::chrono::steady_clock::now();
+  Pending->ConnId = ConnId;
+  bool ParseOk =
+      In.Type == FrameType::AllocRequestV2
+          ? parseAllocRequestV2(In.Payload, Pending->Request, &Err)
+          : parseAllocRequest(In.Payload, Pending->Request, &Err);
+  if (!ParseOk) {
+    Telem.addCount(telemetry::ServeMalformed);
+    return reply(errorFrame("malformed", Err));
+  }
 
-    if (In.Type == FrameType::StatsRequest) {
-      Telem.addCount(telemetry::ServeStatsRequests);
+  if (Draining.load()) {
+    Telem.addCount(telemetry::ServeDraining);
+    return {FrameAction::ReplyClose,
+            errorFrame("draining", "server is shutting down")};
+  }
+
+  // Cache front: a hit replays the stored response byte-identically and
+  // skips parse, IR verification, queueing, and the engine entirely. Safe
+  // before verification — an entry only exists because the same
+  // byte-identical request once parsed, verified, and allocated.
+  if (Cache.enabled()) {
+    Pending->CacheKey = allocationCacheKey(Pending->Request);
+    AllocResponse Cached;
+    if (Cache.lookup(Pending->CacheKey, Cached)) {
+      Telem.addCount(telemetry::ServeResponsesOk);
       Frame Out;
-      Out.Type = FrameType::StatsResponse;
-      Out.Payload = stats().toJson();
-      if (writeFrame(Conn, Out, Config.WriteTimeoutMs) != IoStatus::Ok)
-        break;
-      continue;
-    }
-    if (In.Type != FrameType::AllocRequest) {
-      // Well-formed frame of a kind only servers send; protocol misuse,
-      // but the stream is intact, so answer and keep the connection.
-      if (writeFrame(Conn, errorFrame("malformed", "unexpected frame type"),
-                     Config.WriteTimeoutMs) != IoStatus::Ok)
-        break;
-      continue;
-    }
-
-    Telem.addCount(telemetry::ServeRequests);
-    auto Pending = std::make_unique<PendingRequest>();
-    Pending->Arrival = std::chrono::steady_clock::now();
-    if (!parseAllocRequest(In.Payload, Pending->Request, &Err)) {
-      Telem.addCount(telemetry::ServeMalformed);
-      if (writeFrame(Conn, errorFrame("malformed", Err),
-                     Config.WriteTimeoutMs) != IoStatus::Ok)
-        break;
-      continue;
-    }
-
-    if (Draining.load()) {
-      Telem.addCount(telemetry::ServeDraining);
-      writeFrame(Conn, errorFrame("draining", "server is shutting down"),
-                 Config.WriteTimeoutMs);
-      break;
-    }
-
-    // Cache front: a hit replays the stored response byte-identically and
-    // skips parse, IR verification, queueing, and the engine entirely.
-    // Safe before verification — an entry only exists because the same
-    // byte-identical request text once parsed, verified, and allocated.
-    if (Cache.enabled()) {
-      Pending->CacheKey = allocationCacheKey(Pending->Request);
-      AllocResponse Cached;
-      if (Cache.lookup(Pending->CacheKey, Cached)) {
-        Telem.addCount(telemetry::ServeResponsesOk);
-        Frame Out;
-        Out.Type = FrameType::AllocResponse;
-        Out.Payload = encodeAllocResponse(Cached);
-        IoStatus WS = writeFrame(Conn, Out, Config.WriteTimeoutMs);
-        if (WS != IoStatus::Ok) {
-          if (WS == IoStatus::Timeout)
-            Telem.addCount(telemetry::ServeWriteTimeouts);
-          break;
-        }
-        continue;
-      }
-    }
-
-    {
-      ParseResult PR = parseModule(Pending->Request.ModuleText);
-      std::vector<std::string> VerifyErrors;
-      if (!PR.ok() || !verifyModule(*PR.M, &VerifyErrors)) {
-        Telem.addCount(telemetry::ServeMalformed);
-        std::string Detail;
-        for (const std::string &E : PR.ok() ? VerifyErrors : PR.Errors)
-          Detail += E + "\n";
-        if (writeFrame(Conn, errorFrame("malformed", "bad module:\n" + Detail),
-                       Config.WriteTimeoutMs) != IoStatus::Ok)
-          break;
-        continue;
-      }
-      Pending->M = std::move(PR.M);
-    }
-
-    // Consistent-hash dispatch on the module text alone (not the full
-    // cache key): every configuration of a hot module lands on the same
-    // shard, whose warm pool just allocated it.
-    Shard &Sh = *Shards[Ring.shardFor(fnv1a64(Pending->Request.ModuleText))];
-    Sh.Dispatched.fetch_add(1, std::memory_order_relaxed);
-
-    // Admission control: bounded per-shard queue, explicit SHED on
-    // overflow.
-    std::future<Frame> Response;
-    bool Shed = false;
-    {
-      std::lock_guard<std::mutex> Lock(Sh.QueueMutex);
-      Shed = Sh.Queue.size() >= PerShardCapacity ||
-             (Hooks.ForceQueueOverflow && Hooks.ForceQueueOverflow());
-      if (!Shed) {
-        Response = Pending->Response.get_future();
-        Sh.Queue.push_back(std::move(Pending));
-        Telem.noteMax(telemetry::ServePeakQueue,
-                      static_cast<double>(Sh.Queue.size()));
-      }
-    }
-    if (Shed) {
-      Telem.addCount(telemetry::ServeShed);
-      Frame Out;
-      Out.Type = FrameType::Shed;
-      Out.Payload = "queue full (capacity " +
-                    std::to_string(PerShardCapacity) + "); retry later";
-      if (writeFrame(Conn, Out, Config.WriteTimeoutMs) != IoStatus::Ok)
-        break;
-      continue;
-    }
-    Sh.QueueReady.notify_all();
-
-    // The batch former always fulfills the promise: this connection counts
-    // as active until it returns, and each batcher only exits once its
-    // queue is empty and every connection is gone.
-    Frame Out = Response.get();
-    IoStatus WS = writeFrame(Conn, Out, Config.WriteTimeoutMs);
-    if (WS != IoStatus::Ok) {
-      if (WS == IoStatus::Timeout)
-        Telem.addCount(telemetry::ServeWriteTimeouts);
-      break;
+      Out.Type = FrameType::AllocResponse;
+      Out.Payload = encodeAllocResponse(Cached);
+      return reply(std::move(Out));
     }
   }
 
+  if (In.Type == FrameType::AllocRequestV2) {
+    // Binary modules decode straight into IR — the whole point of the
+    // codec is that a cache miss costs a bounds-checked byte walk, not a
+    // text parse. The verifier still runs: decode guarantees structural
+    // sanity, not semantic admissibility.
+    Pending->M = decodeModuleBinary(Pending->Request.ModuleBinary, &Err);
+    std::vector<std::string> VerifyErrors;
+    if (Pending->M && !verifyModule(*Pending->M, &VerifyErrors)) {
+      for (const std::string &E : VerifyErrors)
+        Err += E + "\n";
+      Pending->M.reset();
+    }
+    if (!Pending->M) {
+      Telem.addCount(telemetry::ServeMalformed);
+      return reply(errorFrame("malformed", "bad module:\n" + Err));
+    }
+  } else {
+    ParseResult PR = parseModule(Pending->Request.ModuleText);
+    std::vector<std::string> VerifyErrors;
+    if (!PR.ok() || !verifyModule(*PR.M, &VerifyErrors)) {
+      Telem.addCount(telemetry::ServeMalformed);
+      std::string Detail;
+      for (const std::string &E : PR.ok() ? VerifyErrors : PR.Errors)
+        Detail += E + "\n";
+      return reply(errorFrame("malformed", "bad module:\n" + Detail));
+    }
+    Pending->M = std::move(PR.M);
+  }
+
+  // Consistent-hash dispatch on the module bytes alone (not the full
+  // cache key): every configuration of a hot module lands on the same
+  // shard, whose warm pool just allocated it.
+  const std::string &ShardKey = Pending->Request.ModuleBinary.empty()
+                                    ? Pending->Request.ModuleText
+                                    : Pending->Request.ModuleBinary;
+  Shard &Sh = *Shards[Ring.shardFor(fnv1a64(ShardKey))];
+  Sh.Dispatched.fetch_add(1, std::memory_order_relaxed);
+
+  // Admission control: bounded per-shard queue, explicit SHED on overflow.
+  bool Shed = false;
   {
-    // Deregister before closing, under the same mutex drain's shutdown
-    // sweep holds, so drain never shuts down a recycled fd number.
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    ConnFds.erase(Id);
-    Conn.close();
+    std::lock_guard<std::mutex> Lock(Sh.QueueMutex);
+    Shed = Sh.Queue.size() >= PerShardCapacity ||
+           (Hooks.ForceQueueOverflow && Hooks.ForceQueueOverflow());
+    if (!Shed) {
+      Sh.Queue.push_back(std::move(Pending));
+      Telem.noteMax(telemetry::ServePeakQueue,
+                    static_cast<double>(Sh.Queue.size()));
+    }
   }
-  ActiveConnections.fetch_sub(1);
-  notifyAllShards(); // batchers may be waiting on the exit condition
+  if (Shed) {
+    Telem.addCount(telemetry::ServeShed);
+    Frame Out;
+    Out.Type = FrameType::Shed;
+    Out.Payload = "queue full (capacity " +
+                  std::to_string(PerShardCapacity) + "); retry later";
+    return reply(std::move(Out));
+  }
+  Sh.QueueReady.notify_all();
+
+  // The batch former always answers every queued item, so an InFlight
+  // connection is never stranded: the response arrives via postResponse
+  // and the loop resumes (or, during drain, closes) the connection.
+  return {FrameAction::InFlight, Frame()};
 }
 
 void AllocationServer::batcherLoop(Shard &S) {
@@ -406,7 +315,10 @@ void AllocationServer::batcherLoop(Shard &S) {
           Lock, std::chrono::milliseconds(PollIntervalMs),
           [&] { return !S.Queue.empty() || Draining.load(); });
       if (S.Queue.empty()) {
-        if (Draining.load() && ActiveConnections.load() == 0)
+        // AdmissionsClosed is set on the loop thread after its drain
+        // processing, and every enqueue happens on that same thread —
+        // so empty-after-closed is a stable exit, not a race window.
+        if (Draining.load() && AdmissionsClosed.load())
           return;
         continue;
       }
@@ -437,15 +349,17 @@ void AllocationServer::runBatch(
     if (P->Request.DeadlineMs > 0 &&
         Now - P->Arrival >= std::chrono::milliseconds(P->Request.DeadlineMs)) {
       Telem.addCount(telemetry::ServeDeadlineMissed);
-      P->Response.set_value(errorFrame(
-          "deadline", "request expired after " +
-                          std::to_string(P->Request.DeadlineMs) +
-                          " ms in queue"));
+      Loop.postResponse(P->ConnId,
+                        errorFrame("deadline",
+                                   "request expired after " +
+                                       std::to_string(P->Request.DeadlineMs) +
+                                       " ms in queue"));
       continue;
     }
     if (Hooks.FailRequest && Hooks.FailRequest(P->Request)) {
       Telem.addCount(telemetry::ServeWorkerFaults);
-      P->Response.set_value(
+      Loop.postResponse(
+          P->ConnId,
           errorFrame("fault", "worker failed while allocating this request"));
       continue;
     }
@@ -468,10 +382,10 @@ void AllocationServer::runBatch(
 
   // Per-item completion: build the response from per-function IR slices
   // (the exact pieces the cache stores, so a later hit reassembles
-  // byte-identical output), publish it to the cache, and fulfill the
-  // promise — the client's connection thread starts writing while the
-  // rest of the batch is still allocating. Runs on pool worker threads;
-  // Telem and Cache are internally locked, Answered entries are disjoint.
+  // byte-identical output), publish it to the cache, and post it to the
+  // event loop — which starts writing while the rest of the batch is
+  // still allocating. Runs on pool worker threads; Telem, Cache, and
+  // postResponse are internally locked, Answered entries are disjoint.
   std::vector<char> Answered(Runnable.size(), 0);
   auto Publish = [&](std::size_t I, AllocationBatchResult &R) {
     PendingRequest *P = Runnable[I];
@@ -479,31 +393,34 @@ void AllocationServer::runBatch(
     Resp.Totals = R.Result.Totals;
     std::string IrHeader = "module " + P->M->getName() + "\n";
     std::vector<AllocationCache::FunctionRecord> Records;
-    Records.reserve(P->M->functions().size());
-    for (const auto &F : P->M->functions()) {
-      AllocationCache::FunctionRecord Rec;
-      std::ostringstream FnIr;
-      printFunction(*F, FnIr);
-      FnIr << '\n';
-      Rec.Ir = FnIr.str();
-      if (!F->isDeclaration()) {
-        auto It = R.Result.PerFunction.find(F.get());
-        if (It != R.Result.PerFunction.end()) {
-          const FunctionAllocation &FA = It->second;
-          Rec.HasSummary = true;
-          Rec.Summary = {F->getName(),       FA.Costs,
-                         FA.Rounds,          FA.SpilledRanges,
-                         FA.VoluntarySpills, FA.CoalescedMoves,
-                         FA.CalleeRegsPaid};
-          Resp.Functions.push_back(Rec.Summary);
+    {
+      Telemetry::ScopedTimer Render(&Telem, telemetry::ServeRenderPhase);
+      Records.reserve(P->M->functions().size());
+      std::size_t IrBytes = IrHeader.size();
+      for (const auto &F : P->M->functions()) {
+        AllocationCache::FunctionRecord Rec;
+        printFunction(*F, Rec.Ir);
+        Rec.Ir += '\n';
+        IrBytes += Rec.Ir.size();
+        if (!F->isDeclaration()) {
+          auto It = R.Result.PerFunction.find(F.get());
+          if (It != R.Result.PerFunction.end()) {
+            const FunctionAllocation &FA = It->second;
+            Rec.HasSummary = true;
+            Rec.Summary = {F->getName(),       FA.Costs,
+                           FA.Rounds,          FA.SpilledRanges,
+                           FA.VoluntarySpills, FA.CoalescedMoves,
+                           FA.CalleeRegsPaid};
+            Resp.Functions.push_back(Rec.Summary);
+          }
         }
+        Records.push_back(std::move(Rec));
       }
-      Records.push_back(std::move(Rec));
+      Resp.AllocatedIr.reserve(IrBytes);
+      Resp.AllocatedIr = IrHeader;
+      for (const AllocationCache::FunctionRecord &Rec : Records)
+        Resp.AllocatedIr += Rec.Ir;
     }
-    Resp.Telemetry = R.Telemetry;
-    Resp.AllocatedIr = IrHeader;
-    for (const AllocationCache::FunctionRecord &Rec : Records)
-      Resp.AllocatedIr += Rec.Ir;
 
     if (!P->CacheKey.empty())
       Cache.insert(P->CacheKey, IrHeader, Resp.Totals, R.Telemetry,
@@ -511,10 +428,20 @@ void AllocationServer::runBatch(
 
     Telem.merge(R.Telemetry);
     Telem.addCount(telemetry::ServeResponsesOk);
+    // Last consumer of the item's telemetry: move it into the response
+    // instead of copying the ~50-entry maps a third time.
+    Resp.Telemetry = std::move(R.Telemetry);
     Frame Out;
     Out.Type = FrameType::AllocResponse;
-    Out.Payload = encodeAllocResponse(Resp);
-    P->Response.set_value(std::move(Out));
+    {
+      Telemetry::ScopedTimer Encode(&Telem, telemetry::ServeEncodePhase);
+      Out.Payload = encodeAllocResponse(Resp);
+    }
+    // Deferred: the batch rings the loop once after the last item. Ringing
+    // per item makes the loop thread runnable at every write(2), and on a
+    // single-core host the kernel preempts this worker for a scheduling
+    // round trip per response.
+    Loop.postResponseDeferred(P->ConnId, std::move(Out));
     Answered[I] = 1;
   };
 
@@ -528,6 +455,8 @@ void AllocationServer::runBatch(
     // run normally.
     for (std::size_t I = 0; I < Runnable.size(); ++I)
       if (!Answered[I])
-        Runnable[I]->Response.set_value(errorFrame("internal", E.what()));
+        Loop.postResponse(Runnable[I]->ConnId,
+                          errorFrame("internal", E.what()));
   }
+  Loop.flushPosted();
 }

@@ -8,24 +8,36 @@
 ///
 /// Architecture (one box per thread kind):
 ///
-///   accept loop ──> connection threads ──> content-addressed cache
-///                      │     ▲               │hit          │miss
-///                      │     └── responses ◄─┘   consistent-hash ring
-///                      │                              │
-///                      │                    shard 0 .. shard N-1, each:
-///                      └─ SHED / errors       bounded queue
-///                         written directly    batch former thread
-///                                             runAllocationBatch over a
-///                                             private thread pool
+///   event loop (ONE thread, epoll) ──> content-addressed cache
+///     accepts, reassembles frames,       │hit          │miss
+///     parses, admits ◄── responses ◄─────┘   consistent-hash ring
+///     SHED / errors written in line              │
+///                                     shard 0 .. shard N-1, each:
+///                                       bounded queue
+///                                       batch former thread
+///                                       runAllocationBatch over a
+///                                       private thread pool
 ///
+/// - **Connections.** service/EventLoop.h multiplexes every client over
+///   one epoll thread: connection count is decoupled from thread count,
+///   so ten thousand mostly-idle connections cost table entries, not
+///   stacks (the C10k soak in bench/perf_service.cpp holds exactly that).
+///   Frame reassembly, write buffering, and both deadline classes (the
+///   mid-frame budget and the slow-client write budget) live there.
+/// - **Admission.** The loop's frame handler parses requests (textual v1
+///   or binary v2; service/BinaryCodec.h), consults the cache, and either
+///   answers in line (hit, malformed, SHED, draining) or enqueues and
+///   marks the connection in-flight. Parse and IR verification happen on
+///   the loop thread so the queues only ever hold admissible work — the
+///   binary codec exists to keep that stage cheap (no text parse; the
+///   module stays encoded until a cache miss proves decoding necessary).
 /// - **Caching.** Allocation is deterministic (the oracle lattice proves
 ///   bit-identity across every engine configuration), so each response is
-///   a pure function of (module text, canonical options, config, mode).
-///   The connection thread hashes that tuple and serves repeat requests
-///   straight from the AllocationCache — no parse, no IR verify, no
-///   engine run, byte-identical to a cold allocation.
+///   a pure function of (module bytes, canonical options, config, mode).
+///   Repeat requests are served straight from the AllocationCache — no
+///   parse, no IR verify, no engine run, byte-identical to a cold run.
 /// - **Sharding.** Cold requests dispatch to one of Config.Shards worker
-///   shards through a consistent-hash ring over the module-text hash, so
+///   shards through a consistent-hash ring over the module-bytes hash, so
 ///   a hot module keeps hitting the same warm shard while distinct
 ///   modules spread across cores. Shards live in this process: see
 ///   DESIGN.md ("Threads, not processes") — each owns a PRIVATE thread
@@ -42,12 +54,13 @@
 /// - **Deadlines.** A request may carry `deadline-ms`; if it is still
 ///   queued when the deadline expires it is answered with an Error frame
 ///   ("deadline") instead of occupying the engine.
-/// - **Slow clients.** Every response write carries a timeout; a client
-///   that stops reading loses its connection, never a server thread.
 /// - **Graceful degradation / drain.** requestDrain() (the daemon wires
-///   SIGTERM to it) stops accepting connections and new requests, lets
-///   queued and in-flight work finish, flushes those responses, then
-///   closes everything; wait() returns once the server is fully quiesced.
+///   SIGTERM to it) stops accepting, drops connections owed nothing,
+///   finishes in-flight work, flushes those responses, then closes
+///   everything; wait() returns once the server is fully quiesced.
+///   Batchers exit once the loop confirms admissions are closed and their
+///   queues are empty — all enqueues happen on the loop thread, so that
+///   confirmation is a simple happens-before, not a count of connections.
 ///
 /// A STATS request returns the server-wide telemetry: "serve."
 /// operational counters, the "cache." and "shard." namespaces of the
@@ -62,6 +75,7 @@
 #define CCRA_SERVICE_SERVER_H
 
 #include "service/AllocationCache.h"
+#include "service/EventLoop.h"
 #include "service/Sharding.h"
 #include "service/WireProtocol.h"
 #include "support/Telemetry.h"
@@ -72,13 +86,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <future>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 namespace ccra {
@@ -127,8 +138,8 @@ public:
   AllocationServer(const AllocationServer &) = delete;
   AllocationServer &operator=(const AllocationServer &) = delete;
 
-  /// Binds the transport and starts the accept, connection, and batcher
-  /// threads. Returns false with a diagnostic on bind failure.
+  /// Binds the transport and starts the event loop and batcher threads.
+  /// Returns false with a diagnostic on bind failure.
   bool start(std::string *Err);
 
   /// Begins graceful drain (idempotent, any thread, including after
@@ -143,7 +154,7 @@ public:
   bool draining() const { return Draining.load(); }
 
   /// TCP only: the port actually bound (for TcpPort = 0).
-  int boundPort() const;
+  int boundPort() const { return BoundPort; }
 
   /// Server-wide telemetry: "serve." counters, the "cache." / "shard."
   /// namespaces, and merged engine telemetry. What a STATS request
@@ -153,15 +164,17 @@ public:
 private:
   struct PendingRequest {
     AllocRequest Request;
-    /// Parsed + IR-verified in the connection thread, so the queue only
-    /// ever holds admissible work and malformed modules are rejected
-    /// without occupying the batch former.
+    /// Parsed + IR-verified on the loop thread, so the queue only ever
+    /// holds admissible work and malformed modules are rejected without
+    /// occupying the batch former.
     std::unique_ptr<Module> M;
     /// allocationCacheKey of the request; empty when the cache is off.
-    /// Computed once in the connection thread, reused for the publish.
+    /// Computed once at admission, reused for the publish.
     std::string CacheKey;
     std::chrono::steady_clock::time_point Arrival;
-    std::promise<Frame> Response;
+    /// The event-loop connection awaiting this response; the batch former
+    /// answers with Loop.postResponse(ConnId, ...).
+    std::uint64_t ConnId = 0;
   };
 
   /// One worker shard: a bounded queue, a batch former, and a PRIVATE
@@ -176,52 +189,34 @@ private:
     std::atomic<std::uint64_t> Dispatched{0};
   };
 
-  void acceptLoop();
-  void connectionLoop(std::uint64_t Id, Socket Conn);
-  /// Joins connection threads whose loop has returned. Called from the
-  /// accept loop every iteration so a long-lived daemon under connection
-  /// churn holds handles only for live connections, never one per
-  /// connection ever served.
-  void reapFinishedConns();
+  /// The event loop's frame handler: everything between a reassembled
+  /// frame and a queued PendingRequest (runs on the loop thread).
+  FrameDisposition handleFrame(std::uint64_t ConnId, Frame &In);
   void batcherLoop(Shard &S);
-  /// Forms one batch from \p Taken and fulfills every promise (per item,
-  /// as each finishes), publishing successful results to the cache.
+  /// Forms one batch from \p Taken and answers every item (per item, as
+  /// each finishes), publishing successful results to the cache.
   void runBatch(Shard &S, std::vector<std::unique_ptr<PendingRequest>> Taken);
   Frame helloFrame() const;
-  /// Wakes every shard's batcher (drain and connection-exit signals).
+  /// Wakes every shard's batcher (drain signal).
   void notifyAllShards();
 
   ServerConfig Config;
   ServerTestHooks Hooks;
   Telemetry Telem;
 
-  ListenSocket Listener;
+  EventLoop Loop;
   std::vector<std::unique_ptr<Shard>> Shards;
   ConsistentHashRing Ring;
   AllocationCache Cache;
   unsigned PerShardCapacity = 0;
+  int BoundPort = -1;
 
   std::atomic<bool> Started{false};
   std::atomic<bool> Draining{false};
-
-  std::thread AcceptThread;
-
-  mutable std::mutex ConnMutex;
-  /// Live connection threads by id; finished ones are reaped by the accept
-  /// loop, stragglers joined in wait().
-  std::unordered_map<std::uint64_t, std::thread> ConnThreads;
-  /// Raw fds of live connections, so requestDrain() can shutdown(SHUT_RD)
-  /// each one: a peer parked mid-frame (torn header, stalled stream) would
-  /// otherwise hold drain hostage for the full frame-read budget. Writes
-  /// stay open so in-flight responses still flush. Entries are erased
-  /// (under ConnMutex, before the fd is closed) by the owning connection
-  /// thread, so drain never touches a reused fd.
-  std::unordered_map<std::uint64_t, int> ConnFds;
-  std::vector<std::uint64_t> FinishedConns; ///< ids ready to join
-  std::uint64_t NextConnId = 0;             ///< guarded by ConnMutex
-  /// Batchers exit only once this reaches zero during drain; connection
-  /// threads notify every shard on exit (see notifyAllShards).
-  std::atomic<unsigned> ActiveConnections{0};
+  /// Set on the loop thread once drain processing is done — after which
+  /// no enqueue can ever happen again (they all run on that thread).
+  /// Batchers exit when this is set and their queue is empty.
+  std::atomic<bool> AdmissionsClosed{false};
 };
 
 } // namespace ccra

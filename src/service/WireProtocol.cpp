@@ -34,7 +34,7 @@ std::uint32_t getU32(const unsigned char *P) {
 
 bool validFrameType(std::uint16_t T) {
   return T >= static_cast<std::uint16_t>(FrameType::Hello) &&
-         T <= static_cast<std::uint16_t>(FrameType::Shed);
+         T <= static_cast<std::uint16_t>(FrameType::AllocRequestV2);
 }
 
 /// Walks a line-oriented payload. Lines end in '\n' (a missing final
@@ -126,6 +126,36 @@ void ccra::encodeFrame(const Frame &F, std::string &Out) {
   Out += F.Payload;
 }
 
+FrameReadStatus ccra::decodeFrameHeader(const unsigned char *Bytes,
+                                        std::size_t MaxPayload,
+                                        FrameHeader &Out, std::string *Err) {
+  if (getU32(Bytes) != WireMagic) {
+    if (Err)
+      *Err = "bad frame magic";
+    return FrameReadStatus::Malformed;
+  }
+  if (getU16(Bytes + 4) != WireVersion) {
+    if (Err)
+      *Err = "unsupported protocol version";
+    return FrameReadStatus::Malformed;
+  }
+  std::uint16_t Type = getU16(Bytes + 6);
+  if (!validFrameType(Type)) {
+    if (Err)
+      *Err = "unknown frame type";
+    return FrameReadStatus::Malformed;
+  }
+  Out.Type = static_cast<FrameType>(Type);
+  Out.Length = getU32(Bytes + 8);
+  Out.Checksum = getU32(Bytes + 12);
+  if (Out.Length > MaxPayload) {
+    if (Err)
+      *Err = "frame payload over limit";
+    return FrameReadStatus::TooLarge;
+  }
+  return FrameReadStatus::Ok;
+}
+
 FrameReadStatus ccra::readFrame(Socket &S, Frame &Out, std::size_t MaxPayload,
                                 int IdleTimeoutMs, int FrameTimeoutMs,
                                 std::string *Err) {
@@ -148,34 +178,15 @@ FrameReadStatus ccra::readFrame(Socket &S, Frame &Out, std::size_t MaxPayload,
   if (St != IoStatus::Ok)
     return FrameReadStatus::IoError;
 
-  if (getU32(Header) != WireMagic) {
-    if (Err)
-      *Err = "bad frame magic";
-    return FrameReadStatus::Malformed;
-  }
-  if (getU16(Header + 4) != WireVersion) {
-    if (Err)
-      *Err = "unsupported protocol version";
-    return FrameReadStatus::Malformed;
-  }
-  std::uint16_t Type = getU16(Header + 6);
-  if (!validFrameType(Type)) {
-    if (Err)
-      *Err = "unknown frame type";
-    return FrameReadStatus::Malformed;
-  }
-  std::uint32_t Length = getU32(Header + 8);
-  std::uint32_t Checksum = getU32(Header + 12);
-  if (Length > MaxPayload) {
-    if (Err)
-      *Err = "frame payload over limit";
-    return FrameReadStatus::TooLarge;
-  }
+  FrameHeader H;
+  FrameReadStatus HS = decodeFrameHeader(Header, MaxPayload, H, Err);
+  if (HS != FrameReadStatus::Ok)
+    return HS;
 
-  Out.Type = static_cast<FrameType>(Type);
-  Out.Payload.resize(Length);
-  if (Length > 0) {
-    St = S.recvAll(Out.Payload.data(), Length, FrameTimeoutMs, Err);
+  Out.Type = H.Type;
+  Out.Payload.resize(H.Length);
+  if (H.Length > 0) {
+    St = S.recvAll(Out.Payload.data(), H.Length, FrameTimeoutMs, Err);
     if (St == IoStatus::Closed)
       return FrameReadStatus::Malformed; // torn payload
     if (St == IoStatus::Timeout)
@@ -183,7 +194,7 @@ FrameReadStatus ccra::readFrame(Socket &S, Frame &Out, std::size_t MaxPayload,
     if (St != IoStatus::Ok)
       return FrameReadStatus::IoError;
   }
-  if (wireChecksum(Out.Payload) != Checksum) {
+  if (wireChecksum(Out.Payload) != H.Checksum) {
     if (Err)
       *Err = "payload checksum mismatch";
     return FrameReadStatus::Malformed;
@@ -219,6 +230,11 @@ std::string ccra::encodeHello(const HelloInfo &H) {
     Out += "minor: " + std::to_string(H.ProtocolMinor) + "\n";
     Out += "cache: " + std::string(H.CacheEnabled ? "1" : "0") + "\n";
     Out += "shards: " + std::to_string(H.Shards) + "\n";
+  }
+  if (H.ProtocolMinor > 1) {
+    // v1.2: codec negotiation. Same discipline — old parsers skip it, and
+    // its absence parses as "text only" (MaxCodec = 1).
+    Out += "codec-max: " + std::to_string(H.MaxCodec) + "\n";
   }
   return Out;
 }
@@ -263,6 +279,10 @@ bool ccra::parseHello(const std::string &Payload, HelloInfo &Out,
       if (!parseUnsigned(Value, N))
         return fail(Err, "bad shards");
       Out.Shards = static_cast<unsigned>(N);
+    } else if (Key == "codec-max") {
+      if (!parseUnsigned(Value, N))
+        return fail(Err, "bad codec-max");
+      Out.MaxCodec = static_cast<std::uint16_t>(N);
     }
     // Unknown keys are ignored: the hello may grow fields.
   }
@@ -343,6 +363,7 @@ bool ccra::parseAllocRequest(const std::string &Payload, AllocRequest &Out,
 
 std::string ccra::encodeAllocResponse(const AllocResponse &R) {
   std::string Out;
+  Out.reserve(R.AllocatedIr.size() + 96 * R.Functions.size() + 4096);
   Out += "costs: " + formatExactDouble(R.Totals.Spill) + " " +
          formatExactDouble(R.Totals.CallerSave) + " " +
          formatExactDouble(R.Totals.CalleeSave) + " " +

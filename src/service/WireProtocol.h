@@ -50,8 +50,16 @@ inline constexpr std::uint16_t WireVersion = 1;
 /// (readFrame rejects a mismatch), while minor revisions only ADD payload
 /// fields that old peers ignore. v1.1 adds the cache/shard capability
 /// fields to Hello and the "cache."/"shard." counter namespaces to STATS.
-inline constexpr std::uint16_t WireMinorVersion = 1;
+/// v1.2 adds the `codec-max` Hello field and the AllocRequestV2 frame
+/// (binary module payload; see service/BinaryCodec.h) — a client must see
+/// `codec-max: 2` before sending one, so a v1.1 server is never handed a
+/// frame type it would reject as malformed.
+inline constexpr std::uint16_t WireMinorVersion = 2;
 inline constexpr std::size_t WireHeaderSize = 16;
+
+/// Highest module codec this build speaks: 1 = textual `.ccra` payloads,
+/// 2 = the length-prefixed binary encoding of ir/IRBinary.h.
+inline constexpr std::uint16_t WireMaxCodec = 2;
 
 enum class FrameType : std::uint16_t {
   Hello = 1,
@@ -61,6 +69,11 @@ enum class FrameType : std::uint16_t {
   StatsResponse = 5,
   Error = 6,
   Shed = 7,
+  /// An allocation request whose module section is binary (codec v2). The
+  /// response is a regular AllocResponse either way — the bit-identity
+  /// contract is stated over the textual response, so both ingestion paths
+  /// must produce byte-identical output.
+  AllocRequestV2 = 8,
 };
 
 struct Frame {
@@ -84,6 +97,24 @@ enum class FrameReadStatus {
   TooLarge,  ///< declared payload exceeds \p MaxPayload
   IoError,
 };
+
+/// A decoded (and validated) fixed frame header. The payload checksum is
+/// carried along so callers that reassemble the payload incrementally (the
+/// event loop) can verify it once the bytes are complete.
+struct FrameHeader {
+  FrameType Type = FrameType::Error;
+  std::uint32_t Length = 0;
+  std::uint32_t Checksum = 0;
+};
+
+/// Validates the WireHeaderSize fixed bytes at \p Bytes: magic, version,
+/// frame type, and the declared length against \p MaxPayload. Returns Ok,
+/// Malformed, or TooLarge — the single source of truth for header
+/// admissibility, shared by the blocking readFrame and the event loop's
+/// incremental reassembly so the two paths cannot drift.
+FrameReadStatus decodeFrameHeader(const unsigned char *Bytes,
+                                  std::size_t MaxPayload, FrameHeader &Out,
+                                  std::string *Err = nullptr);
 
 /// Reads one frame. \p IdleTimeoutMs bounds the wait for the frame's first
 /// byte (Idle on expiry, with nothing consumed); \p FrameTimeoutMs is the
@@ -116,6 +147,9 @@ struct HelloInfo {
   std::uint16_t ProtocolMinor = 0;
   bool CacheEnabled = false; ///< content-addressed allocation cache on
   unsigned Shards = 0;       ///< worker shards behind the dispatcher
+  /// v1.2: highest module codec the server accepts (1 when a pre-v1.2
+  /// server omits the field). Clients send AllocRequestV2 only when >= 2.
+  std::uint16_t MaxCodec = 1;
 };
 std::string encodeHello(const HelloInfo &H);
 bool parseHello(const std::string &Payload, HelloInfo &Out,
@@ -135,8 +169,13 @@ struct AllocRequest {
   /// still queued when its deadline expires is answered with an Error
   /// frame (code "deadline") instead of being allocated.
   unsigned DeadlineMs = 0;
-  /// Textual .ccra module (ir/IRParser.h grammar).
+  /// Textual .ccra module (ir/IRParser.h grammar). Empty for a codec-v2
+  /// request, which carries ModuleBinary instead.
   std::string ModuleText;
+  /// Binary module (ir/IRBinary.h), the codec-v2 payload. Exactly one of
+  /// ModuleText / ModuleBinary is set on a well-formed request; the
+  /// encode/parse pair for this form lives in service/BinaryCodec.h.
+  std::string ModuleBinary;
 };
 std::string encodeAllocRequest(const AllocRequest &R);
 bool parseAllocRequest(const std::string &Payload, AllocRequest &Out,

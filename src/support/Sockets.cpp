@@ -10,7 +10,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -148,6 +151,56 @@ IoStatus Socket::recvAll(void *Data, std::size_t Len, int TimeoutMs,
     return IoStatus::Error;
   }
   return IoStatus::Ok;
+}
+
+std::size_t Socket::sendSome(const void *Data, std::size_t Len,
+                             IoStatus &Status) {
+  if (Fd < 0) {
+    Status = IoStatus::Error;
+    return 0;
+  }
+  for (;;) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N >= 0) {
+      Status = IoStatus::Ok;
+      return static_cast<std::size_t>(N);
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status = IoStatus::Ok;
+      return 0;
+    }
+    Status = (errno == EPIPE || errno == ECONNRESET) ? IoStatus::Closed
+                                                     : IoStatus::Error;
+    return 0;
+  }
+}
+
+std::size_t Socket::recvSome(void *Data, std::size_t Len, IoStatus &Status) {
+  if (Fd < 0) {
+    Status = IoStatus::Error;
+    return 0;
+  }
+  for (;;) {
+    ssize_t N = ::recv(Fd, Data, Len, 0);
+    if (N > 0) {
+      Status = IoStatus::Ok;
+      return static_cast<std::size_t>(N);
+    }
+    if (N == 0) {
+      Status = IoStatus::Closed;
+      return 0;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status = IoStatus::Ok;
+      return 0;
+    }
+    Status = errno == ECONNRESET ? IoStatus::Closed : IoStatus::Error;
+    return 0;
+  }
 }
 
 Socket Socket::connectUnix(const std::string &Path, std::string *Err) {
@@ -318,5 +371,220 @@ Socket ListenSocket::accept(int TimeoutMs, IoStatus &Status,
     setError(Err, "accept");
     Status = IoStatus::Error;
     return Socket();
+  }
+}
+
+Socket ListenSocket::acceptNonBlocking(IoStatus &Status, std::string *Err) {
+  if (Fd < 0) {
+    Status = IoStatus::Closed;
+    return Socket();
+  }
+  setNonBlocking(Fd); // idempotent; the blocking accept() path polls anyway
+  for (;;) {
+    int Conn = ::accept(Fd, nullptr, nullptr);
+    if (Conn >= 0) {
+      if (!setNonBlocking(Conn)) {
+        setError(Err, "fcntl");
+        ::close(Conn);
+        Status = IoStatus::Error;
+        return Socket();
+      }
+      int One = 1;
+      ::setsockopt(Conn, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      Status = IoStatus::Ok;
+      return Socket(Conn);
+    }
+    if (errno == EINTR || errno == ECONNABORTED)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status = IoStatus::Timeout;
+      return Socket();
+    }
+    if (errno == EBADF || errno == EINVAL) {
+      Status = IoStatus::Closed;
+      return Socket();
+    }
+    // EMFILE/ENFILE under connection storms: report Error; the caller
+    // backs off instead of spinning on the ready listener.
+    setError(Err, "accept");
+    Status = IoStatus::Error;
+    return Socket();
+  }
+}
+
+// --- EpollHandle ---------------------------------------------------------
+
+EpollHandle &EpollHandle::operator=(EpollHandle &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+bool EpollHandle::create(std::string *Err) {
+  close();
+  Fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (Fd < 0) {
+    setError(Err, "epoll_create1");
+    return false;
+  }
+  return true;
+}
+
+void EpollHandle::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+namespace {
+epoll_event makeEvent(std::uint64_t Data, bool Read, bool Write) {
+  epoll_event Ev{};
+  Ev.events = (Read ? EPOLLIN : 0u) | (Write ? EPOLLOUT : 0u) | EPOLLRDHUP;
+  Ev.data.u64 = Data;
+  return Ev;
+}
+} // namespace
+
+bool EpollHandle::add(int TargetFd, std::uint64_t Data, bool Read, bool Write,
+                      std::string *Err) {
+  epoll_event Ev = makeEvent(Data, Read, Write);
+  if (::epoll_ctl(Fd, EPOLL_CTL_ADD, TargetFd, &Ev) != 0) {
+    setError(Err, "epoll_ctl(ADD)");
+    return false;
+  }
+  return true;
+}
+
+bool EpollHandle::modify(int TargetFd, std::uint64_t Data, bool Read,
+                         bool Write, std::string *Err) {
+  epoll_event Ev = makeEvent(Data, Read, Write);
+  if (::epoll_ctl(Fd, EPOLL_CTL_MOD, TargetFd, &Ev) != 0) {
+    setError(Err, "epoll_ctl(MOD)");
+    return false;
+  }
+  return true;
+}
+
+bool EpollHandle::remove(int TargetFd) {
+  return ::epoll_ctl(Fd, EPOLL_CTL_DEL, TargetFd, nullptr) == 0;
+}
+
+int EpollHandle::wait(std::vector<EpollEvent> &Out, int TimeoutMs,
+                      std::string *Err) {
+  Out.clear();
+  epoll_event Events[256];
+  int N;
+  do {
+    N = ::epoll_wait(Fd, Events, 256, TimeoutMs);
+  } while (N < 0 && errno == EINTR);
+  if (N < 0) {
+    setError(Err, "epoll_wait");
+    return -1;
+  }
+  Out.reserve(static_cast<std::size_t>(N));
+  for (int I = 0; I < N; ++I) {
+    EpollEvent E;
+    E.Data = Events[I].data.u64;
+    E.Readable = (Events[I].events & (EPOLLIN | EPOLLRDHUP)) != 0;
+    E.Writable = (Events[I].events & EPOLLOUT) != 0;
+    E.Broken = (Events[I].events & (EPOLLHUP | EPOLLERR)) != 0;
+    Out.push_back(E);
+  }
+  return N;
+}
+
+// --- WakeEvent -----------------------------------------------------------
+
+WakeEvent &WakeEvent::operator=(WakeEvent &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+bool WakeEvent::create(std::string *Err) {
+  close();
+  Fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (Fd < 0) {
+    setError(Err, "eventfd");
+    return false;
+  }
+  return true;
+}
+
+void WakeEvent::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void WakeEvent::signal() {
+  if (Fd < 0)
+    return;
+  std::uint64_t One = 1;
+  ssize_t N;
+  do {
+    N = ::write(Fd, &One, sizeof(One));
+  } while (N < 0 && errno == EINTR);
+  // EAGAIN means the counter is already saturated: the wakeup is pending.
+}
+
+void WakeEvent::drain() {
+  if (Fd < 0)
+    return;
+  std::uint64_t Count;
+  while (::read(Fd, &Count, sizeof(Count)) > 0) {
+  }
+}
+
+// --- TimerFd -------------------------------------------------------------
+
+TimerFd &TimerFd::operator=(TimerFd &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+bool TimerFd::create(int IntervalMs, std::string *Err) {
+  close();
+  Fd = ::timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+  if (Fd < 0) {
+    setError(Err, "timerfd_create");
+    return false;
+  }
+  itimerspec Spec{};
+  Spec.it_interval.tv_sec = IntervalMs / 1000;
+  Spec.it_interval.tv_nsec = static_cast<long>(IntervalMs % 1000) * 1000000;
+  Spec.it_value = Spec.it_interval;
+  if (::timerfd_settime(Fd, 0, &Spec, nullptr) != 0) {
+    setError(Err, "timerfd_settime");
+    close();
+    return false;
+  }
+  return true;
+}
+
+void TimerFd::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void TimerFd::drain() {
+  if (Fd < 0)
+    return;
+  std::uint64_t Expirations;
+  while (::read(Fd, &Expirations, sizeof(Expirations)) > 0) {
   }
 }

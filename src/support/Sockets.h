@@ -19,7 +19,9 @@
 #define CCRA_SUPPORT_SOCKETS_H
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ccra {
 
@@ -53,6 +55,14 @@ public:
   /// Reads exactly \p Len bytes within \p TimeoutMs.
   IoStatus recvAll(void *Data, std::size_t Len, int TimeoutMs,
                    std::string *Err = nullptr);
+
+  /// Single-shot non-blocking transfer primitives for event-loop callers
+  /// that multiplex readiness themselves (epoll) instead of parking in
+  /// poll(). Both return the bytes moved this call; 0 with Status == Ok
+  /// means "would block, try again on the next readiness event". recvSome
+  /// reports a clean peer close as Status == Closed.
+  std::size_t sendSome(const void *Data, std::size_t Len, IoStatus &Status);
+  std::size_t recvSome(void *Data, std::size_t Len, IoStatus &Status);
 
   /// Connects to a Unix-domain socket at \p Path.
   static Socket connectUnix(const std::string &Path, std::string *Err);
@@ -91,6 +101,14 @@ public:
   /// (Closed), or error (Error).
   Socket accept(int TimeoutMs, IoStatus &Status, std::string *Err = nullptr);
 
+  /// Non-blocking accept for event-loop callers: returns immediately with
+  /// Status == Timeout when no connection is pending (the epoll event was
+  /// already consumed or spurious). The listening fd is switched to
+  /// O_NONBLOCK on first use and stays that way.
+  Socket acceptNonBlocking(IoStatus &Status, std::string *Err = nullptr);
+
+  int fd() const { return Fd; }
+
   /// The TCP port actually bound (ephemeral-port servers), -1 for Unix.
   int boundPort() const { return Port; }
 
@@ -98,6 +116,110 @@ private:
   int Fd = -1;
   int Port = -1;
   std::string UnixPath;
+};
+
+/// One readiness event out of EpollHandle::wait. \p Data is the caller's
+/// registration cookie (a connection id, never a pointer — ids survive the
+/// connection-table rehashing a pointer would not).
+struct EpollEvent {
+  std::uint64_t Data = 0;
+  bool Readable = false;
+  bool Writable = false;
+  /// EPOLLHUP/EPOLLERR: the peer is gone or the fd broke; the owner should
+  /// attempt a final read (to drain buffered bytes) and close.
+  bool Broken = false;
+};
+
+/// RAII epoll instance (move-only). Level-triggered: the event loop's
+/// per-connection state machines re-run until they would block, so no
+/// readiness edge is ever lost to a short read.
+class EpollHandle {
+public:
+  EpollHandle() = default;
+  ~EpollHandle() { close(); }
+
+  EpollHandle(EpollHandle &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  EpollHandle &operator=(EpollHandle &&Other) noexcept;
+  EpollHandle(const EpollHandle &) = delete;
+  EpollHandle &operator=(const EpollHandle &) = delete;
+
+  /// Creates the epoll instance; returns false with a diagnostic on
+  /// failure (fd exhaustion).
+  bool create(std::string *Err = nullptr);
+  bool valid() const { return Fd >= 0; }
+  void close();
+
+  /// Registers / re-arms / removes \p Fd. \p Read / \p Write select
+  /// EPOLLIN / EPOLLOUT; \p Data is returned verbatim in events.
+  bool add(int Fd, std::uint64_t Data, bool Read, bool Write,
+           std::string *Err = nullptr);
+  bool modify(int Fd, std::uint64_t Data, bool Read, bool Write,
+              std::string *Err = nullptr);
+  bool remove(int Fd);
+
+  /// Blocks up to \p TimeoutMs (-1 = forever) and fills \p Out with ready
+  /// events. Returns the event count, 0 on timeout, -1 on error (EINTR is
+  /// retried internally).
+  int wait(std::vector<EpollEvent> &Out, int TimeoutMs,
+           std::string *Err = nullptr);
+
+private:
+  int Fd = -1;
+};
+
+/// RAII eventfd: a cross-thread doorbell for the event loop. Worker
+/// threads signal() when they post a completed response; the loop has the
+/// fd registered in its epoll set and drain()s it on wakeup.
+class WakeEvent {
+public:
+  WakeEvent() = default;
+  ~WakeEvent() { close(); }
+
+  WakeEvent(WakeEvent &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  WakeEvent &operator=(WakeEvent &&Other) noexcept;
+  WakeEvent(const WakeEvent &) = delete;
+  WakeEvent &operator=(const WakeEvent &) = delete;
+
+  bool create(std::string *Err = nullptr);
+  bool valid() const { return Fd >= 0; }
+  void close();
+  int fd() const { return Fd; }
+
+  /// Async-signal-safe and thread-safe; coalesces with pending signals.
+  void signal();
+  /// Consumes all pending signals (the loop side).
+  void drain();
+
+private:
+  int Fd = -1;
+};
+
+/// RAII periodic timerfd: the event loop's deadline sweeper. Registered in
+/// the epoll set like any fd; each expiry is one readable event, and
+/// drain() consumes the expiration count.
+class TimerFd {
+public:
+  TimerFd() = default;
+  ~TimerFd() { close(); }
+
+  TimerFd(TimerFd &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  TimerFd &operator=(TimerFd &&Other) noexcept;
+  TimerFd(const TimerFd &) = delete;
+  TimerFd &operator=(const TimerFd &) = delete;
+
+  /// Creates the timer firing every \p IntervalMs (first expiry one
+  /// interval out).
+  bool create(int IntervalMs, std::string *Err = nullptr);
+  bool valid() const { return Fd >= 0; }
+  void close();
+  int fd() const { return Fd; }
+
+  /// Consumes pending expirations so the level-triggered epoll stops
+  /// reporting the fd readable.
+  void drain();
+
+private:
+  int Fd = -1;
 };
 
 } // namespace ccra

@@ -70,10 +70,37 @@ void TelemetrySnapshot::writeJson(std::ostream &OS) const {
   OS << "}\n";
 }
 
+static void appendJsonMap(std::string &Out,
+                          const std::map<std::string, double> &Map) {
+  Out += '{';
+  bool First = true;
+  char Buffer[64];
+  for (const auto &[Name, Value] : Map) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += '"';
+    Out += Name;
+    Out += "\": ";
+    std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+    Out += Buffer;
+  }
+  Out += '}';
+}
+
 std::string TelemetrySnapshot::toJson() const {
-  std::ostringstream OS;
-  writeJson(OS);
-  return OS.str();
+  // String-append rather than ostringstream: the allocation service
+  // renders one of these per response, where stream construction alone
+  // is measurable against sub-millisecond requests. Byte-identical to
+  // writeJson (same %.17g formatting).
+  std::string Out;
+  Out.reserve(32 * (Counters.size() + TimersMs.size()) + 64);
+  Out += "{\"counters\": ";
+  appendJsonMap(Out, Counters);
+  Out += ", \"timers_ms\": ";
+  appendJsonMap(Out, TimersMs);
+  Out += "}\n";
+  return Out;
 }
 
 void TelemetrySnapshot::writeCsv(std::ostream &OS) const {
@@ -221,6 +248,13 @@ double Telemetry::timeMs(const std::string &Name) const {
 TelemetrySnapshot Telemetry::snapshot() const {
   std::lock_guard<std::mutex> Lock(M);
   return Data;
+}
+
+TelemetrySnapshot Telemetry::takeSnapshot() {
+  std::lock_guard<std::mutex> Lock(M);
+  TelemetrySnapshot Out = std::move(Data);
+  Data = TelemetrySnapshot();
+  return Out;
 }
 
 void Telemetry::reset() {

@@ -90,6 +90,10 @@ public:
   double timeMs(const std::string &Name) const;
 
   TelemetrySnapshot snapshot() const;
+  /// Moves the accumulated data out, leaving this recorder empty. The
+  /// serving batch path drains one short-lived recorder per request;
+  /// copying the ~50-entry maps there is pure overhead.
+  TelemetrySnapshot takeSnapshot();
   void reset();
 
   /// Adds the elapsed wall-clock time to timer \p Name on destruction.
@@ -187,6 +191,10 @@ inline constexpr const char *ServeStatsRequests = "serve.stats_requests";
 /// High-water marks (same-recorder noteMax; operational, not merged).
 inline constexpr const char *ServePeakQueue = "serve.peak_queue_depth";
 inline constexpr const char *ServePeakBatch = "serve.peak_batch_size";
+inline constexpr const char *ServePeakConnections = "serve.peak_connections";
+/// Gauge sampled at STATS time: connections currently registered with the
+/// event loop. The companion to ServeConnections (a lifetime total).
+inline constexpr const char *ServeOpenConnections = "serve.open_connections";
 
 // Content-addressed allocation cache ("cache." namespace) and shard
 // dispatch ("shard." namespace): the serving tier's cache-and-shard
@@ -217,6 +225,15 @@ inline constexpr const char *AllocSimplifyPhase = "alloc.simplify";
 inline constexpr const char *AllocateTotal = "allocate_total";
 /// Wall-clock the service's batch former spent inside engine grid runs.
 inline constexpr const char *ServeBatchPhase = "serve.batch";
+/// Response assembly inside a batch: per-function IR rendering plus the
+/// cache-record build (serve.render) and the wire payload encoding
+/// (serve.encode). Both are inside serve.batch; the difference between
+/// serve.batch and allocate_total + these two is the engine-setup cost
+/// (frequency analysis, engine construction, telemetry snapshots).
+inline constexpr const char *ServeRenderPhase = "serve.render";
+inline constexpr const char *ServeEncodePhase = "serve.encode";
+/// Frequency analysis ahead of allocation (harness/Batch.h items).
+inline constexpr const char *FreqComputePhase = "freq_compute";
 } // namespace telemetry
 
 } // namespace ccra

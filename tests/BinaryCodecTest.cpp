@@ -1,0 +1,341 @@
+//===- tests/BinaryCodecTest.cpp - Wire codec v2 / binary IR tests --------===//
+//
+// Covers the two layers behind AllocRequestV2: the binary module encoding
+// (ir/IRBinary.h) and the request payload codec (service/BinaryCodec.h).
+// The load-bearing contract is byte-exact equivalence with the textual
+// path over every module the generator and the committed corpus produce:
+//
+//   printModule(decodeModuleBinary(encodeModuleBinary(M)))
+//     == printModule(parseModule(printModule(M)))
+//
+// plus decoder robustness: hostile bytes (truncation, corruption, bad
+// indices, oversized counts) must fail cleanly, never crash or hang.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBinary.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "fuzz/Corpus.h"
+#include "service/BinaryCodec.h"
+#include "workloads/FuzzGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ccra;
+
+namespace {
+
+std::string printToString(const Module &M) {
+  std::string Out;
+  printModule(M, Out);
+  return Out;
+}
+
+/// The equivalence contract for one module: binary round trip prints the
+/// same bytes as the text round trip. Returns the diagnostic on failure.
+::testing::AssertionResult roundTripsEquivalently(const Module &M) {
+  std::string Text = printToString(M);
+  ParseResult PR = parseModule(Text);
+  if (!PR.ok())
+    return ::testing::AssertionFailure()
+           << "text round trip failed: "
+           << (PR.Errors.empty() ? "?" : PR.Errors.front());
+  std::string ViaText = printToString(*PR.M);
+
+  std::string Bytes, Err;
+  if (!encodeModuleBinary(M, Bytes, &Err))
+    return ::testing::AssertionFailure() << "encode failed: " << Err;
+  std::unique_ptr<Module> Decoded = decodeModuleBinary(Bytes, &Err);
+  if (!Decoded)
+    return ::testing::AssertionFailure() << "decode failed: " << Err;
+  if (!verifyModule(*Decoded, nullptr))
+    return ::testing::AssertionFailure() << "decoded module fails verify";
+  std::string ViaBinary = printToString(*Decoded);
+
+  if (ViaBinary != ViaText)
+    return ::testing::AssertionFailure()
+           << "binary and text round trips disagree (binary "
+           << ViaBinary.size() << " bytes, text " << ViaText.size()
+           << " bytes)";
+  return ::testing::AssertionSuccess();
+}
+
+std::unique_ptr<Module> smallModule() {
+  ParseResult R = parseModule("module codec\n"
+                              "func @leaf {\n"
+                              "entry:\n"
+                              "  %i0 = loadimm -7\n"
+                              "  ret %i0\n"
+                              "}\n"
+                              "func @main {\n"
+                              "entry:\n"
+                              "  %i0 = loadimm 42\n"
+                              "  %i1 = call @leaf(%i0)\n"
+                              "  %i2 = cmp %i0, %i1\n"
+                              "  condbr %i2\n"
+                              "  ; succs: hot(0.75) cold(0.25)\n"
+                              "hot:\n"
+                              "  %i3 = add %i0, %i1\n"
+                              "  ret %i3\n"
+                              "cold:\n"
+                              "  ret %i0\n"
+                              "}\n");
+  EXPECT_TRUE(R.ok()) << (R.Errors.empty() ? "" : R.Errors.front());
+  return std::move(R.M);
+}
+
+//===----------------------------------------------------------------------===//
+// Equivalence: generated modules and the committed corpus
+//===----------------------------------------------------------------------===//
+
+TEST(BinaryCodec, RoundTripsSmallHandWrittenModule) {
+  auto M = smallModule();
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(roundTripsEquivalently(*M));
+}
+
+TEST(BinaryCodec, EquivalentToTextOverEveryFuzzProfile) {
+  for (FuzzProfile P : allFuzzProfiles()) {
+    for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+      FuzzGenParams Params;
+      Params.Seed = Seed;
+      Params.Profile = P;
+      auto M = generateFuzzModule(Params);
+      ASSERT_TRUE(M);
+      EXPECT_TRUE(roundTripsEquivalently(*M))
+          << "profile " << static_cast<int>(P) << " seed " << Seed;
+    }
+  }
+}
+
+TEST(BinaryCodec, EquivalentToTextOverLargerModules) {
+  FuzzGenParams Params;
+  Params.SizeScale = 3;
+  for (uint64_t Seed = 100; Seed < 104; ++Seed) {
+    Params.Seed = Seed;
+    auto M = generateFuzzModule(Params);
+    ASSERT_TRUE(M);
+    EXPECT_TRUE(roundTripsEquivalently(*M)) << "seed " << Seed;
+  }
+}
+
+TEST(BinaryCodec, EquivalentToTextOverSeedCorpus) {
+  std::vector<std::string> Errors;
+  auto Entries =
+      loadCorpusDir(std::string(CCRA_SOURCE_DIR) + "/fuzz/corpus", Errors);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << "corpus load: " << E;
+  ASSERT_FALSE(Entries.empty());
+  for (const auto &Entry : Entries) {
+    ASSERT_TRUE(Entry.M) << Entry.Path;
+    EXPECT_TRUE(roundTripsEquivalently(*Entry.M)) << Entry.Path;
+  }
+}
+
+TEST(BinaryCodec, EncodingIsDeterministic) {
+  auto M = smallModule();
+  ASSERT_TRUE(M);
+  std::string A, B;
+  ASSERT_TRUE(encodeModuleBinary(*M, A));
+  ASSERT_TRUE(encodeModuleBinary(*M, B));
+  EXPECT_EQ(A, B);
+  // Re-encoding the decoded module is also stable: decode loses nothing
+  // the encoder needs.
+  auto D = decodeModuleBinary(A);
+  ASSERT_TRUE(D);
+  std::string C;
+  ASSERT_TRUE(encodeModuleBinary(*D, C));
+  EXPECT_EQ(A, C);
+}
+
+//===----------------------------------------------------------------------===//
+// Decoder robustness: hostile bytes must fail cleanly
+//===----------------------------------------------------------------------===//
+
+TEST(BinaryCodec, RejectsEmptyAndBadMagic) {
+  std::string Err;
+  EXPECT_EQ(decodeModuleBinary("", &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(decodeModuleBinary("XXXX", &Err), nullptr);
+  EXPECT_EQ(decodeModuleBinary(std::string("\x00\x00\x00\x00", 4), &Err),
+            nullptr);
+  // Text accidentally fed to the binary decoder (the common operator
+  // mistake) must be a clean error, not a crash.
+  EXPECT_EQ(decodeModuleBinary("module demo\nfunc @main {\n", &Err), nullptr);
+}
+
+TEST(BinaryCodec, RejectsTruncationAtEveryPrefixLength) {
+  auto M = smallModule();
+  ASSERT_TRUE(M);
+  std::string Bytes;
+  ASSERT_TRUE(encodeModuleBinary(*M, Bytes));
+  for (std::size_t Len = 0; Len < Bytes.size(); ++Len) {
+    std::string Err;
+    std::unique_ptr<Module> D =
+        decodeModuleBinary(Bytes.substr(0, Len), &Err);
+    EXPECT_EQ(D, nullptr) << "prefix of " << Len << " bytes decoded";
+  }
+}
+
+TEST(BinaryCodec, RejectsTrailingGarbage) {
+  auto M = smallModule();
+  ASSERT_TRUE(M);
+  std::string Bytes;
+  ASSERT_TRUE(encodeModuleBinary(*M, Bytes));
+  std::string Err;
+  EXPECT_EQ(decodeModuleBinary(Bytes + "x", &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(BinaryCodec, SingleByteCorruptionNeverCrashes) {
+  // Flip every byte of a valid encoding through a handful of masks. Each
+  // mutant must either fail cleanly or decode to a module the verifier
+  // and printer can walk — never crash, hang, or trip a sanitizer.
+  auto M = smallModule();
+  ASSERT_TRUE(M);
+  std::string Bytes;
+  ASSERT_TRUE(encodeModuleBinary(*M, Bytes));
+  const unsigned char Masks[] = {0x01, 0x80, 0xFF};
+  for (std::size_t I = 0; I < Bytes.size(); ++I) {
+    for (unsigned char Mask : Masks) {
+      std::string Mutant = Bytes;
+      Mutant[I] = static_cast<char>(Mutant[I] ^ Mask);
+      if (Mutant == Bytes)
+        continue;
+      std::unique_ptr<Module> D = decodeModuleBinary(Mutant);
+      if (D) {
+        std::string Sink;
+        printModule(*D, Sink);
+        verifyModule(*D, nullptr);
+      }
+    }
+  }
+}
+
+TEST(BinaryCodec, RejectsOversizedCountsWithoutAllocating) {
+  // Magic followed by a varint that claims ~2^60 functions: the decoder
+  // must bail on the buffer bound, not try to reserve the table.
+  std::string Bytes = "CIR2";
+  Bytes += '\x00'; // module name: empty string
+  for (int I = 0; I < 8; ++I)
+    Bytes += '\xFF';
+  Bytes += '\x0F';
+  std::string Err;
+  EXPECT_EQ(decodeModuleBinary(Bytes, &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+
+  // Same for a string length far past the end of the buffer.
+  std::string Bytes2 = "CIR2";
+  Bytes2 += '\xFF';
+  Bytes2 += '\x7F'; // module name claims 16383 bytes; buffer has none
+  EXPECT_EQ(decodeModuleBinary(Bytes2, &Err), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// AllocRequestV2 payload codec
+//===----------------------------------------------------------------------===//
+
+AllocRequest binaryRequestFor(const Module &M) {
+  AllocRequest R;
+  R.Config = RegisterConfig(8, 6, 2, 2);
+  R.Mode = FrequencyMode::Static;
+  R.DeadlineMs = 1500;
+  EXPECT_TRUE(encodeModuleBinary(M, R.ModuleBinary));
+  return R;
+}
+
+TEST(BinaryCodec, RequestPayloadRoundTrips) {
+  auto M = smallModule();
+  ASSERT_TRUE(M);
+  AllocRequest R = binaryRequestFor(*M);
+  std::string Payload = encodeAllocRequestV2(R);
+
+  AllocRequest Out;
+  std::string Err;
+  ASSERT_TRUE(parseAllocRequestV2(Payload, Out, &Err)) << Err;
+  EXPECT_EQ(Out.ModuleBinary, R.ModuleBinary);
+  EXPECT_TRUE(Out.ModuleText.empty());
+  EXPECT_EQ(Out.Config.IntCallerSave, R.Config.IntCallerSave);
+  EXPECT_EQ(Out.Config.FloatCallerSave, R.Config.FloatCallerSave);
+  EXPECT_EQ(Out.Mode, R.Mode);
+  EXPECT_EQ(Out.DeadlineMs, R.DeadlineMs);
+  EXPECT_EQ(Out.Options.canonicalKey(), R.Options.canonicalKey());
+
+  // The headers are byte-identical to the v1 form: everything before the
+  // module section parses with the v1 parser once a module is appended.
+  std::string HeaderPart = Payload.substr(0, Payload.find("module-bytes:"));
+  AllocRequest V1;
+  ASSERT_TRUE(
+      parseAllocRequest(HeaderPart + "module:\nmodule m\n", V1, &Err))
+      << Err;
+  EXPECT_EQ(V1.Config.IntCallerSave, R.Config.IntCallerSave);
+  EXPECT_EQ(V1.Mode, R.Mode);
+  EXPECT_EQ(V1.DeadlineMs, R.DeadlineMs);
+}
+
+TEST(BinaryCodec, ConvenienceEncoderFillsModuleBinary) {
+  auto M = smallModule();
+  ASSERT_TRUE(M);
+  AllocRequest R;
+  R.ModuleText = "stale text that must be cleared";
+  std::string Payload, Err;
+  ASSERT_TRUE(encodeAllocRequestV2(R, *M, Payload, &Err)) << Err;
+  EXPECT_TRUE(R.ModuleText.empty());
+  EXPECT_FALSE(R.ModuleBinary.empty());
+
+  AllocRequest Out;
+  ASSERT_TRUE(parseAllocRequestV2(Payload, Out, &Err)) << Err;
+  auto D = decodeModuleBinary(Out.ModuleBinary, &Err);
+  ASSERT_TRUE(D) << Err;
+  EXPECT_EQ(printToString(*D), printToString(*M));
+}
+
+TEST(BinaryCodec, RequestParserRejectsMalformedPayloads) {
+  auto M = smallModule();
+  ASSERT_TRUE(M);
+  AllocRequest R = binaryRequestFor(*M);
+  std::string Good = encodeAllocRequestV2(R);
+
+  AllocRequest Out;
+  std::string Err;
+
+  // Truncated module bytes: declared count exceeds what is present.
+  EXPECT_FALSE(
+      parseAllocRequestV2(Good.substr(0, Good.size() - 1), Out, &Err));
+  // Extra bytes past the declared count.
+  EXPECT_FALSE(parseAllocRequestV2(Good + "x", Out, &Err));
+
+  // Hand-built payloads around the module-bytes header itself.
+  auto WithModuleBytes = [&](const std::string &Header) {
+    return "config: 8,6,2,2\nmode: static\n" + Header;
+  };
+  EXPECT_FALSE(parseAllocRequestV2(
+      WithModuleBytes("module-bytes: -1\n"), Out, &Err));
+  EXPECT_FALSE(parseAllocRequestV2(
+      WithModuleBytes("module-bytes: banana\n"), Out, &Err));
+  EXPECT_FALSE(parseAllocRequestV2(
+      WithModuleBytes("module-bytes: 007\nABCDEFG"), Out, &Err));
+  EXPECT_FALSE(parseAllocRequestV2(
+      WithModuleBytes("module-bytes: 99999999\nAB"), Out, &Err));
+  // Missing module section entirely.
+  EXPECT_FALSE(parseAllocRequestV2("config: 8,6,2,2\nmode: static\n", Out,
+                                   &Err));
+  // Zero-length module.
+  EXPECT_FALSE(parseAllocRequestV2(
+      WithModuleBytes("module-bytes: 0\n"), Out, &Err));
+  // Unknown header key.
+  EXPECT_FALSE(parseAllocRequestV2(
+      "config: 8,6,2,2\nmode: static\nshoe-size: 11\nmodule-bytes: 1\nA",
+      Out, &Err));
+  // v1's module: section is not valid in a v2 payload.
+  EXPECT_FALSE(parseAllocRequestV2(
+      "config: 8,6,2,2\nmode: static\nmodule:\nmodule m\n", Out, &Err));
+}
+
+} // namespace

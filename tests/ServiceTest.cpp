@@ -22,8 +22,10 @@
 
 #include "core/EngineBuilder.h"
 #include "fuzz/Corpus.h"
+#include "ir/IRBinary.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
+#include "service/BinaryCodec.h"
 #include "service/Client.h"
 #include "service/Server.h"
 #include "support/BuildInfo.h"
@@ -36,6 +38,7 @@
 #include <sstream>
 #include <sys/socket.h>
 #include <thread>
+#include <vector>
 
 using namespace ccra;
 
@@ -390,7 +393,7 @@ TEST(Service, GarbageAndTornFramesNeverTakeTheServerDown) {
   // A connection per abuse; each must at worst die alone.
   {
     ServiceClient C = S.connect();
-    ASSERT_TRUE(C.sendRawBytes(std::string("\xde\xad\xbe\xef garbage", 17)));
+    ASSERT_TRUE(C.sendRawBytes(std::string("\xde\xad\xbe\xef garbage")));
     Frame In;
     FrameReadStatus RS = C.readResponse(In);
     // Either an Error frame or a close; never a hang.
@@ -700,6 +703,241 @@ TEST(Service, ShardedDispatchStaysBitIdentical) {
     Dispatched +=
         Stats.count("shard." + std::to_string(I) + ".dispatched");
   EXPECT_EQ(static_cast<double>(Sent), Dispatched);
+}
+
+// --- wire codec v2: binary modules (wire v1.2) ---------------------------
+
+TEST(WireCodec, HelloCodecMaxIsVersionGated) {
+  // Pre-v1.2 hellos carry no codec-max key and parse as text-only; a
+  // v1.2 hello advertises the binary codec explicitly.
+  HelloInfo Old;
+  Old.ProtocolMinor = 1;
+  Old.MaxCodec = 2; // must still be suppressed below the gating minor
+  EXPECT_EQ(std::string::npos, encodeHello(Old).find("codec-max:"));
+
+  HelloInfo Parsed;
+  std::string Err;
+  ASSERT_TRUE(parseHello(encodeHello(Old), Parsed, &Err)) << Err;
+  EXPECT_EQ(1u, Parsed.MaxCodec) << "absent codec-max must mean text-only";
+
+  HelloInfo New;
+  New.ProtocolMinor = WireMinorVersion;
+  New.MaxCodec = WireMaxCodec;
+  ASSERT_TRUE(parseHello(encodeHello(New), Parsed, &Err)) << Err;
+  EXPECT_EQ(WireMaxCodec, Parsed.MaxCodec);
+}
+
+TEST(Service, HelloAdvertisesBinaryCodec) {
+  LiveServer S;
+  ServiceClient C = S.connect();
+  EXPECT_EQ(WireMaxCodec, C.hello().MaxCodec);
+  EXPECT_GE(C.hello().MaxCodec, 2u);
+}
+
+TEST(Service, BinaryRequestsBitIdenticalToTextRequests) {
+  // The two ingestion paths must be indistinguishable in their output:
+  // same IR bytes, same totals, for every SPEC proxy. The cache keys the
+  // codecs separately, so the v2 request is solved cold even right after
+  // its v1 twin — this compares two independent allocations, not a
+  // cached echo.
+  LiveServer S;
+  ServiceClient C = S.connect();
+  for (const std::string &Proxy : specProxyNames()) {
+    AllocRequest TextReq = proxyRequest(Proxy);
+
+    AllocRequest BinReq = TextReq;
+    ParseResult PR = parseModule(TextReq.ModuleText);
+    ASSERT_TRUE(PR.ok()) << Proxy;
+    std::string Err;
+    ASSERT_TRUE(encodeModuleBinary(*PR.M, BinReq.ModuleBinary, &Err))
+        << Proxy << ": " << Err;
+    BinReq.ModuleText.clear();
+
+    AllocResponse TextResp, BinResp;
+    ErrorResponse ServerError;
+    ASSERT_EQ(RpcStatus::Ok,
+              C.allocate(TextReq, TextResp, ServerError, &Err))
+        << Proxy << ": " << Err;
+    ASSERT_EQ(RpcStatus::Ok, C.allocate(BinReq, BinResp, ServerError, &Err))
+        << Proxy << ": " << Err << " [" << ServerError.Code << "] "
+        << ServerError.Message;
+
+    EXPECT_EQ(TextResp.AllocatedIr, BinResp.AllocatedIr) << Proxy;
+    EXPECT_TRUE(TextResp.Totals == BinResp.Totals) << Proxy;
+  }
+
+  // Both codecs populated the cache under their own keys: all cold.
+  TelemetrySnapshot Stats;
+  ErrorResponse ServerError;
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  EXPECT_EQ(0.0, Stats.count(telemetry::CacheHits));
+}
+
+TEST(Service, RepeatBinaryRequestServedFromCacheByteIdentical) {
+  LiveServer S;
+  ServiceClient C = S.connect();
+
+  AllocRequest Request = proxyRequest("eqntott");
+  ParseResult PR = parseModule(Request.ModuleText);
+  ASSERT_TRUE(PR.ok());
+  std::string Err;
+  ASSERT_TRUE(encodeModuleBinary(*PR.M, Request.ModuleBinary, &Err)) << Err;
+  Request.ModuleText.clear();
+
+  Frame Req;
+  Req.Type = FrameType::AllocRequestV2;
+  Req.Payload = encodeAllocRequestV2(Request);
+  std::string Bytes;
+  encodeFrame(Req, Bytes);
+
+  std::string Payloads[2];
+  for (int I = 0; I < 2; ++I) {
+    ASSERT_TRUE(C.sendRawBytes(Bytes, &Err)) << Err;
+    Frame Resp;
+    ASSERT_EQ(FrameReadStatus::Ok, C.readResponse(Resp, &Err)) << Err;
+    ASSERT_EQ(FrameType::AllocResponse, Resp.Type);
+    Payloads[I] = Resp.Payload;
+  }
+  EXPECT_EQ(Payloads[0], Payloads[1]);
+
+  TelemetrySnapshot Stats;
+  ErrorResponse ServerError;
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  EXPECT_EQ(1.0, Stats.count(telemetry::CacheHits));
+  EXPECT_EQ(1.0, Stats.count(telemetry::CacheMisses));
+}
+
+TEST(Service, V2GarbageAndTornFramesNeverTakeTheServerDown) {
+  // The v1 robustness ladder, restated for the binary codec: every abuse
+  // is answered with an Error frame or a clean close, the daemon stays up,
+  // and the next well-formed v2 request succeeds.
+  LiveServer S;
+
+  {
+    // Well-framed AllocRequestV2 whose payload is not a v2 payload.
+    ServiceClient C = S.connect();
+    Frame F;
+    F.Type = FrameType::AllocRequestV2;
+    F.Payload = "\xde\xad not a request";
+    std::string Bytes;
+    encodeFrame(F, Bytes);
+    ASSERT_TRUE(C.sendRawBytes(Bytes));
+    Frame In;
+    ASSERT_EQ(FrameReadStatus::Ok, C.readResponse(In));
+    ASSERT_EQ(FrameType::Error, In.Type);
+    ErrorResponse E;
+    ASSERT_TRUE(parseError(In.Payload, E));
+    EXPECT_EQ("malformed", E.Code);
+  }
+  {
+    // Valid v2 headers carrying corrupted module bytes: the frame and
+    // request parse, the module decode fails, the connection survives.
+    ServiceClient C = S.connect();
+    AllocRequest R = proxyRequest("eqntott");
+    ParseResult PR = parseModule(R.ModuleText);
+    ASSERT_TRUE(PR.ok());
+    std::string Err;
+    ASSERT_TRUE(encodeModuleBinary(*PR.M, R.ModuleBinary, &Err));
+    R.ModuleText.clear();
+    R.ModuleBinary[R.ModuleBinary.size() / 2] ^= 0x5A;
+
+    AllocResponse Response;
+    ErrorResponse ServerError;
+    EXPECT_EQ(RpcStatus::Rejected, C.allocate(R, Response, ServerError));
+    EXPECT_EQ("malformed", ServerError.Code);
+
+    // Same connection still serves valid v2 work.
+    AllocRequest Good = proxyRequest("eqntott");
+    PR = parseModule(Good.ModuleText);
+    ASSERT_TRUE(PR.ok());
+    ASSERT_TRUE(encodeModuleBinary(*PR.M, Good.ModuleBinary, &Err));
+    Good.ModuleText.clear();
+    EXPECT_EQ(RpcStatus::Ok, C.allocate(Good, Response, ServerError));
+  }
+  {
+    // Torn v2 frame: header promises more payload than ever arrives.
+    ServiceClient C = S.connect();
+    AllocRequest R = proxyRequest("eqntott");
+    ParseResult PR = parseModule(R.ModuleText);
+    ASSERT_TRUE(PR.ok());
+    std::string Err;
+    ASSERT_TRUE(encodeModuleBinary(*PR.M, R.ModuleBinary, &Err));
+    R.ModuleText.clear();
+    Frame F;
+    F.Type = FrameType::AllocRequestV2;
+    F.Payload = encodeAllocRequestV2(R);
+    std::string Bytes;
+    encodeFrame(F, Bytes);
+    ASSERT_TRUE(C.sendRawBytes(Bytes.substr(0, WireHeaderSize + 10)));
+    C.close();
+  }
+  {
+    // Oversized declared length on the v2 frame type.
+    ServiceClient C = S.connect();
+    Frame F;
+    F.Type = FrameType::AllocRequestV2;
+    F.Payload = "x";
+    std::string Huge;
+    encodeFrame(F, Huge);
+    Huge[8] = 0;
+    Huge[9] = 0;
+    Huge[10] = 0;
+    Huge[11] = 0x40;
+    ASSERT_TRUE(C.sendRawBytes(Huge));
+    Frame In;
+    FrameReadStatus RS = C.readResponse(In);
+    if (RS == FrameReadStatus::Ok) {
+      EXPECT_EQ(FrameType::Error, In.Type);
+    }
+  }
+
+  ServiceClient C = S.connect();
+  AllocRequest Request = proxyRequest("eqntott");
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  std::string Err;
+  EXPECT_EQ(RpcStatus::Ok, C.allocate(Request, Response, ServerError, &Err))
+      << Err;
+
+  TelemetrySnapshot Stats;
+  ASSERT_EQ(RpcStatus::Ok, C.stats(Stats, ServerError));
+  EXPECT_GE(Stats.count(telemetry::ServeMalformed), 2.0);
+}
+
+// --- event loop: connection scaling --------------------------------------
+
+TEST(Service, ManyIdleConnectionsPlusActiveWork) {
+  // The event loop decouples connection count from thread count: hundreds
+  // of idle peers must cost nothing but a file descriptor each while
+  // allocations proceed on other connections, and drain must sweep the
+  // idle crowd without waiting on any of them.
+  LiveServer S;
+
+  std::vector<ServiceClient> Idle(200);
+  std::string Err;
+  for (auto &C : Idle)
+    ASSERT_TRUE(C.connectTcp(S.Server.boundPort(), &Err)) << Err;
+
+  ServiceClient Active = S.connect();
+  AllocRequest Request = proxyRequest("eqntott");
+  AllocResponse Response;
+  ErrorResponse ServerError;
+  ASSERT_EQ(RpcStatus::Ok, Active.allocate(Request, Response, ServerError));
+
+  TelemetrySnapshot Stats;
+  ASSERT_EQ(RpcStatus::Ok, Active.stats(Stats, ServerError));
+  EXPECT_GE(Stats.count(telemetry::ServeOpenConnections), 201.0);
+  EXPECT_GE(Stats.count(telemetry::ServePeakConnections), 201.0);
+
+  // Drain with every idle connection still open: the loop closes them
+  // immediately rather than waiting out any per-connection timeout.
+  auto Start = std::chrono::steady_clock::now();
+  S.Server.requestDrain();
+  S.Server.wait();
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_LT(ElapsedMs, 5000) << "drain waited on idle connections";
 }
 
 TEST(Service, DrainInterruptsSilentAndMidFramePeers) {

@@ -7,14 +7,17 @@
 //
 //   commands:
 //     alloc [--allocator=NAME] [--config=Ri,Rf,Ei,Ef] [--static]
-//           [--deadline-ms=N] [--emit-ir] <input>
+//           [--deadline-ms=N] [--emit-ir] [--wire=v1|v2] <input>
 //        Allocate one module (IR file, '-' for stdin, or a built-in proxy
 //        name) on the server; print the cost breakdown (and the allocated
-//        IR with --emit-ir).
+//        IR with --emit-ir). --wire=v2 ships the module in the binary
+//        codec (an AllocRequestV2 frame) when the server's hello
+//        advertises codec-max >= 2, falling back to textual v1 with a
+//        notice otherwise; responses are identical either way.
 //     stats
 //        Print the server-wide telemetry snapshot (JSON).
 //     burst [--requests=N] [--clients=N] [--malformed-every=N]
-//           [--deadline-every=N] [--zipf]
+//           [--deadline-every=N] [--zipf] [--wire=v2]
 //        CI smoke: N requests (default 200) across C concurrent client
 //        connections (default 4), cycling the built-in proxies and
 //        allocator configurations, interleaving malformed frames (every
@@ -36,6 +39,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/EngineBuilder.h"
+#include "ir/IRBinary.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
@@ -80,9 +84,9 @@ void printUsage() {
          "  commands: alloc [opts] <input> | stats | burst [opts] | "
          "--version\n"
          "  alloc opts: --allocator=NAME --config=Ri,Rf,Ei,Ef --static\n"
-         "              --deadline-ms=N --emit-ir\n"
+         "              --deadline-ms=N --emit-ir --wire=v1|v2\n"
          "  burst opts: --requests=N --clients=N --malformed-every=N\n"
-         "              --deadline-every=N --zipf\n";
+         "              --deadline-every=N --zipf --wire=v1|v2\n";
 }
 
 bool allocatorOptionsFor(const std::string &Name, AllocatorOptions &Opts) {
@@ -165,12 +169,17 @@ int runAlloc(const Endpoint &EP, int Argc, char **Argv, int First) {
   std::string Allocator = "improved";
   std::string Input;
   bool EmitIr = false;
+  bool WireV2 = false;
   for (int I = First; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--static") {
       Request.Mode = FrequencyMode::Static;
     } else if (Arg == "--emit-ir") {
       EmitIr = true;
+    } else if (Arg == "--wire=v1") {
+      WireV2 = false;
+    } else if (Arg == "--wire=v2") {
+      WireV2 = true;
     } else if (Arg.rfind("--allocator=", 0) == 0) {
       Allocator = Arg.substr(12);
     } else if (Arg.rfind("--deadline-ms=", 0) == 0) {
@@ -207,6 +216,19 @@ int runAlloc(const Endpoint &EP, int Argc, char **Argv, int First) {
   if (!EP.connect(Client, &Err)) {
     std::cerr << "ccra_client: " << Err << '\n';
     return 1;
+  }
+  if (WireV2) {
+    if (Client.hello().MaxCodec < 2) {
+      std::cerr << "ccra_client: server speaks codec-max "
+                << Client.hello().MaxCodec
+                << "; falling back to textual v1\n";
+    } else if (!encodeModuleBinary(*M, Request.ModuleBinary, &Err)) {
+      std::cerr << "ccra_client: cannot binary-encode module: " << Err
+                << "; falling back to textual v1\n";
+      Request.ModuleBinary.clear();
+    } else {
+      Request.ModuleText.clear();
+    }
   }
   AllocResponse Response;
   ErrorResponse ServerError;
@@ -265,6 +287,10 @@ struct BurstOptions {
   unsigned MalformedEvery = 17;
   unsigned DeadlineEvery = 31;
   bool Zipf = false;
+  /// Ship modules in the binary codec (AllocRequestV2) when the server
+  /// advertises codec-max >= 2; the bit-identity check is unchanged, so a
+  /// v2 burst proves both ingestion paths produce the same bytes.
+  bool WireV2 = false;
 };
 
 /// Cumulative Zipf(1.1) distribution over case ranks: Cdf[R] is the
@@ -300,7 +326,8 @@ struct BurstTally {
 
 /// One precomputed request: what to send plus the bit-exact expectation.
 struct BurstCase {
-  AllocRequest Request;
+  AllocRequest Request; ///< textual form (ModuleText set)
+  std::string ModuleBinary; ///< codec-v2 form of the same module
   std::string ExpectedIr;
   CostBreakdown ExpectedTotals;
 };
@@ -324,6 +351,12 @@ void burstWorker(const Endpoint &EP, const BurstOptions &Opts,
   if (!EP.connect(Client, &Err)) {
     Fail("connect: " + Err);
     return;
+  }
+  bool UseV2 = Opts.WireV2 && Client.hello().MaxCodec >= 2;
+  if (Opts.WireV2 && !UseV2 && Worker == 0) {
+    std::lock_guard<std::mutex> Lock(LogMutex);
+    std::cerr << "ccra_client: server speaks codec-max "
+              << Client.hello().MaxCodec << "; burst falls back to v1\n";
   }
 
   for (unsigned I = Worker; I < Opts.Requests; I += Opts.Clients) {
@@ -352,6 +385,10 @@ void burstWorker(const Endpoint &EP, const BurstOptions &Opts,
                                 ? Cases[I % Cases.size()]
                                 : Cases[sampleZipf(ZipfTable, ZipfRng)];
     AllocRequest Request = Case.Request;
+    if (UseV2) {
+      Request.ModuleBinary = Case.ModuleBinary;
+      Request.ModuleText.clear();
+    }
     bool TinyDeadline = Opts.DeadlineEvery && I % Opts.DeadlineEvery == 0;
     if (TinyDeadline)
       Request.DeadlineMs = 1;
@@ -429,6 +466,10 @@ int runBurst(const Endpoint &EP, int Argc, char **Argv, int First) {
         return 2;
     } else if (Arg == "--zipf") {
       Opts.Zipf = true;
+    } else if (Arg == "--wire=v1") {
+      Opts.WireV2 = false;
+    } else if (Arg == "--wire=v2") {
+      Opts.WireV2 = true;
     } else {
       printUsage();
       return 2;
@@ -443,6 +484,14 @@ int runBurst(const Endpoint &EP, int Argc, char **Argv, int First) {
     BurstCase Case;
     std::unique_ptr<Module> M = buildSpecProxy(Proxy);
     Case.Request.ModuleText = moduleText(*M);
+    if (Opts.WireV2) {
+      std::string EncErr;
+      if (!encodeModuleBinary(*M, Case.ModuleBinary, &EncErr)) {
+        std::cerr << "ccra_client: cannot binary-encode " << Proxy << ": "
+                  << EncErr << '\n';
+        return 1;
+      }
+    }
     allocatorOptionsFor(Allocators[Cases.size() % 4], Case.Request.Options);
     Case.Request.Mode =
         Cases.size() % 2 ? FrequencyMode::Static : FrequencyMode::Profile;

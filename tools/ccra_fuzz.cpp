@@ -9,6 +9,12 @@
 // corpus directory; committed corpus files replay as tier-1 tests
 // (tests/FuzzTest.cpp).
 //
+// Every generated and replayed module is additionally held to the wire
+// codec v2 equivalence contract (service/BinaryCodec.h): the binary
+// round trip must print the same bytes as the text round trip, and both
+// forms must allocate identically. --codec-sweep=N runs that check alone
+// over N fresh modules (the nightly workflow's dedicated codec leg).
+//
 //   ccra_fuzz [options]
 //     --count=N             modules to generate and check  (default 500)
 //     --seed-base=S         first seed                     (default 1)
@@ -25,6 +31,8 @@
 //                           (0 = unbounded; the nightly workflow sets it)
 //     --max-shrink-evals=N  shrinker predicate budget      (default 600)
 //     --jobs-leg=N          width of the parallel lattice leg (default 4)
+//     --codec-sweep=N       ONLY check v1<->v2 codec equivalence (bytes
+//                           and allocations) over N generated modules
 //     --keep-going          check every module even after a failure
 //     --quiet               only report failures and the final summary
 //
@@ -33,9 +41,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/EngineBuilder.h"
 #include "fuzz/Corpus.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/Shrinker.h"
+#include "ir/IRBinary.h"
+#include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
 #include "support/BuildInfo.h"
 #include "support/Rng.h"
@@ -62,6 +73,7 @@ struct CliOptions {
   unsigned TimeBudgetSec = 0;
   unsigned MaxShrinkEvals = 600;
   unsigned JobsLeg = 4;
+  unsigned CodecSweep = 0;
   bool KeepGoing = false;
   bool Quiet = false;
 };
@@ -71,7 +83,8 @@ void printUsage() {
       << "usage: ccra_fuzz [--count=N] [--seed-base=S] [--profile=NAME]\n"
          "                 [--smoke] [--replay=PATH] [--corpus-dir=PATH]\n"
          "                 [--time-budget=SECS] [--max-shrink-evals=N]\n"
-         "                 [--jobs-leg=N] [--keep-going] [--quiet]\n";
+         "                 [--jobs-leg=N] [--codec-sweep=N] [--keep-going]\n"
+         "                 [--quiet]\n";
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -114,6 +127,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg.rfind("--jobs-leg=", 0) == 0) {
       if (!Unsigned(Arg, 11, Opts.JobsLeg))
         return false;
+    } else if (Arg.rfind("--codec-sweep=", 0) == 0) {
+      if (!Unsigned(Arg, 14, Opts.CodecSweep))
+        return false;
     } else {
       std::cerr << "unknown option " << Arg << '\n';
       return false;
@@ -134,6 +150,103 @@ bool configFromHeader(const std::vector<std::string> &Header,
     }
   }
   return false;
+}
+
+/// The wire codec v2 equivalence contract, checked for one module:
+///
+///   printModule(decodeModuleBinary(encodeModuleBinary(M)))
+///     == printModule(parseModule(printModule(M)))
+///
+/// and, beyond bytes, both round-tripped forms must ALLOCATE identically
+/// (same printed allocation, same cost totals) under \p Config / \p Mode —
+/// a byte-equal module that diverged under allocation would mean the
+/// decoder rebuilt some table the printer does not cover. Returns false
+/// with a diagnostic in \p Why.
+bool checkCodecEquivalence(const Module &M, const RegisterConfig &Config,
+                           FrequencyMode Mode, std::string &Why) {
+  std::string Text;
+  printModule(M, Text);
+  ParseResult PR = parseModule(Text);
+  if (!PR.ok()) {
+    Why = "text round trip failed: " +
+          (PR.Errors.empty() ? std::string("?") : PR.Errors.front());
+    return false;
+  }
+  std::string ViaText;
+  printModule(*PR.M, ViaText);
+
+  std::string Bytes, Err;
+  if (!encodeModuleBinary(M, Bytes, &Err)) {
+    Why = "encodeModuleBinary failed: " + Err;
+    return false;
+  }
+  std::unique_ptr<Module> Decoded = decodeModuleBinary(Bytes, &Err);
+  if (!Decoded) {
+    Why = "decodeModuleBinary failed: " + Err;
+    return false;
+  }
+  std::string ViaBinary;
+  printModule(*Decoded, ViaBinary);
+  if (ViaBinary != ViaText) {
+    Why = "binary and text round trips print different bytes (" +
+          std::to_string(ViaBinary.size()) + " vs " +
+          std::to_string(ViaText.size()) + ")";
+    return false;
+  }
+
+  auto Allocate = [&](Module &Target, std::string &IrOut,
+                      CostBreakdown &Totals) {
+    FrequencyInfo Freq = FrequencyInfo::compute(Target, Mode);
+    AllocationEngine Engine = EngineBuilder(Config).build();
+    Totals = Engine.allocateModule(Target, Freq).Totals;
+    printModule(Target, IrOut);
+  };
+  std::string TextIr, BinaryIr;
+  CostBreakdown TextTotals, BinaryTotals;
+  Allocate(*PR.M, TextIr, TextTotals);
+  Allocate(*Decoded, BinaryIr, BinaryTotals);
+  if (TextIr != BinaryIr) {
+    Why = "allocations diverge between ingestion paths";
+    return false;
+  }
+  if (!(TextTotals == BinaryTotals)) {
+    Why = "cost totals diverge between ingestion paths";
+    return false;
+  }
+  return true;
+}
+
+/// Standalone --codec-sweep=N mode: only the codec contract, over fresh
+/// modules round-robined across every generation profile.
+int runCodecSweep(const CliOptions &Cli) {
+  const std::vector<FuzzProfile> &Profiles = allFuzzProfiles();
+  unsigned Failures = 0;
+  for (unsigned I = 0; I < Cli.CodecSweep; ++I) {
+    FuzzGenParams Params;
+    Params.Seed = Cli.SeedBase + I;
+    Params.Profile = Profiles[I % Profiles.size()];
+    std::unique_ptr<Module> M = generateFuzzModule(Params);
+
+    Rng ConfigRng(Params.Seed ^ 0xc0ffee);
+    RegisterConfig Config = fuzzRegisterConfig(ConfigRng);
+    FrequencyMode Mode =
+        (I % 3 == 2) ? FrequencyMode::Static : FrequencyMode::Profile;
+
+    std::string Why;
+    if (!checkCodecEquivalence(*M, Config, Mode, Why)) {
+      ++Failures;
+      std::cerr << "FAIL codec " << fuzzProfileName(Params.Profile)
+                << "-seed" << Params.Seed << " (config " << Config.label()
+                << "): " << Why << '\n';
+      if (!Cli.KeepGoing)
+        break;
+    } else if (!Cli.Quiet && ((I + 1) % 100 == 0)) {
+      std::cout << "  ..." << (I + 1) << " modules codec-equivalent\n";
+    }
+  }
+  std::cout << "ccra_fuzz codec-sweep: " << Cli.CodecSweep << " modules, "
+            << Failures << " failures\n";
+  return Failures ? 1 : 0;
 }
 
 struct FailureSink {
@@ -221,11 +334,16 @@ int replayCorpus(const CliOptions &Cli) {
     configFromHeader(Entry.HeaderLines, OO.Config); // default when absent
     OracleReport Report = runOracleLattice(*Entry.M, OO);
     Legs += Report.LegsRun;
-    if (!Report.ok()) {
+    std::string CodecWhy;
+    bool CodecOk =
+        checkCodecEquivalence(*Entry.M, OO.Config, OO.Mode, CodecWhy);
+    if (!Report.ok() || !CodecOk) {
       ++Failures;
       std::cerr << "FAIL replay " << Entry.Path << ":\n";
       for (const std::string &Line : Report.lines())
         std::cerr << "  " << Line << '\n';
+      if (!CodecOk)
+        std::cerr << "  codec: " << CodecWhy << '\n';
     } else if (!Cli.Quiet) {
       std::cout << "ok replay " << Entry.Path << '\n';
     }
@@ -251,6 +369,8 @@ int main(int Argc, char **Argv) {
     Cli.SeedBase = 1;
     Cli.MaxShrinkEvals = 200;
   }
+  if (Cli.CodecSweep > 0)
+    return runCodecSweep(Cli);
   if (!Cli.Replay.empty())
     return replayCorpus(Cli);
 
@@ -300,6 +420,19 @@ int main(int Argc, char **Argv) {
     Legs += Report.LegsRun;
     std::string Tag = std::string(fuzzProfileName(Params.Profile)) +
                       "-seed" + std::to_string(Params.Seed);
+    // The codec contract rides along on every sweep module: it is cheap
+    // next to the lattice and catches decoder drift the day it lands.
+    std::string CodecWhy;
+    if (!checkCodecEquivalence(*M, OO.Config, OO.Mode, CodecWhy)) {
+      ++Sink.Failures;
+      std::cerr << "FAIL codec " << Tag << " (config " << OO.Config.label()
+                << "): " << CodecWhy << '\n';
+      writeCorpusFile(*M, Cli.CorpusDir, "repro-codec-" + Tag,
+                      {"ccra_fuzz codec-equivalence reproducer",
+                       "failure: " + CodecWhy});
+      if (!Cli.KeepGoing)
+        break;
+    }
     if (!Report.ok()) {
       Sink.handle(*M, OO, Report, Tag);
       if (!Cli.KeepGoing)

@@ -23,6 +23,8 @@
 #   JOBS=N   parallel build jobs (default: nproc)
 #   SOAK_REQUESTS=N   perf_service soak size (default: 10000)
 #   ZIPF_REQUESTS=N   perf_service Zipf phase size (default: 20000)
+#   C10K_CONNECTIONS=N   perf_service connection-scaling phase (default:
+#                        10000; 0 skips it — useful under tight fd limits)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,12 +36,11 @@ cmake -B build -S . "$@"
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "== ThreadSanitizer: thread pool / parallel determinism / telemetry / service / cache =="
+echo "== ThreadSanitizer: tests labeled 'concurrency' (tests/CMakeLists.txt) =="
 cmake -B build-tsan -S . -DCCRA_TSAN=ON "$@"
 cmake --build build-tsan -j "$JOBS" --target test_parallel test_telemetry \
-      test_service test_cache
-ctest --test-dir build-tsan --output-on-failure \
-      -R 'ThreadPool|ParallelAllocation|Telemetry|Service|WireCodec|AllocationCache|ShardRing|CacheService'
+      test_service test_cache test_binarycodec
+ctest --test-dir build-tsan --output-on-failure -L concurrency
 
 echo "== Release perf smokes: bit-identity gates (perf_grid, perf_scaling) =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release "$@"
@@ -53,42 +54,37 @@ cmake --build build-release -j "$JOBS" --target ccra_fuzz
 # guards against a pathological slowdown, it is not reached normally.
 ./build-release/tools/ccra_fuzz --smoke --time-budget=600 --keep-going
 
-echo "== Service smoke: live daemon + mixed burst + graceful SIGTERM drain =="
+echo "== Codec sweep: wire v2 encode/decode equivalent to the text path =="
+./build-release/tools/ccra_fuzz --codec-sweep=500
+
+echo "== Service smokes: burst + drain via .github/scripts/service_smoke.sh =="
 cmake --build build-release -j "$JOBS" --target ccra_serve ccra_client \
       perf_service
-SOCK="$(mktemp -u /tmp/ccra-check-XXXXXX.sock)"
-./build-release/tools/ccra_serve --unix="$SOCK" &
-SERVE_PID=$!
-trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
-for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
 # 200 mixed requests (valid across the proxy/config grid, malformed
 # frames, tiny deadlines) from 4 concurrent clients; every valid response
 # is checked bit-identical to in-process allocation.
-./build-release/tools/ccra_client --unix="$SOCK" burst --requests=200 \
-      --clients=4
-./build-release/tools/ccra_client --unix="$SOCK" stats > /dev/null
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID"   # exit 0 == clean drain
-trap - EXIT
-
-echo "== Cache smoke: Zipfian burst must hit, bit-identically =="
-SOCK="$(mktemp -u /tmp/ccra-cache-XXXXXX.sock)"
-./build-release/tools/ccra_serve --unix="$SOCK" --shards=2 &
-SERVE_PID=$!
-trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
-for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+.github/scripts/service_smoke.sh --build-dir=build-release \
+      --requests=200 --clients=4 --stats
 # Zipf-sampled cases repeat, so the burst exits non-zero unless the
 # daemon's STATS report a nonzero cache hit count AND every response
 # (cached or cold) is bit-identical to in-process allocation.
-./build-release/tools/ccra_client --unix="$SOCK" burst --requests=300 \
-      --clients=4 --zipf
-kill -TERM "$SERVE_PID"
-wait "$SERVE_PID"   # exit 0 == clean drain
-trap - EXIT
+.github/scripts/service_smoke.sh --build-dir=build-release \
+      --requests=300 --clients=4 --serve-args="--shards=2" \
+      --client-args="--zipf"
+# The same mixed burst over the binary module codec (wire v2).
+.github/scripts/service_smoke.sh --build-dir=build-release \
+      --requests=200 --clients=4 --client-args="--wire=v2"
 
 echo "== Service soak gate (perf_service -> BENCH_service.json) =="
 (cd build-release && ./bench/perf_service \
       --requests="${SOAK_REQUESTS:-10000}" \
-      --zipf-requests="${ZIPF_REQUESTS:-20000}")
+      --zipf-requests="${ZIPF_REQUESTS:-20000}" \
+      --c10k-connections="${C10K_CONNECTIONS:-10000}")
+
+echo "== Bench gate: fresh Release numbers vs committed baselines =="
+tools/bench_gate --baseline BENCH_service.json \
+      --fresh build-release/BENCH_service.json
+tools/bench_gate --baseline BENCH_grid.json \
+      --fresh build-release/BENCH_grid.json
 
 echo "check.sh: all green"
