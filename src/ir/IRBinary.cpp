@@ -85,6 +85,12 @@ public:
       if (Pos >= N)
         return false;
       unsigned char B = static_cast<unsigned char>(P[Pos++]);
+      // The 10th byte can only carry bit 63: anything above (including a
+      // further continuation bit) is a non-canonical encoding whose high
+      // bits the shift would silently discard, letting two distinct byte
+      // strings decode to the same value. Reject it.
+      if (Shift == 63 && B > 1)
+        return false;
       Out |= static_cast<std::uint64_t>(B & 0x7f) << Shift;
       if (!(B & 0x80))
         return true;
@@ -360,8 +366,13 @@ std::unique_ptr<Module> ccra::decodeModuleBinary(const std::string &Bytes,
       if (FName == "main")
         M->setEntryFunction(F);
 
+      // Compare counts, not bitmap bytes: (NumVRegs + 7) / 8 wraps to 0
+      // for NumVRegs near 2^64, which would pass an empty bitmap through
+      // and drive the createVReg loop ~2^64 iterations. remaining() is
+      // bounded by the payload size, so the multiply cannot overflow.
       std::uint64_t NumVRegs;
-      if (!R.varint(NumVRegs) || (NumVRegs + 7) / 8 > R.remaining())
+      if (!R.varint(NumVRegs) ||
+          NumVRegs > 8 * static_cast<std::uint64_t>(R.remaining()))
         bad("bad vreg table size");
       std::string Bitmap;
       Bitmap.resize(static_cast<std::size_t>((NumVRegs + 7) / 8));

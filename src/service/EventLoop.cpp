@@ -131,8 +131,16 @@ void EventLoop::acceptReady() {
     Socket Sock = Listener.acceptNonBlocking(Status);
     if (Status == IoStatus::Timeout)
       return; // backlog drained
-    if (Status != IoStatus::Ok)
-      return; // transient (EMFILE et al.): retry on the next readiness
+    if (Status != IoStatus::Ok) {
+      // Transient failure (EMFILE/ENFILE under fd exhaustion). Returning
+      // with the listener still armed would busy-spin: level-triggered
+      // epoll re-reports the ready listener immediately. Disarm EPOLLIN
+      // and let the sweep timer re-arm it, so exhaustion degrades into a
+      // SweepIntervalMs-paced retry instead of 100% CPU.
+      Ep.modify(Listener.fd(), ListenerId, /*Read=*/false, /*Write=*/false);
+      ListenerDisarmed = true;
+      return;
+    }
     Telem->addCount(telemetry::ServeConnections);
     std::uint64_t Id = NextConnId++;
     Conn C;
@@ -357,6 +365,14 @@ void EventLoop::updateInterest(std::uint64_t Id) {
 }
 
 void EventLoop::sweepDeadlines() {
+  if (ListenerDisarmed && !Draining) {
+    // Accept previously failed on fd exhaustion; closed connections may
+    // have freed fds since. Re-arm and retry immediately — on another
+    // failure acceptReady disarms again and the next sweep re-tries.
+    ListenerDisarmed = false;
+    Ep.modify(Listener.fd(), ListenerId, /*Read=*/true, /*Write=*/false);
+    acceptReady();
+  }
   auto Now = std::chrono::steady_clock::now();
   std::vector<std::uint64_t> Expired;
   for (const auto &Entry : Conns) {
@@ -411,6 +427,7 @@ void EventLoop::beginDrain() {
   // Refuse new connections the moment drain starts: close (and for Unix
   // sockets unlink) the listener so clients see ECONNREFUSED/ENOENT
   // instead of hanging in a never-accepted backlog.
+  ListenerDisarmed = false;
   Ep.remove(Listener.fd());
   Listener.close();
   // A connection is owed something only while Busy (response pending) or

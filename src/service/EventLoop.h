@@ -190,6 +190,10 @@ private:
   std::unordered_map<std::uint64_t, Conn> Conns;
   std::uint64_t NextConnId = 16;
   bool Draining = false;
+  /// Listener EPOLLIN dropped after accept() failed on fd exhaustion
+  /// (EMFILE/ENFILE); the sweep timer re-arms it. Keeping the listener
+  /// armed would busy-spin: level-triggered epoll re-reports it forever.
+  bool ListenerDisarmed = false;
 
   std::atomic<bool> Started{false};
   std::atomic<bool> DrainRequested{false};

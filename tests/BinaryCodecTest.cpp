@@ -237,6 +237,46 @@ TEST(BinaryCodec, RejectsOversizedCountsWithoutAllocating) {
   EXPECT_EQ(decodeModuleBinary(Bytes2, &Err), nullptr);
 }
 
+TEST(BinaryCodec, RejectsHugeVRegCountWithoutIterating) {
+  // One function whose vreg count is the maximal 10-byte varint (2^64-1).
+  // A bitmap-size guard of (N + 7) / 8 wraps to 0 for counts this large,
+  // admitting an empty bitmap and sending the createVReg loop ~2^64
+  // iterations; the decoder must bound the count itself, not the wrapped
+  // byte size. This test hangs (or dies on OOM) if that guard regresses.
+  std::string Bytes = "CIR2";
+  Bytes += '\x00'; // module name: empty
+  Bytes += '\x01'; // one function
+  Bytes += '\x01'; // function name: 1 byte
+  Bytes += 'f';
+  for (int I = 0; I < 9; ++I)
+    Bytes += '\xFF';
+  Bytes += '\x01'; // vreg count = 2^64 - 1
+  std::string Err;
+  EXPECT_EQ(decodeModuleBinary(Bytes, &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(BinaryCodec, RejectsNonCanonicalVarints) {
+  // An empty module whose function count is a 10-byte varint with a bit
+  // set past the 64-bit range. The decode shift would silently discard
+  // that bit and yield 0 — the same module as the canonical one-byte
+  // encoding — so two distinct byte strings would decode equal. The
+  // decoder must reject the overlong form and keep the canonical one.
+  std::string Canonical = "CIR2";
+  Canonical += '\x00'; // module name: empty
+  Canonical += '\x00'; // zero functions
+  ASSERT_NE(decodeModuleBinary(Canonical), nullptr);
+
+  std::string Overlong = "CIR2";
+  Overlong += '\x00';
+  for (int I = 0; I < 9; ++I)
+    Overlong += '\x80'; // continuations, all payload bits zero
+  Overlong += '\x02';   // bit 64: out of range
+  std::string Err;
+  EXPECT_EQ(decodeModuleBinary(Overlong, &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
 //===----------------------------------------------------------------------===//
 // AllocRequestV2 payload codec
 //===----------------------------------------------------------------------===//
