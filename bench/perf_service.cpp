@@ -25,6 +25,12 @@
 // above runs with the cache DISABLED so "rps_before" stays comparable to
 // that committed baseline.
 //
+// Phase 3b repeats the Zipf discipline over REAL code: every program
+// under examples/corpus_c/ lowered by the C frontend, crossed with the
+// allocator rotation and both frequency modes, with requests alternating
+// the v1 text and v2 binary wire codecs. Gates: bit-identity on every
+// response and a nonzero cache hit rate.
+//
 // Phase 4 is the connection-scaling gate for the event-loop server: it
 // raises RLIMIT_NOFILE, parks --c10k-connections idle peers on the daemon
 // (default 10000; 0 skips the phase), verifies allocations still complete
@@ -40,6 +46,7 @@
 //   perf_service [--requests=N] [--clients=N] [--queue=N] [--max-batch=N]
 //                [--pool-threads=N] [--zipf-requests=N] [--shards=N]
 //                [--cache-bytes=N] [--c10k-connections=N]
+//                [--real-corpus-requests=N] [--real-corpus=DIR]
 //
 // Defaults: 10000 requests, 6 clients, 20000 Zipf requests, 2 shards,
 // 10000 idle connections — the soak gate CI runs (CI sizes the idle
@@ -48,6 +55,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/EngineBuilder.h"
+#include "frontend/Frontend.h"
 #include "ir/IRBinary.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
@@ -65,12 +73,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#ifndef CCRA_SOURCE_DIR
+#define CCRA_SOURCE_DIR "."
+#endif
 
 using namespace ccra;
 
@@ -94,6 +107,12 @@ struct SoakOptions {
   unsigned Shards = 2;
   std::size_t CacheBytes = 64u << 20;
   unsigned C10kConnections = 10000;
+  /// Phase 3b: Zipf-sampled serving of the REAL modules the C frontend
+  /// lowers from examples/corpus_c/, alternating wire codecs per request.
+  /// 0 skips the phase.
+  unsigned RealCorpusRequests = 5000;
+  std::string RealCorpusDir = std::string(CCRA_SOURCE_DIR) +
+                              "/examples/corpus_c";
 };
 
 struct SoakCase {
@@ -293,6 +312,61 @@ std::vector<SoakCase> buildZipfCases() {
   return Cases;
 }
 
+/// Phase 3b's case population: every program under \p Dir lowered by the
+/// C frontend, crossed with the allocator rotation and both frequency
+/// modes — real code on the wire instead of the synthetic proxies. The
+/// binary interchange form is precomputed so the phase can alternate
+/// codecs per request. Returns an empty vector (phase fails) if any
+/// program does not compile.
+std::vector<SoakCase> buildRealCorpusCases(const std::string &Dir) {
+  const AllocatorOptions Configs[] = {improvedOptions(), baseChaitinOptions(),
+                                      cbhOptions(), priorityOptions(),
+                                      improvedOptimisticOptions()};
+  std::vector<std::string> Paths;
+  std::error_code EC;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, EC))
+    if (Entry.path().extension() == ".c")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+  if (Paths.empty()) {
+    std::cerr << "perf_service: real-corpus phase: no .c programs under "
+              << Dir << '\n';
+    return {};
+  }
+
+  std::vector<SoakCase> Cases;
+  for (const std::string &Path : Paths) {
+    CompileResult CR = Frontend::compileFile(Path);
+    if (!CR.ok()) {
+      std::cerr << "perf_service: real-corpus phase: " << Path
+                << " does not compile\n";
+      return {};
+    }
+    std::string Text = printed(*CR.M);
+    for (const AllocatorOptions &Opts : Configs) {
+      for (FrequencyMode Mode :
+           {FrequencyMode::Profile, FrequencyMode::Static}) {
+        SoakCase Case;
+        Case.Request.ModuleText = Text;
+        Case.Request.Options = Opts;
+        Case.Request.Mode = Mode;
+
+        ParseResult PR = parseModule(Text);
+        encodeModuleBinary(*PR.M, Case.ModuleBinary);
+        FrequencyInfo Freq = FrequencyInfo::compute(*PR.M, Mode);
+        AllocationEngine Engine = EngineBuilder(Case.Request.Config)
+                                      .options(Case.Request.Options)
+                                      .build();
+        ModuleAllocationResult R = Engine.allocateModule(*PR.M, Freq);
+        Case.ExpectedIr = printed(*PR.M);
+        Case.ExpectedTotals = R.Totals;
+        Cases.push_back(std::move(Case));
+      }
+    }
+  }
+  return Cases;
+}
+
 /// Zipf(1.1) cumulative distribution over case ranks; rank 0 is hottest.
 std::vector<double> zipfCdf(std::size_t Count) {
   std::vector<double> Cdf;
@@ -316,12 +390,19 @@ struct ZipfResult {
   double Hits = 0, Misses = 0, HitRate = 0;
 };
 
-/// Phase 3: the caching-tier gate. Pure allocation traffic sampled from a
-/// Zipfian distribution against a cache-enabled, sharded server; every
-/// response is still verified bit-identical to in-process allocation.
+/// Phases 3 and 3b: the caching-tier gate. Pure allocation traffic
+/// sampled from a Zipfian distribution against a cache-enabled, sharded
+/// server; every response is still verified bit-identical to in-process
+/// allocation. With \p AlternateCodecs, odd requests ship the binary (v2)
+/// module so both wire paths carry the Zipf traffic.
 ZipfResult zipfPhase(const SoakOptions &Opts,
-                     const std::vector<SoakCase> &Cases) {
+                     const std::vector<SoakCase> &Cases, unsigned Requests,
+                     bool AlternateCodecs, const char *PhaseName) {
   ZipfResult Result;
+  if (Cases.empty()) {
+    Result.Failures = 1;
+    return Result;
+  }
   ServerConfig Config;
   Config.TcpPort = 0;
   Config.QueueCapacity = Opts.QueueCapacity;
@@ -332,7 +413,7 @@ ZipfResult zipfPhase(const SoakOptions &Opts,
   AllocationServer Server(Config);
   std::string Err;
   if (!Server.start(&Err)) {
-    std::cerr << "perf_service: zipf phase: " << Err << '\n';
+    std::cerr << "perf_service: " << PhaseName << " phase: " << Err << '\n';
     Result.Failures = 1;
     return Result;
   }
@@ -349,7 +430,8 @@ ZipfResult zipfPhase(const SoakOptions &Opts,
     Workers.emplace_back([&, W] {
       auto Fail = [&](const std::string &Msg) {
         std::lock_guard<std::mutex> Lock(Mutex);
-        std::cerr << "perf_service: zipf worker " << W << ": " << Msg << '\n';
+        std::cerr << "perf_service: " << PhaseName << " worker " << W
+                  << ": " << Msg << '\n';
         Failures.fetch_add(1);
       };
       ServiceClient Client;
@@ -360,17 +442,22 @@ ZipfResult zipfPhase(const SoakOptions &Opts,
       }
       Rng R(0x21bful + W); // deterministic per-worker sample path
       std::vector<double> Local;
-      for (unsigned I = W; I < Opts.ZipfRequests; I += Opts.Clients) {
+      for (unsigned I = W; I < Requests; I += Opts.Clients) {
         double U = R.nextDouble();
         std::size_t Rank = static_cast<std::size_t>(
             std::lower_bound(Cdf.begin(), Cdf.end(), U) - Cdf.begin());
         const SoakCase &Case = Cases[std::min(Rank, Cases.size() - 1)];
+        AllocRequest Request = Case.Request;
+        if (AlternateCodecs && I % 2 == 1 && !Case.ModuleBinary.empty()) {
+          Request.ModuleBinary = Case.ModuleBinary;
+          Request.ModuleText.clear();
+        }
 
         AllocResponse Response;
         ErrorResponse ServerError;
         auto T0 = std::chrono::steady_clock::now();
         RpcStatus Status =
-            Client.allocate(Case.Request, Response, ServerError, &CErr);
+            Client.allocate(Request, Response, ServerError, &CErr);
         double Ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - T0)
                         .count();
@@ -739,6 +826,13 @@ int main(int Argc, char **Argv) {
     if (Arg.rfind("--c10k-connections=", 0) == 0 &&
         Unsigned(19, Opts.C10kConnections))
       continue;
+    if (Arg.rfind("--real-corpus-requests=", 0) == 0 &&
+        Unsigned(23, Opts.RealCorpusRequests))
+      continue;
+    if (Arg.rfind("--real-corpus=", 0) == 0) {
+      Opts.RealCorpusDir = Arg.substr(14);
+      continue;
+    }
     unsigned CacheBytes = 0;
     if (Arg.rfind("--cache-bytes=", 0) == 0 && Unsigned(14, CacheBytes)) {
       Opts.CacheBytes = CacheBytes;
@@ -747,7 +841,9 @@ int main(int Argc, char **Argv) {
     std::cerr << "usage: perf_service [--requests=N] [--clients=N] "
                  "[--queue=N] [--max-batch=N] [--pool-threads=N]\n"
                  "                    [--zipf-requests=N] [--shards=N] "
-                 "[--cache-bytes=N] [--c10k-connections=N]\n";
+                 "[--cache-bytes=N] [--c10k-connections=N]\n"
+                 "                    [--real-corpus-requests=N] "
+                 "[--real-corpus=DIR]\n";
     return 2;
   }
 
@@ -817,11 +913,27 @@ int main(int Argc, char **Argv) {
 
   // Phase 3: the Zipfian caching-tier gate.
   std::vector<SoakCase> ZipfCases = buildZipfCases();
-  ZipfResult Zipf = zipfPhase(Opts, ZipfCases);
+  ZipfResult Zipf =
+      zipfPhase(Opts, ZipfCases, Opts.ZipfRequests, false, "zipf");
   double Speedup = Zipf.Rps / CommittedBaselineRps;
   bool ZipfBitIdentical = Zipf.BitDivergences == 0;
   bool ZipfHealthy = Zipf.Failures == 0 && Zipf.Ok > 0 && Zipf.Hits > 0;
   bool ZipfFastEnough = Speedup >= 100.0;
+
+  // Phase 3b: the same Zipfian serving discipline over REAL modules — the
+  // C frontend's lowering of examples/corpus_c/ — alternating v1/v2 wire
+  // codecs per request. Gates: every response bit-identical, no failures,
+  // and the cache must actually hit (the Zipf head is hot).
+  ZipfResult Real;
+  bool RealBitIdentical = true, RealHealthy = true;
+  if (Opts.RealCorpusRequests > 0) {
+    std::vector<SoakCase> RealCases =
+        buildRealCorpusCases(Opts.RealCorpusDir);
+    Real = zipfPhase(Opts, RealCases, Opts.RealCorpusRequests, true,
+                     "real-corpus");
+    RealBitIdentical = Real.BitDivergences == 0;
+    RealHealthy = Real.Failures == 0 && Real.Ok > 0 && Real.Hits > 0;
+  }
 
   std::cout << "== perf_service: " << Opts.Requests << " requests, "
             << Opts.Clients << " clients ==\n"
@@ -858,6 +970,23 @@ int main(int Argc, char **Argv) {
             << (ZipfBitIdentical ? "yes" : "NO") << '\n'
             << "gate (>=100x): " << (ZipfFastEnough ? "pass" : "FAIL")
             << '\n';
+
+  if (Opts.RealCorpusRequests > 0)
+    std::cout << "== real-corpus phase: " << Opts.RealCorpusRequests
+              << " requests over " << Opts.RealCorpusDir
+              << " (v1/v2 alternating) ==\n"
+              << "ok:          " << Real.Ok << '\n'
+              << "failures:    " << Real.Failures << '\n'
+              << "throughput:  " << Real.Rps << " req/s\n"
+              << "hit rate:    " << Real.HitRate << " (" << Real.Hits
+              << " hits, " << Real.Misses << " misses)\n"
+              << "latency p50: " << Real.P50 << " ms, p95: " << Real.P95
+              << " ms, p99: " << Real.P99 << " ms\n"
+              << "bit-identical responses: "
+              << (RealBitIdentical ? "yes" : "NO") << '\n'
+              << "gate (bit-identity, nonzero hit rate): "
+              << (RealBitIdentical && RealHealthy ? "pass" : "FAIL")
+              << '\n';
 
   // Phase 4: the connection-scaling gate.
   C10kResult C10k;
@@ -912,6 +1041,18 @@ int main(int Argc, char **Argv) {
        << "  \"serve_batch_ms\": " << ServeBatchMs << ",\n"
        << "  \"allocate_total_ms\": " << AllocateTotalMs << ",\n"
        << "  \"batch_overhead_ratio\": " << BatchRatio << ",\n"
+       << "  \"real_corpus_requests\": " << Opts.RealCorpusRequests
+       << ",\n"
+       << "  \"real_corpus_ok\": " << Real.Ok << ",\n"
+       << "  \"real_corpus_rps\": " << Real.Rps << ",\n"
+       << "  \"real_corpus_hit_rate\": " << Real.HitRate << ",\n"
+       << "  \"real_corpus_latency_p50_ms\": " << Real.P50 << ",\n"
+       << "  \"real_corpus_latency_p99_ms\": " << Real.P99 << ",\n"
+       << "  \"real_corpus_bit_identical\": "
+       << (Opts.RealCorpusRequests > 0 && RealBitIdentical && RealHealthy
+               ? "true"
+               : "false")
+       << ",\n"
        << "  \"c10k_connections\": " << C10k.Opened << ",\n"
        << "  \"c10k_peak_connections\": " << C10k.PeakConnections << ",\n"
        << "  \"c10k_drain_seconds\": " << C10k.DrainSeconds << ",\n"
@@ -923,8 +1064,8 @@ int main(int Argc, char **Argv) {
   Json << "\n}\n";
 
   return (BitIdentical && DrainClean && Healthy && BatchLean &&
-          ZipfBitIdentical && ZipfHealthy && ZipfFastEnough && C10kOk &&
-          C10kDrainClean)
+          ZipfBitIdentical && ZipfHealthy && ZipfFastEnough &&
+          RealBitIdentical && RealHealthy && C10kOk && C10kDrainClean)
              ? 0
              : 1;
 }

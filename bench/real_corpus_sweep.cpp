@@ -1,0 +1,190 @@
+//===- bench/real_corpus_sweep.cpp - Real-code (Ri,Rf,Ei,Ef) sweep --------===//
+//
+// The compile-sourced leg of the experiment grid: instead of the synthetic
+// SPEC proxies, every program under examples/corpus_c/ is lowered by the C
+// frontend and swept across the standard register configurations and the
+// five allocator families (base Chaitin, optimistic, priority, CBH,
+// improved). Two views:
+//
+//  - aggregate: total overhead across the whole corpus per configuration,
+//    plus call cost (caller-save + callee-save) as a fraction of total
+//    overhead for the base allocator — the paper's central claim is that
+//    this fraction approaches 1 as the register budget grows;
+//  - per-program: base/improved overhead ratio on the most call-dense
+//    programs at representative budgets.
+//
+// EXPERIMENTS.md section "Real-code corpus" is regenerated from this
+// binary's output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "frontend/Frontend.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#ifndef CCRA_SOURCE_DIR
+#define CCRA_SOURCE_DIR "."
+#endif
+
+using namespace ccra;
+
+namespace {
+
+struct CorpusProgram {
+  std::string Name;
+  std::unique_ptr<Module> M;
+  unsigned Calls = 0; ///< static call-site count, for the call-dense pick
+};
+
+unsigned countCalls(const Module &M) {
+  unsigned Calls = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const Instruction &I : BB->instructions())
+        if (I.Op == Opcode::Call)
+          ++Calls;
+  return Calls;
+}
+
+std::vector<CorpusProgram> compileCorpus(const std::string &Dir) {
+  std::vector<std::string> Paths;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    if (Entry.path().extension() == ".c")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+
+  std::vector<CorpusProgram> Programs;
+  for (const std::string &Path : Paths) {
+    CompileResult R = Frontend::compileFile(Path);
+    if (!R.ok()) {
+      std::cerr << Path << ": compile failed";
+      if (!R.Diags.empty())
+        std::cerr << ": " << R.Diags.front().render();
+      std::cerr << '\n';
+      std::exit(1);
+    }
+    CorpusProgram P;
+    P.Name = Frontend::moduleNameForPath(Path);
+    P.Calls = countCalls(*R.M);
+    P.M = std::move(R.M);
+    Programs.push_back(std::move(P));
+  }
+  return Programs;
+}
+
+double callFraction(const ExperimentResult &R) {
+  double Total = R.Costs.total();
+  if (Total == 0.0)
+    return 0.0;
+  return (R.Costs.CallerSave + R.Costs.CalleeSave) / Total;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchArgs Args = parseBenchArgs(Argc, Argv);
+  std::string Dir = std::string(CCRA_SOURCE_DIR) + "/examples/corpus_c";
+  for (int I = 1; I < Argc; ++I)
+    if (std::strncmp(Argv[I], "--corpus=", 9) == 0)
+      Dir = Argv[I] + 9;
+
+  std::vector<CorpusProgram> Programs = compileCorpus(Dir);
+  GridRunner Grid(Args);
+
+  struct Family {
+    const char *Label;
+    AllocatorOptions Opts;
+  };
+  const Family Families[] = {
+      {"base", baseChaitinOptions()},     {"optimistic", optimisticOptions()},
+      {"priority", priorityOptions()},    {"cbh", cbhOptions()},
+      {"improved", improvedOptions()},
+  };
+
+  // Aggregate sweep: whole-corpus overhead per configuration and family.
+  TextTable Aggregate;
+  Aggregate.setHeader({"config", "base", "optimistic", "priority", "cbh",
+                       "improved", "base_call_frac", "base/improved"});
+  // Per (program, config): base and improved totals, reused for the
+  // per-program view below.
+  std::vector<RegisterConfig> Sweep = standardConfigSweep();
+  std::vector<std::vector<double>> BaseTotals(Programs.size()),
+      ImprovedTotals(Programs.size());
+
+  for (unsigned C = 0; C < Sweep.size(); ++C) {
+    const RegisterConfig &Config = Sweep[C];
+    double Totals[5] = {};
+    double CallCost = 0.0, BaseTotal = 0.0;
+    for (unsigned P = 0; P < Programs.size(); ++P) {
+      for (unsigned F = 0; F < 5; ++F) {
+        ExperimentResult R = Grid.run(*Programs[P].M, Config,
+                                      Families[F].Opts,
+                                      FrequencyMode::Profile);
+        Totals[F] += R.Costs.total();
+        if (F == 0) {
+          CallCost += R.Costs.CallerSave + R.Costs.CalleeSave;
+          BaseTotal += R.Costs.total();
+          BaseTotals[P].push_back(R.Costs.total());
+        } else if (F == 4) {
+          ImprovedTotals[P].push_back(R.Costs.total());
+        }
+      }
+    }
+    double Ratio = Totals[4] == 0.0 ? (Totals[0] == 0.0 ? 1.0 : 999.0)
+                                    : Totals[0] / Totals[4];
+    Aggregate.addRow({Config.label(), TextTable::formatCount(Totals[0]),
+                      TextTable::formatCount(Totals[1]),
+                      TextTable::formatCount(Totals[2]),
+                      TextTable::formatCount(Totals[3]),
+                      TextTable::formatCount(Totals[4]),
+                      TextTable::formatDouble(
+                          BaseTotal == 0.0 ? 0.0 : CallCost / BaseTotal),
+                      TextTable::formatDouble(Ratio)});
+  }
+  std::cout << "== Real-code corpus (" << Programs.size()
+            << " programs, C frontend): total overhead per allocator ==\n";
+  emitTable(Aggregate, Args);
+  std::cout << '\n';
+
+  // Per-program view on the most call-dense programs: base/improved ratio
+  // at representative budgets, plus base's call-cost fraction at the
+  // largest budget (where spill cost is gone and only call cost is left).
+  std::vector<unsigned> Order(Programs.size());
+  for (unsigned I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    return Programs[A].Calls > Programs[B].Calls;
+  });
+
+  const RegisterConfig Spot[] = {RegisterConfig(6, 4, 0, 0),
+                                 RegisterConfig(8, 6, 2, 2),
+                                 RegisterConfig(9, 7, 3, 3),
+                                 fullMipsConfig()};
+  TextTable PerProgram;
+  PerProgram.setHeader({"program", "calls", "b/i (6,4,0,0)", "b/i (8,6,2,2)",
+                        "b/i (9,7,3,3)", "b/i (18,10,8,6)",
+                        "call_frac (18,10,8,6)"});
+  unsigned Shown = std::min<unsigned>(8, Order.size());
+  for (unsigned I = 0; I < Shown; ++I) {
+    const CorpusProgram &P = Programs[Order[I]];
+    std::vector<std::string> Row = {P.Name, std::to_string(P.Calls)};
+    ExperimentResult LastBase;
+    for (const RegisterConfig &Config : Spot) {
+      ExperimentResult Base = Grid.run(*P.M, Config, baseChaitinOptions(),
+                                       FrequencyMode::Profile);
+      ExperimentResult Improved = Grid.run(*P.M, Config, improvedOptions(),
+                                           FrequencyMode::Profile);
+      Row.push_back(TextTable::formatDouble(overheadRatio(Base, Improved)));
+      LastBase = Base;
+    }
+    Row.push_back(TextTable::formatDouble(callFraction(LastBase)));
+    PerProgram.addRow(std::move(Row));
+  }
+  std::cout << "== Most call-dense programs: base/improved overhead ratio ==\n";
+  emitTable(PerProgram, Args);
+
+  Grid.emitTelemetry();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ackermann's function plus a call-counting wrapper: the most call-dense
+// function per instruction in the corpus. Nearly every value is live
+// across a call, so allocation cost here is almost pure call cost.
+
+int calls = 0;
+
+int ack(int m, int n) {
+  calls = calls + 1;
+  if (m == 0) {
+    return n + 1;
+  }
+  if (n == 0) {
+    return ack(m - 1, 1);
+  }
+  return ack(m - 1, ack(m, n - 1));
+}
+
+int ack_budget(int m, int n, int budget) {
+  calls = 0;
+  int result = ack(m, n);
+  if (calls > budget) {
+    return -1;
+  }
+  return result;
+}
+
+int main() {
+  int total = 0;
+  for (int m = 0; m < 3; m = m + 1) {
+    for (int n = 0; n < 4; n = n + 1) {
+      int r = ack_budget(m, n, 100000);
+      if (r < 0) {
+        return 1;
+      }
+      total = total + r;
+    }
+  }
+  return total;
+}

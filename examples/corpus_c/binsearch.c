@@ -1,0 +1,72 @@
+// Binary search, iterative and recursive, plus lower-bound, exercised
+// over a generated sorted table. Short hot loops where the three cursors
+// (lo, hi, mid) fight the call for registers.
+
+int bsearch_iter(int *a, int n, int key) {
+  int lo = 0;
+  int hi = n - 1;
+  while (lo <= hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (a[mid] == key) {
+      return mid;
+    }
+    if (a[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return -1;
+}
+
+int bsearch_rec(int *a, int lo, int hi, int key) {
+  if (lo > hi) {
+    return -1;
+  }
+  int mid = lo + (hi - lo) / 2;
+  if (a[mid] == key) {
+    return mid;
+  }
+  if (a[mid] < key) {
+    return bsearch_rec(a, mid + 1, hi, key);
+  }
+  return bsearch_rec(a, lo, mid - 1, key);
+}
+
+int lower_bound(int *a, int n, int key) {
+  int lo = 0;
+  int hi = n;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (a[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int table[100];
+
+int main() {
+  int n = 100;
+  for (int i = 0; i < n; i = i + 1) {
+    table[i] = i * 3;
+  }
+  int hits = 0;
+  for (int key = 0; key < 300; key = key + 7) {
+    int a = bsearch_iter(table, n, key);
+    int b = bsearch_rec(table, 0, n - 1, key);
+    if (a != b) {
+      return 1;
+    }
+    if (a >= 0) {
+      hits = hits + 1;
+    }
+    if (lower_bound(table, n, key) > n) {
+      return 2;
+    }
+  }
+  return hits;
+}

@@ -1,0 +1,49 @@
+// Bubble sort with an early-exit pass flag, plus a verification sweep.
+// Classic quadratic nest: a compare-heavy inner loop around a swap helper,
+// so the caller keeps hot values live across calls.
+
+int swap(int *a, int i, int j) {
+  int tmp = a[i];
+  a[i] = a[j];
+  a[j] = tmp;
+  return 0;
+}
+
+int bubble_sort(int *a, int n) {
+  int swapped = 1;
+  int passes = 0;
+  while (swapped) {
+    swapped = 0;
+    for (int i = 0; i + 1 < n; i = i + 1) {
+      if (a[i] > a[i + 1]) {
+        swap(a, i, i + 1);
+        swapped = 1;
+      }
+    }
+    passes = passes + 1;
+  }
+  return passes;
+}
+
+int is_sorted(int *a, int n) {
+  for (int i = 0; i + 1 < n; i = i + 1) {
+    if (a[i] > a[i + 1]) {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+int data[64];
+
+int main() {
+  int n = 64;
+  for (int i = 0; i < n; i = i + 1) {
+    data[i] = (n - i) * 7 % 101;
+  }
+  int passes = bubble_sort(data, n);
+  if (!is_sorted(data, n)) {
+    return 1;
+  }
+  return passes;
+}

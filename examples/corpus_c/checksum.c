@@ -1,0 +1,47 @@
+// Rolling checksums: an Adler-style pair of running sums and a
+// multiplicative hash, chained block by block so each block's digest
+// feeds the next call. Long dependence chains across call boundaries.
+
+int mod_adler() {
+  return 65521;
+}
+
+int adler(int *data, int n, int seed) {
+  int a = seed % 65536;
+  int b = seed / 65536;
+  for (int i = 0; i < n; i = i + 1) {
+    a = (a + data[i]) % mod_adler();
+    b = (b + a) % mod_adler();
+  }
+  return b * 65536 + a;
+}
+
+int mix_hash(int *data, int n, int seed) {
+  int h = seed;
+  for (int i = 0; i < n; i = i + 1) {
+    h = h * 31 + data[i];
+    h = h % 1000003;
+    if (h < 0) {
+      h = -h;
+    }
+  }
+  return h;
+}
+
+int block[64];
+
+int main() {
+  int digest = 1;
+  int mixed = 7;
+  for (int chunk = 0; chunk < 8; chunk = chunk + 1) {
+    for (int i = 0; i < 64; i = i + 1) {
+      block[i] = (chunk * 64 + i) * 13 % 251;
+    }
+    digest = adler(block, 64, digest);
+    mixed = mix_hash(block, 64, mixed);
+  }
+  if (digest == 0) {
+    return 1;
+  }
+  return (digest + mixed) % 256;
+}

@@ -1,0 +1,52 @@
+// Collatz trajectories: step counts and peak values over a range, with
+// the per-number loop factored into helpers so every iteration of the
+// scan makes two calls.
+
+int collatz_steps(int n) {
+  int steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) {
+      n = n / 2;
+    } else {
+      n = 3 * n + 1;
+    }
+    steps = steps + 1;
+  }
+  return steps;
+}
+
+int collatz_peak(int n) {
+  int peak = n;
+  while (n != 1) {
+    if (n % 2 == 0) {
+      n = n / 2;
+    } else {
+      n = 3 * n + 1;
+    }
+    if (n > peak) {
+      peak = n;
+    }
+  }
+  return peak;
+}
+
+int main() {
+  int longest = 0;
+  int argmax = 1;
+  int highest = 0;
+  for (int i = 1; i < 200; i = i + 1) {
+    int s = collatz_steps(i);
+    int p = collatz_peak(i);
+    if (s > longest) {
+      longest = s;
+      argmax = i;
+    }
+    if (p > highest) {
+      highest = p;
+    }
+  }
+  if (highest < longest) {
+    return 1;
+  }
+  return argmax;
+}

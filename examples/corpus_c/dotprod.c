@@ -1,0 +1,56 @@
+// Vector kernels: dot product, axpy, and an L1 norm, composed into a
+// Gram-matrix corner. Pointer-parameter loops with multiply-accumulate
+// chains — moderate pressure, no recursion, call-dense driver.
+
+int dot(int *x, int *y, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    acc = acc + x[i] * y[i];
+  }
+  return acc;
+}
+
+int axpy(int a, int *x, int *y, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    y[i] = a * x[i] + y[i];
+  }
+  return 0;
+}
+
+int norm1(int *x, int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    int v = x[i];
+    if (v < 0) {
+      v = -v;
+    }
+    acc = acc + v;
+  }
+  return acc;
+}
+
+int vx[32];
+int vy[32];
+int vz[32];
+int gram[9];
+
+int main() {
+  int n = 32;
+  for (int i = 0; i < n; i = i + 1) {
+    vx[i] = i - 16;
+    vy[i] = 2 * i - n;
+    vz[i] = (i * i) % 17;
+  }
+  gram[0] = dot(vx, vx, n);
+  gram[1] = dot(vx, vy, n);
+  gram[2] = dot(vx, vz, n);
+  gram[4] = dot(vy, vy, n);
+  gram[5] = dot(vy, vz, n);
+  gram[8] = dot(vz, vz, n);
+  gram[3] = gram[1];
+  gram[6] = gram[2];
+  gram[7] = gram[5];
+  axpy(3, vx, vy, n);
+  int total = norm1(vy, n) + norm1(vz, n);
+  return (gram[0] + total) % 256;
+}

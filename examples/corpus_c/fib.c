@@ -1,0 +1,51 @@
+// Fibonacci three ways: naive double recursion, an iterative loop, and a
+// memoized variant over a global table. Dense call sites with tiny frames
+// — the optimistic allocator's favorite shape (Lueh & Gross §4.2).
+
+int fib_rec(int n) {
+  if (n < 2) {
+    return n;
+  }
+  return fib_rec(n - 1) + fib_rec(n - 2);
+}
+
+int fib_iter(int n) {
+  int a = 0;
+  int b = 1;
+  for (int i = 0; i < n; i = i + 1) {
+    int next = a + b;
+    a = b;
+    b = next;
+  }
+  return a;
+}
+
+int memo[32];
+
+int fib_memo(int n) {
+  if (n < 2) {
+    return n;
+  }
+  if (memo[n] > 0) {
+    return memo[n];
+  }
+  int value = fib_memo(n - 1) + fib_memo(n - 2);
+  memo[n] = value;
+  return value;
+}
+
+int main() {
+  for (int i = 0; i < 32; i = i + 1) {
+    memo[i] = 0;
+  }
+  int r = fib_rec(14);
+  int it = fib_iter(14);
+  int mm = fib_memo(14);
+  if (r != it) {
+    return 1;
+  }
+  if (it != mm) {
+    return 2;
+  }
+  return r % 256;
+}

@@ -1,0 +1,48 @@
+// Euclid's algorithm, recursive and iterative, composed into lcm and a
+// pairwise-coprime scan. Small leaf functions called from loops: the
+// caller-save / callee-save split decides almost all of the overhead.
+
+int gcd_rec(int a, int b) {
+  if (b == 0) {
+    return a;
+  }
+  return gcd_rec(b, a % b);
+}
+
+int gcd_iter(int a, int b) {
+  while (b != 0) {
+    int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int lcm(int a, int b) {
+  int g = gcd_iter(a, b);
+  if (g == 0) {
+    return 0;
+  }
+  return a / g * b;
+}
+
+int coprime_count(int limit) {
+  int count = 0;
+  for (int a = 1; a < limit; a = a + 1) {
+    for (int b = a + 1; b < limit; b = b + 1) {
+      if (gcd_rec(a, b) == 1) {
+        count = count + 1;
+      }
+    }
+  }
+  return count;
+}
+
+int main() {
+  if (gcd_rec(252, 105) != gcd_iter(252, 105)) {
+    return 1;
+  }
+  int l = lcm(12, 18);
+  int c = coprime_count(30);
+  return (l + c) % 256;
+}

@@ -1,0 +1,59 @@
+// Heapsort with sift-down factored out: log-depth loops inside a linear
+// loop, all array traffic through one helper. The sift cursor pair stays
+// live across the compare/swap sequence.
+
+int sift_down(int *a, int start, int end) {
+  int root = start;
+  while (2 * root + 1 <= end) {
+    int child = 2 * root + 1;
+    int best = root;
+    if (a[best] < a[child]) {
+      best = child;
+    }
+    if (child + 1 <= end && a[best] < a[child + 1]) {
+      best = child + 1;
+    }
+    if (best == root) {
+      return root;
+    }
+    int t = a[root];
+    a[root] = a[best];
+    a[best] = t;
+    root = best;
+  }
+  return root;
+}
+
+int heapify(int *a, int n) {
+  for (int start = (n - 2) / 2; start >= 0; start = start - 1) {
+    sift_down(a, start, n - 1);
+  }
+  return 0;
+}
+
+int heap_sort(int *a, int n) {
+  heapify(a, n);
+  for (int end = n - 1; end > 0; end = end - 1) {
+    int t = a[0];
+    a[0] = a[end];
+    a[end] = t;
+    sift_down(a, 0, end - 1);
+  }
+  return 0;
+}
+
+int keys[96];
+
+int main() {
+  int n = 96;
+  for (int i = 0; i < n; i = i + 1) {
+    keys[i] = (i * 53 + 29) % 89;
+  }
+  heap_sort(keys, n);
+  for (int i = 1; i < n; i = i + 1) {
+    if (keys[i - 1] > keys[i]) {
+      return 1;
+    }
+  }
+  return keys[n - 1];
+}

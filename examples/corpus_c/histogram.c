@@ -1,0 +1,56 @@
+// Histogram build, mode finding, and a cumulative-distribution rewrite
+// over a pseudo-random sample: indexed global updates in loops, with the
+// generator factored out so sampling is a call per element.
+
+int state = 42;
+
+int next_rand() {
+  state = (state * 1103 + 12345) % 65536;
+  return state;
+}
+
+int bins[16];
+
+int build(int samples) {
+  for (int i = 0; i < 16; i = i + 1) {
+    bins[i] = 0;
+  }
+  for (int i = 0; i < samples; i = i + 1) {
+    int v = next_rand() % 16;
+    bins[v] = bins[v] + 1;
+  }
+  return samples;
+}
+
+int mode() {
+  int best = 0;
+  for (int i = 1; i < 16; i = i + 1) {
+    if (bins[i] > bins[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+int to_cdf() {
+  int run = 0;
+  for (int i = 0; i < 16; i = i + 1) {
+    run = run + bins[i];
+    bins[i] = run;
+  }
+  return run;
+}
+
+int main() {
+  int samples = 500;
+  build(samples);
+  int m = mode();
+  int total = to_cdf();
+  if (total != samples) {
+    return 1;
+  }
+  if (bins[15] != samples) {
+    return 2;
+  }
+  return m;
+}

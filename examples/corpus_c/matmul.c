@@ -1,0 +1,48 @@
+// Dense matrix multiply on flattened N x N arrays (the subset has 1-D
+// arrays only). The triple nest keeps row/column cursors and the
+// accumulator competing for registers at depth 3.
+
+int n_dim() {
+  return 12;
+}
+
+int matmul(int *a, int *b, int *c, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    for (int j = 0; j < n; j = j + 1) {
+      int acc = 0;
+      for (int k = 0; k < n; k = k + 1) {
+        acc = acc + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  return 0;
+}
+
+int trace(int *m, int n) {
+  int t = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    t = t + m[i * n + i];
+  }
+  return t;
+}
+
+int ma[144];
+int mb[144];
+int mc[144];
+
+int main() {
+  int n = n_dim();
+  for (int i = 0; i < n; i = i + 1) {
+    for (int j = 0; j < n; j = j + 1) {
+      ma[i * n + j] = i + j;
+      if (i == j) {
+        mb[i * n + j] = 1;
+      } else {
+        mb[i * n + j] = 0;
+      }
+    }
+  }
+  matmul(ma, mb, mc, n);
+  return trace(mc, n) - trace(ma, n);
+}

@@ -1,0 +1,72 @@
+// Bottom-up merge sort with an explicit scratch buffer: nested run loops
+// around a three-cursor merge helper. High integer pressure in merge
+// (six live cursors) with calls at every run boundary.
+
+int merge(int *a, int *tmp, int lo, int mid, int hi) {
+  int i = lo;
+  int j = mid;
+  int k = lo;
+  while (i < mid && j < hi) {
+    if (a[i] <= a[j]) {
+      tmp[k] = a[i];
+      i = i + 1;
+    } else {
+      tmp[k] = a[j];
+      j = j + 1;
+    }
+    k = k + 1;
+  }
+  while (i < mid) {
+    tmp[k] = a[i];
+    i = i + 1;
+    k = k + 1;
+  }
+  while (j < hi) {
+    tmp[k] = a[j];
+    j = j + 1;
+    k = k + 1;
+  }
+  for (int t = lo; t < hi; t = t + 1) {
+    a[t] = tmp[t];
+  }
+  return hi - lo;
+}
+
+int min_int(int a, int b) {
+  if (a < b) {
+    return a;
+  }
+  return b;
+}
+
+int merge_sort(int *a, int *tmp, int n) {
+  int merges = 0;
+  for (int width = 1; width < n; width = 2 * width) {
+    for (int lo = 0; lo < n; lo = lo + 2 * width) {
+      int mid = min_int(lo + width, n);
+      int hi = min_int(lo + 2 * width, n);
+      if (mid < hi) {
+        merge(a, tmp, lo, mid, hi);
+        merges = merges + 1;
+      }
+    }
+  }
+  return merges;
+}
+
+int input[80];
+int scratch[80];
+
+int main() {
+  int n = 80;
+  for (int i = 0; i < n; i = i + 1) {
+    input[i] = (n - i) * 31 % 103;
+  }
+  int merges = merge_sort(input, scratch, n);
+  for (int i = 1; i < n; i = i + 1) {
+    if (input[i - 1] > input[i]) {
+      return 1;
+    }
+  }
+  return merges;
+}

@@ -1,0 +1,53 @@
+// Modular exponentiation by squaring, recursive and iterative, plus a
+// Fermat-style probe loop: multiplicative dependence chains where the
+// base/exponent/modulus triple must survive each recursive call.
+
+int mulmod(int a, int b, int m) {
+  return a * b % m;
+}
+
+int pow_rec(int base, int exp, int m) {
+  if (exp == 0) {
+    return 1 % m;
+  }
+  int half = pow_rec(base, exp / 2, m);
+  int sq = mulmod(half, half, m);
+  if (exp % 2 == 1) {
+    return mulmod(sq, base, m);
+  }
+  return sq;
+}
+
+int pow_iter(int base, int exp, int m) {
+  int result = 1 % m;
+  base = base % m;
+  while (exp > 0) {
+    if (exp % 2 == 1) {
+      result = mulmod(result, base, m);
+    }
+    base = mulmod(base, base, m);
+    exp = exp / 2;
+  }
+  return result;
+}
+
+int probe(int n) {
+  // Fermat check base 2..5: n is "probably prime" if pass == 4.
+  int pass = 0;
+  for (int a = 2; a <= 5; a = a + 1) {
+    if (pow_iter(a, n - 1, n) == 1) {
+      pass = pass + 1;
+    }
+  }
+  return pass;
+}
+
+int main() {
+  for (int e = 0; e < 12; e = e + 1) {
+    if (pow_rec(3, e, 1009) != pow_iter(3, e, 1009)) {
+      return 1;
+    }
+  }
+  int witnesses = probe(97) + probe(91); // 97 prime, 91 = 7*13
+  return witnesses;
+}

@@ -1,0 +1,55 @@
+// Sieve of Eratosthenes cross-checked against trial division. Mixes a
+// memory-bound marking loop with a division-heavy predicate called from a
+// loop — two very different register-pressure profiles in one module.
+
+int sieve[256];
+
+int run_sieve(int limit) {
+  for (int i = 0; i < limit; i = i + 1) {
+    sieve[i] = 1;
+  }
+  sieve[0] = 0;
+  sieve[1] = 0;
+  for (int p = 2; p * p < limit; p = p + 1) {
+    if (sieve[p]) {
+      for (int q = p * p; q < limit; q = q + p) {
+        sieve[q] = 0;
+      }
+    }
+  }
+  int count = 0;
+  for (int i = 0; i < limit; i = i + 1) {
+    count = count + sieve[i];
+  }
+  return count;
+}
+
+int is_prime(int n) {
+  if (n < 2) {
+    return 0;
+  }
+  for (int d = 2; d * d <= n; d = d + 1) {
+    if (n % d == 0) {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+int main() {
+  int limit = 256;
+  int from_sieve = run_sieve(limit);
+  int from_trial = 0;
+  for (int i = 0; i < limit; i = i + 1) {
+    if (is_prime(i)) {
+      if (!sieve[i]) {
+        return 1;
+      }
+      from_trial = from_trial + 1;
+    }
+  }
+  if (from_sieve != from_trial) {
+    return 2;
+  }
+  return from_sieve;
+}

@@ -1,0 +1,43 @@
+// N-queens backtracking: a recursive solver whose safety predicate is
+// called once per candidate square. Deep recursion with loop-carried
+// state live across every call.
+
+int cols[12];
+
+int safe(int row, int col) {
+  for (int r = 0; r < row; r = r + 1) {
+    if (cols[r] == col) {
+      return 0;
+    }
+    int diff = cols[r] - col;
+    if (diff < 0) {
+      diff = -diff;
+    }
+    if (diff == row - r) {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+int solve(int row, int n) {
+  if (row == n) {
+    return 1;
+  }
+  int count = 0;
+  for (int col = 0; col < n; col = col + 1) {
+    if (safe(row, col)) {
+      cols[row] = col;
+      count = count + solve(row + 1, n);
+    }
+  }
+  return count;
+}
+
+int main() {
+  int solutions = solve(0, 7);
+  if (solutions != 40) {
+    return 1;
+  }
+  return solutions;
+}

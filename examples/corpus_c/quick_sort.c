@@ -1,0 +1,52 @@
+// Recursive quicksort with Lomuto partitioning. The recursion makes every
+// local in quick_sort live across two calls — exactly the storage-class
+// decision (caller-save vs callee-save vs spill) the allocator weighs.
+
+int partition(int *a, int lo, int hi) {
+  int pivot = a[hi];
+  int i = lo;
+  for (int j = lo; j < hi; j = j + 1) {
+    if (a[j] < pivot) {
+      int tmp = a[i];
+      a[i] = a[j];
+      a[j] = tmp;
+      i = i + 1;
+    }
+  }
+  int tmp = a[i];
+  a[i] = a[hi];
+  a[hi] = tmp;
+  return i;
+}
+
+int quick_sort(int *a, int lo, int hi) {
+  if (lo >= hi) {
+    return 0;
+  }
+  int p = partition(a, lo, hi);
+  quick_sort(a, lo, p - 1);
+  quick_sort(a, p + 1, hi);
+  return 0;
+}
+
+int check(int *a, int n) {
+  for (int i = 1; i < n; i = i + 1) {
+    if (a[i - 1] > a[i]) {
+      return 0;
+    }
+  }
+  return 1;
+}
+
+int values[128];
+
+int main() {
+  int n = 128;
+  int seed = 12345;
+  for (int i = 0; i < n; i = i + 1) {
+    seed = (seed * 1103 + 12345) % 65536;
+    values[i] = seed % 1000;
+  }
+  quick_sort(values, 0, n - 1);
+  return check(values, n);
+}

@@ -1,0 +1,75 @@
+// C-string routines over word arrays (the subset has no char type, so
+// "strings" are zero-terminated int arrays): length, copy, compare, and a
+// naive substring search built on them.
+
+int str_len(int *s) {
+  int n = 0;
+  while (s[n] != 0) {
+    n = n + 1;
+  }
+  return n;
+}
+
+int str_copy(int *dst, int *src) {
+  int i = 0;
+  while (src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = 0;
+  return i;
+}
+
+int str_cmp(int *a, int *b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) {
+    i = i + 1;
+  }
+  return a[i] - b[i];
+}
+
+int str_find(int *hay, int *needle) {
+  int n = str_len(hay);
+  int m = str_len(needle);
+  for (int i = 0; i + m <= n; i = i + 1) {
+    int j = 0;
+    while (j < m && hay[i + j] == needle[j]) {
+      j = j + 1;
+    }
+    if (j == m) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int text[32];
+int pattern[8];
+int scratch[32];
+
+int main() {
+  // "abracadabra" encoded as small ints, 0-terminated.
+  int k = 0;
+  text[k] = 1; k = k + 1;  // a
+  text[k] = 2; k = k + 1;  // b
+  text[k] = 18; k = k + 1; // r
+  text[k] = 1; k = k + 1;  // a
+  text[k] = 3; k = k + 1;  // c
+  text[k] = 1; k = k + 1;  // a
+  text[k] = 4; k = k + 1;  // d
+  text[k] = 1; k = k + 1;  // a
+  text[k] = 2; k = k + 1;  // b
+  text[k] = 18; k = k + 1; // r
+  text[k] = 1; k = k + 1;  // a
+  text[k] = 0;
+  pattern[0] = 4;
+  pattern[1] = 1;
+  pattern[2] = 2;
+  pattern[3] = 0;
+  str_copy(scratch, text);
+  if (str_cmp(scratch, text) != 0) {
+    return 1;
+  }
+  int at = str_find(text, pattern);
+  return str_len(text) * 10 + at;
+}

@@ -1,0 +1,71 @@
+// In-place reversal and palindrome testing over zero-terminated word
+// arrays, with a rotate built from three reversals — helpers stacked on
+// helpers, so most functions are both callers and callees.
+
+int w_len(int *s) {
+  int n = 0;
+  while (s[n] != 0) {
+    n = n + 1;
+  }
+  return n;
+}
+
+int reverse_range(int *s, int lo, int hi) {
+  while (lo < hi) {
+    int t = s[lo];
+    s[lo] = s[hi];
+    s[hi] = t;
+    lo = lo + 1;
+    hi = hi - 1;
+  }
+  return 0;
+}
+
+int reverse(int *s) {
+  int n = w_len(s);
+  reverse_range(s, 0, n - 1);
+  return n;
+}
+
+int is_palindrome(int *s) {
+  int i = 0;
+  int j = w_len(s) - 1;
+  while (i < j) {
+    if (s[i] != s[j]) {
+      return 0;
+    }
+    i = i + 1;
+    j = j - 1;
+  }
+  return 1;
+}
+
+int rotate(int *s, int k) {
+  int n = w_len(s);
+  if (n == 0) {
+    return 0;
+  }
+  k = k % n;
+  reverse_range(s, 0, k - 1);
+  reverse_range(s, k, n - 1);
+  reverse_range(s, 0, n - 1);
+  return k;
+}
+
+int word[16];
+
+int main() {
+  int n = 9;
+  for (int i = 0; i < n; i = i + 1) {
+    word[i] = i + 1;
+  }
+  word[n] = 0;
+  reverse(word);
+  if (word[0] != n) {
+    return 1;
+  }
+  rotate(word, 4);
+  reverse(word);
+  int pal = is_palindrome(word);
+  return word[0] * 10 + pal;
+}

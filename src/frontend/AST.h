@@ -1,0 +1,156 @@
+//===- frontend/AST.h - C-subset abstract syntax tree -----------*- C++ -*-===//
+///
+/// \file
+/// The AST for the C subset: enough C to write honest benchmark kernels
+/// (sorts, matmul, recursive math, interpreter loops) without any of the
+/// language's dark corners. Types are `int`, `int*`, and one-dimensional
+/// `int` arrays; control flow is if/else, while, for, break/continue,
+/// return. Nodes carry their 1-based line:column for diagnostics, and Sema
+/// annotates expressions with types and resolved symbol ids in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_FRONTEND_AST_H
+#define CCRA_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccra {
+namespace cc {
+
+/// The three storable types of the subset. Arrays decay to pointers in
+/// every expression context except their own declaration.
+enum class TypeKind : uint8_t { Int, Ptr, Array };
+
+struct Type {
+  TypeKind Kind = TypeKind::Int;
+  /// Element count for TypeKind::Array.
+  unsigned ArraySize = 0;
+
+  bool isInt() const { return Kind == TypeKind::Int; }
+  /// True for pointers and (decayed) arrays — anything indexable.
+  bool isPointerLike() const { return Kind != TypeKind::Int; }
+
+  static Type makeInt() { return Type{TypeKind::Int, 0}; }
+  static Type makePtr() { return Type{TypeKind::Ptr, 0}; }
+  static Type makeArray(unsigned Size) { return Type{TypeKind::Array, Size}; }
+};
+
+// --- Expressions ----------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+  IntLiteral, // Value
+  VarRef,     // Name (SymbolId after Sema)
+  Unary,      // OpText in {"-", "!", "*"}; operand in Lhs
+  Binary,     // OpText in {+ - * / % == != < > <= >= && ||}; Lhs, Rhs
+  Assign,     // Lhs = Rhs (Lhs must be an lvalue)
+  Index,      // Lhs[Rhs]
+  Call,       // Name(Args)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind Kind;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  long long Value = 0;      // IntLiteral
+  std::string Name;         // VarRef / Call
+  std::string OpText;       // Unary / Binary
+  ExprPtr Lhs;              // Unary operand, Binary/Assign/Index lhs
+  ExprPtr Rhs;              // Binary/Assign rhs, Index subscript
+  std::vector<ExprPtr> Args; // Call
+
+  // --- Sema annotations ---
+  Type Ty;
+  /// VarRef: index into the translation unit's symbol table.
+  int SymbolId = -1;
+
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+};
+
+// --- Statements -----------------------------------------------------------
+
+enum class StmtKind : uint8_t {
+  Compound, // Body
+  Decl,     // DeclName : DeclTy = Init?
+  ExprStmt, // E
+  If,       // E, Then, Else?
+  While,    // E, LoopBody
+  For,      // ForInit?, E?, ForStep?, LoopBody
+  Return,   // E
+  Break,
+  Continue,
+  Empty,    // lone ';'
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind Kind;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  std::vector<StmtPtr> Body; // Compound
+  std::string DeclName;      // Decl
+  Type DeclTy;               // Decl
+  ExprPtr Init;              // Decl initializer (scalar decls only)
+  ExprPtr E;                 // ExprStmt / Return value / If / While cond
+  StmtPtr Then;              // If
+  StmtPtr Else;              // If (may be null)
+  StmtPtr LoopBody;          // While / For
+  StmtPtr ForInit;           // For (Decl or ExprStmt; may be null)
+  ExprPtr ForCond;           // For (may be null: treated as constant true)
+  ExprPtr ForStep;           // For (may be null)
+
+  // --- Sema annotations ---
+  /// Decl: index into the translation unit's symbol table.
+  int SymbolId = -1;
+
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+};
+
+// --- Declarations ---------------------------------------------------------
+
+struct ParamDecl {
+  std::string Name;
+  Type Ty; // Int or Ptr
+  unsigned Line = 0;
+  unsigned Column = 0;
+  int SymbolId = -1; // set by Sema
+};
+
+struct FunctionDecl {
+  std::string Name;
+  unsigned Line = 0;
+  unsigned Column = 0;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body; // Compound
+};
+
+struct GlobalDecl {
+  std::string Name;
+  Type Ty;
+  long long Init = 0; // scalar globals only; arrays are zero-initialized
+  unsigned Line = 0;
+  unsigned Column = 0;
+  int SymbolId = -1; // set by Sema
+};
+
+struct TranslationUnit {
+  /// Globals and functions in source order (IR function order mirrors it,
+  /// keeping compilation deterministic by construction).
+  std::vector<GlobalDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+};
+
+} // namespace cc
+} // namespace ccra
+
+#endif // CCRA_FRONTEND_AST_H

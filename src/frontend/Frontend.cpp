@@ -1,0 +1,56 @@
+//===- frontend/Frontend.cpp ----------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/IRGen.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace ccra;
+
+CompileResult Frontend::compile(const std::string &Source,
+                                const std::string &ModuleName) {
+  CompileResult Result;
+
+  std::vector<cc::Token> Tokens = cc::lex(Source, Result.Diags);
+  if (!Result.Diags.empty())
+    return Result;
+
+  std::unique_ptr<cc::TranslationUnit> TU = cc::parse(Tokens, Result.Diags);
+  if (!TU)
+    return Result;
+
+  cc::SemaResult Sema = cc::analyze(*TU);
+  if (!Sema.ok()) {
+    Result.Diags = std::move(Sema.Diags);
+    return Result;
+  }
+
+  Result.M = cc::generateIR(*TU, Sema, ModuleName);
+  return Result;
+}
+
+std::string Frontend::moduleNameForPath(const std::string &Path) {
+  size_t Slash = Path.find_last_of("/\\");
+  std::string Stem = Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  size_t Dot = Stem.find_last_of('.');
+  if (Dot != std::string::npos && Dot > 0)
+    Stem = Stem.substr(0, Dot);
+  return Stem;
+}
+
+CompileResult Frontend::compileFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    CompileResult Result;
+    Result.Diags.emplace_back(0, 0, "cannot open '" + Path + "'");
+    return Result;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return compile(Buffer.str(), moduleNameForPath(Path));
+}

@@ -1,0 +1,52 @@
+//===- frontend/Frontend.h - C-subset compilation entry ---------*- C++ -*-===//
+///
+/// \file
+/// The one-call driver over the pipeline Lexer -> Parser -> Sema ->
+/// IRGen. Used by `tools/ccra_cc`, the experiment harness's real-corpus
+/// leg, and the tests. Compilation either yields a verifier-clean Module
+/// or a list of line:column Diagnostics (the same support/Diagnostic.h
+/// type the `.ccra` IR parser reports in, so both toolchains' errors
+/// render identically).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_FRONTEND_FRONTEND_H
+#define CCRA_FRONTEND_FRONTEND_H
+
+#include "ir/Module.h"
+#include "support/Diagnostic.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccra {
+
+struct CompileResult {
+  /// The lowered module; null when compilation failed.
+  std::unique_ptr<Module> M;
+  std::vector<Diagnostic> Diags;
+
+  bool ok() const { return M != nullptr; }
+};
+
+struct Frontend {
+  /// Compiles C-subset \p Source into a Module named \p ModuleName.
+  /// Deterministic: identical source always produces byte-identical
+  /// printed IR. The returned module passes verifyModule by construction
+  /// (tested, and re-checked by every tool that embeds the frontend).
+  static CompileResult compile(const std::string &Source,
+                               const std::string &ModuleName);
+
+  /// Reads \p Path and compiles it; the module name is the file's stem
+  /// ("examples/corpus_c/matmul.c" -> "matmul"). A read failure is
+  /// reported as a diagnostic.
+  static CompileResult compileFile(const std::string &Path);
+
+  /// The module name compileFile derives from \p Path.
+  static std::string moduleNameForPath(const std::string &Path);
+};
+
+} // namespace ccra
+
+#endif // CCRA_FRONTEND_FRONTEND_H

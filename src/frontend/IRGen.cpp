@@ -1,0 +1,376 @@
+//===- frontend/IRGen.cpp -------------------------------------------------===//
+
+#include "frontend/IRGen.h"
+
+#include "ir/IRBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace ccra;
+using namespace ccra::cc;
+
+namespace {
+
+/// Probability that a loop at 1-based nesting depth \p Depth keeps
+/// iterating: 1 - 2^-(depth+2), capped at depth 5. Dyadic, so the exit
+/// edge (1 - p) is exact and both print in short round-trip form.
+double loopBodyProbability(unsigned Depth) {
+  static const double Table[] = {0.875, 0.9375, 0.96875, 0.984375,
+                                 0.9921875};
+  return Table[std::min(Depth, 5u) - 1];
+}
+
+class IRGenImpl {
+public:
+  IRGenImpl(const TranslationUnit &TU, const SemaResult &Sema,
+            const std::string &ModuleName)
+      : TU(TU), Sema(Sema), ModuleName(ModuleName) {}
+
+  std::unique_ptr<Module> run();
+
+private:
+  void genFunction(const FunctionDecl &FD, Function &F);
+  void genStmt(const Stmt &S);
+  VirtReg genExpr(const Expr &E);
+  /// Computes the byte address of an lvalue (deref, subscript, or
+  /// memory-resident variable).
+  VirtReg genAddr(const Expr &E);
+  void genStore(const Expr &Target, VirtReg Value);
+  VirtReg genCondValue(const Expr *E);
+
+  const Symbol &symbolOf(const Expr &E) const {
+    assert(E.SymbolId >= 0 && "unresolved symbol survived Sema");
+    return Sema.Symbols[E.SymbolId];
+  }
+  bool isRegisterResident(const Symbol &Sym) const {
+    return Sym.Sto != Symbol::Storage::Global &&
+           Sym.Ty.Kind != TypeKind::Array;
+  }
+
+  std::string label(const char *Stem) {
+    return std::string(Stem) + "." + std::to_string(NextLabel);
+  }
+
+  const TranslationUnit &TU;
+  const SemaResult &Sema;
+  const std::string &ModuleName;
+
+  std::unique_ptr<Module> M;
+  std::map<std::string, Function *> FunctionByName;
+  IRBuilder *B = nullptr;
+
+  /// SymbolId -> virtual register for register-resident scalars.
+  std::map<int, VirtReg> RegOfSymbol;
+  unsigned NextLabel = 0;
+  unsigned LoopDepth = 0;
+  std::vector<BasicBlock *> BreakTargets;
+  std::vector<BasicBlock *> ContinueTargets;
+};
+
+std::unique_ptr<Module> IRGenImpl::run() {
+  M = std::make_unique<Module>(ModuleName);
+  // Create every function up front so calls resolve regardless of
+  // definition order (Sema allowed forward and mutual recursion).
+  for (const FunctionDecl &FD : TU.Functions) {
+    Function *F = M->createFunction(FD.Name);
+    FunctionByName[FD.Name] = F;
+    if (FD.Name == "main")
+      M->setEntryFunction(F);
+  }
+  for (const FunctionDecl &FD : TU.Functions)
+    genFunction(FD, *FunctionByName.at(FD.Name));
+  return std::move(M);
+}
+
+void IRGenImpl::genFunction(const FunctionDecl &FD, Function &F) {
+  RegOfSymbol.clear();
+  NextLabel = 0;
+  LoopDepth = 0;
+  BreakTargets.clear();
+  ContinueTargets.clear();
+
+  IRBuilder Builder(F);
+  B = &Builder;
+  B->startBlock("entry");
+
+  // Parameters: stand-in definitions (see IRGen.h). The immediate is the
+  // parameter index, purely for readability of the emitted IR.
+  for (const ParamDecl &P : FD.Params) {
+    VirtReg Reg = F.createVReg(RegBank::Int);
+    RegOfSymbol[P.SymbolId] = Reg;
+    VirtReg Init = B->buildLoadImm(static_cast<int64_t>(P.SymbolId >= 0
+                                       ? Sema.Symbols[P.SymbolId].ParamIndex
+                                       : 0));
+    B->buildMoveTo(Reg, Init);
+  }
+
+  genStmt(*FD.Body);
+
+  // Implicit `return 0` when control falls off the end.
+  if (!B->getInsertBlock()->isTerminated()) {
+    VirtReg Zero = B->buildLoadImm(0);
+    B->buildRet(Zero);
+  }
+
+  // Drop the continuation blocks that ended up unreachable (joins after
+  // both arms returned, code after break/return). The verifier requires
+  // every remaining block to be terminated, which erasing guarantees:
+  // only fall-off paths reach the implicit return above.
+  F.eraseUnreachableBlocks();
+  // Pred lists were filled in lowering order; reparsing the printed form
+  // would rebuild them in block-layout order. Normalize so print ->
+  // parse -> print is byte-identical.
+  F.normalizePredecessors();
+  B = nullptr;
+}
+
+void IRGenImpl::genStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Compound:
+    for (const StmtPtr &Child : S.Body)
+      genStmt(*Child);
+    break;
+  case StmtKind::Decl: {
+    if (S.DeclTy.Kind == TypeKind::Array)
+      break; // memory-resident; Sema already assigned the address
+    VirtReg Reg = B->getFunction().createVReg(RegBank::Int);
+    RegOfSymbol[S.SymbolId] = Reg;
+    VirtReg Init = S.Init ? genExpr(*S.Init) : B->buildLoadImm(0);
+    B->buildMoveTo(Reg, Init);
+    break;
+  }
+  case StmtKind::ExprStmt:
+    genExpr(*S.E);
+    break;
+  case StmtKind::If: {
+    ++NextLabel;
+    VirtReg Cond = genCondValue(S.E.get());
+    BasicBlock *Then = B->getFunction().createBlock(label("then"));
+    BasicBlock *Else =
+        S.Else ? B->getFunction().createBlock(label("else")) : nullptr;
+    BasicBlock *End = B->getFunction().createBlock(label("endif"));
+    // With an else the split is 50/50; a lone guard `if` is taken 25% of
+    // the time (guards mostly fail).
+    double ThenProb = S.Else ? 0.5 : 0.25;
+    B->buildCondBr(Cond, Then, Else ? Else : End, ThenProb);
+    B->setInsertBlock(Then);
+    genStmt(*S.Then);
+    if (!B->getInsertBlock()->isTerminated())
+      B->buildBr(End);
+    if (Else) {
+      B->setInsertBlock(Else);
+      genStmt(*S.Else);
+      if (!B->getInsertBlock()->isTerminated())
+        B->buildBr(End);
+    }
+    B->setInsertBlock(End);
+    break;
+  }
+  case StmtKind::While: {
+    ++NextLabel;
+    BasicBlock *CondBB = B->getFunction().createBlock(label("while.cond"));
+    BasicBlock *BodyBB = B->getFunction().createBlock(label("while.body"));
+    BasicBlock *EndBB = B->getFunction().createBlock(label("while.end"));
+    B->buildBr(CondBB);
+    B->setInsertBlock(CondBB);
+    ++LoopDepth;
+    VirtReg Cond = genCondValue(S.E.get());
+    B->buildCondBr(Cond, BodyBB, EndBB, loopBodyProbability(LoopDepth));
+    B->setInsertBlock(BodyBB);
+    BreakTargets.push_back(EndBB);
+    ContinueTargets.push_back(CondBB);
+    genStmt(*S.LoopBody);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    --LoopDepth;
+    if (!B->getInsertBlock()->isTerminated())
+      B->buildBr(CondBB);
+    B->setInsertBlock(EndBB);
+    break;
+  }
+  case StmtKind::For: {
+    ++NextLabel;
+    // Blocks in source order: cond, body, step, end. `continue` jumps to
+    // the step block so the step expression still runs.
+    BasicBlock *CondBB = B->getFunction().createBlock(label("for.cond"));
+    BasicBlock *BodyBB = B->getFunction().createBlock(label("for.body"));
+    BasicBlock *StepBB = B->getFunction().createBlock(label("for.step"));
+    BasicBlock *EndBB = B->getFunction().createBlock(label("for.end"));
+    if (S.ForInit)
+      genStmt(*S.ForInit);
+    B->buildBr(CondBB);
+    B->setInsertBlock(CondBB);
+    ++LoopDepth;
+    VirtReg Cond = genCondValue(S.ForCond.get());
+    B->buildCondBr(Cond, BodyBB, EndBB, loopBodyProbability(LoopDepth));
+    B->setInsertBlock(BodyBB);
+    BreakTargets.push_back(EndBB);
+    ContinueTargets.push_back(StepBB);
+    genStmt(*S.LoopBody);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    --LoopDepth;
+    if (!B->getInsertBlock()->isTerminated())
+      B->buildBr(StepBB);
+    B->setInsertBlock(StepBB);
+    if (S.ForStep)
+      genExpr(*S.ForStep);
+    B->buildBr(CondBB);
+    B->setInsertBlock(EndBB);
+    break;
+  }
+  case StmtKind::Return: {
+    VirtReg Value = genExpr(*S.E);
+    B->buildRet(Value);
+    ++NextLabel;
+    B->startBlock(label("dead")); // absorbs unreachable trailing code
+    break;
+  }
+  case StmtKind::Break:
+    B->buildBr(BreakTargets.back());
+    ++NextLabel;
+    B->startBlock(label("dead"));
+    break;
+  case StmtKind::Continue:
+    B->buildBr(ContinueTargets.back());
+    ++NextLabel;
+    B->startBlock(label("dead"));
+    break;
+  case StmtKind::Empty:
+    break;
+  }
+}
+
+VirtReg IRGenImpl::genCondValue(const Expr *E) {
+  // A missing for-condition is constant truth.
+  return E ? genExpr(*E) : B->buildLoadImm(1);
+}
+
+VirtReg IRGenImpl::genAddr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::VarRef: {
+    const Symbol &Sym = symbolOf(E);
+    assert(!isRegisterResident(Sym) && "address of a register scalar");
+    return B->buildLoadImm(Sym.Address);
+  }
+  case ExprKind::Unary:
+    assert(E.OpText == "*" && "not an lvalue");
+    return genExpr(*E.Lhs); // the pointer value is the address
+  case ExprKind::Index: {
+    VirtReg Base = genExpr(*E.Lhs);
+    VirtReg Idx = genExpr(*E.Rhs);
+    VirtReg Four = B->buildLoadImm(4);
+    VirtReg Offset = B->buildBinary(Opcode::Mul, Idx, Four);
+    return B->buildBinary(Opcode::Add, Base, Offset);
+  }
+  default:
+    assert(false && "not an lvalue");
+    return VirtReg();
+  }
+}
+
+void IRGenImpl::genStore(const Expr &Target, VirtReg Value) {
+  if (Target.Kind == ExprKind::VarRef) {
+    const Symbol &Sym = symbolOf(Target);
+    if (isRegisterResident(Sym)) {
+      B->buildMoveTo(RegOfSymbol.at(Target.SymbolId), Value);
+      return;
+    }
+  }
+  VirtReg Address = genAddr(Target);
+  B->buildStore(Value, Address);
+}
+
+VirtReg IRGenImpl::genExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLiteral:
+    return B->buildLoadImm(E.Value);
+  case ExprKind::VarRef: {
+    const Symbol &Sym = symbolOf(E);
+    if (isRegisterResident(Sym))
+      return RegOfSymbol.at(E.SymbolId);
+    if (Sym.Ty.Kind == TypeKind::Array)
+      return B->buildLoadImm(Sym.Address); // decays to its base address
+    // Global scalar: load through its address.
+    VirtReg Address = B->buildLoadImm(Sym.Address);
+    return B->buildLoad(Address);
+  }
+  case ExprKind::Unary: {
+    if (E.OpText == "*") {
+      VirtReg Address = genExpr(*E.Lhs);
+      return B->buildLoad(Address);
+    }
+    VirtReg Operand = genExpr(*E.Lhs);
+    VirtReg Zero = B->buildLoadImm(0);
+    if (E.OpText == "-")
+      return B->buildBinary(Opcode::Sub, Zero, Operand);
+    assert(E.OpText == "!");
+    return B->buildCmp(Operand, Zero);
+  }
+  case ExprKind::Binary: {
+    const std::string &Op = E.OpText;
+    VirtReg Lhs = genExpr(*E.Lhs);
+    VirtReg Rhs = genExpr(*E.Rhs);
+    bool LhsPtr = E.Lhs->Ty.isPointerLike();
+    bool RhsPtr = E.Rhs->Ty.isPointerLike();
+    if (Op == "+" || Op == "-") {
+      // Pointer arithmetic scales the integer side by the word size.
+      if (LhsPtr && !RhsPtr) {
+        VirtReg Four = B->buildLoadImm(4);
+        Rhs = B->buildBinary(Opcode::Mul, Rhs, Four);
+      } else if (RhsPtr && !LhsPtr) {
+        VirtReg Four = B->buildLoadImm(4);
+        Lhs = B->buildBinary(Opcode::Mul, Lhs, Four);
+      }
+      return B->buildBinary(Op == "+" ? Opcode::Add : Opcode::Sub, Lhs,
+                            Rhs);
+    }
+    if (Op == "*")
+      return B->buildBinary(Opcode::Mul, Lhs, Rhs);
+    if (Op == "/")
+      return B->buildBinary(Opcode::Div, Lhs, Rhs);
+    if (Op == "%") {
+      // a % b  ->  a - (a/b)*b  (the machine model has no remainder op).
+      VirtReg Quotient = B->buildBinary(Opcode::Div, Lhs, Rhs);
+      VirtReg Product = B->buildBinary(Opcode::Mul, Quotient, Rhs);
+      return B->buildBinary(Opcode::Sub, Lhs, Product);
+    }
+    if (Op == "&&")
+      return B->buildBinary(Opcode::And, Lhs, Rhs);
+    if (Op == "||")
+      return B->buildBinary(Opcode::Or, Lhs, Rhs);
+    // All six comparisons lower to the IR's generic boolean compare; the
+    // relation itself is irrelevant to allocation.
+    return B->buildCmp(Lhs, Rhs);
+  }
+  case ExprKind::Assign: {
+    VirtReg Value = genExpr(*E.Rhs);
+    genStore(*E.Lhs, Value);
+    return Value;
+  }
+  case ExprKind::Index: {
+    VirtReg Address = genAddr(E);
+    return B->buildLoad(Address);
+  }
+  case ExprKind::Call: {
+    std::vector<VirtReg> Args;
+    Args.reserve(E.Args.size());
+    for (const ExprPtr &Arg : E.Args)
+      Args.push_back(genExpr(*Arg));
+    Function *Callee = FunctionByName.at(E.Name);
+    return B->buildCall(Callee, Args, {RegBank::Int})[0];
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return VirtReg();
+}
+
+} // namespace
+
+std::unique_ptr<Module> ccra::cc::generateIR(const TranslationUnit &TU,
+                                             const SemaResult &Sema,
+                                             const std::string &ModuleName) {
+  return IRGenImpl(TU, Sema, ModuleName).run();
+}

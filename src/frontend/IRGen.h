@@ -1,0 +1,56 @@
+//===- frontend/IRGen.h - AST to ccra IR lowering ---------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a Sema-checked TranslationUnit into a ccra IR Module. The
+/// lowering rules (all documented in DESIGN.md):
+///
+///  - Scalar locals and parameters live in virtual registers, reused
+///    across assignments (the IR is non-SSA). Parameter values are
+///    materialized at function entry with `loadimm <param-index>` stand-in
+///    definitions: the IR has no argument-passing convention below the
+///    Call instruction, and the allocator only models liveness and the
+///    save/restore traffic around calls, not value flow into callees.
+///  - Globals and arrays are memory-resident at the deterministic
+///    synthetic addresses Sema assigned; every access materializes the
+///    address with `loadimm` and goes through load/store. Pointer
+///    arithmetic and subscripts scale by 4 (the word size).
+///  - All comparison operators lower to the IR's single generic `cmp`;
+///    `%` expands to a-(a/b)*b; `&&`/`||` are bitwise (no short-circuit);
+///    `-x` is `0-x`; `!x` is `cmp x, 0`.
+///  - Branch probabilities are dyadic rationals so every edge pair sums
+///    to exactly 1.0 and prints in shortest round-trip form: if/else
+///    splits 0.5/0.5, a guard `if` without else takes the then-edge with
+///    0.25, and a loop at nesting depth d keeps iterating with
+///    probability 1 - 2^-(d+2), capped at d = 5 (0.875, 0.9375, ...,
+///    0.9921875).
+///
+/// Every construct allocates registers and labels from per-function
+/// counters in source order, so compilation is deterministic by
+/// construction: the same source always produces byte-identical IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_FRONTEND_IRGEN_H
+#define CCRA_FRONTEND_IRGEN_H
+
+#include "frontend/AST.h"
+#include "frontend/Sema.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace ccra {
+namespace cc {
+
+/// Lowers \p TU (which must have passed Sema with no diagnostics) into a
+/// Module named \p ModuleName. Functions appear in source order; "main",
+/// when present, becomes the module's entry function.
+std::unique_ptr<Module> generateIR(const TranslationUnit &TU,
+                                   const SemaResult &Sema,
+                                   const std::string &ModuleName);
+
+} // namespace cc
+} // namespace ccra
+
+#endif // CCRA_FRONTEND_IRGEN_H

@@ -1,0 +1,233 @@
+//===- frontend/Lexer.cpp -------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace ccra;
+using namespace ccra::cc;
+
+const char *ccra::cc::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::Number:     return "number";
+  case TokenKind::KwInt:      return "'int'";
+  case TokenKind::KwIf:       return "'if'";
+  case TokenKind::KwElse:     return "'else'";
+  case TokenKind::KwWhile:    return "'while'";
+  case TokenKind::KwFor:      return "'for'";
+  case TokenKind::KwReturn:   return "'return'";
+  case TokenKind::KwBreak:    return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::LParen:     return "'('";
+  case TokenKind::RParen:     return "')'";
+  case TokenKind::LBrace:     return "'{'";
+  case TokenKind::RBrace:     return "'}'";
+  case TokenKind::LBracket:   return "'['";
+  case TokenKind::RBracket:   return "']'";
+  case TokenKind::Comma:      return "','";
+  case TokenKind::Semi:       return "';'";
+  case TokenKind::Assign:     return "'='";
+  case TokenKind::Plus:       return "'+'";
+  case TokenKind::Minus:      return "'-'";
+  case TokenKind::Star:       return "'*'";
+  case TokenKind::Slash:      return "'/'";
+  case TokenKind::Percent:    return "'%'";
+  case TokenKind::Not:        return "'!'";
+  case TokenKind::EqEq:       return "'=='";
+  case TokenKind::NotEq:      return "'!='";
+  case TokenKind::Less:       return "'<'";
+  case TokenKind::Greater:    return "'>'";
+  case TokenKind::LessEq:     return "'<='";
+  case TokenKind::GreaterEq:  return "'>='";
+  case TokenKind::AndAnd:     return "'&&'";
+  case TokenKind::OrOr:       return "'||'";
+  case TokenKind::Eof:        return "end of file";
+  }
+  return "token";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind> &keywordTable() {
+  static const std::map<std::string, TokenKind> Table = {
+      {"int", TokenKind::KwInt},       {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},       {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},   {"continue", TokenKind::KwContinue},
+  };
+  return Table;
+}
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, std::vector<Diagnostic> &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  void advance() {
+    if (Source[Pos] == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    ++Pos;
+  }
+  bool skipWhitespaceAndComments();
+  Token makeToken(TokenKind Kind, std::string Text);
+
+  const std::string &Source;
+  std::vector<Diagnostic> &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+  unsigned TokLine = 1;
+  unsigned TokColumn = 1;
+};
+
+Token LexerImpl::makeToken(TokenKind Kind, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Line = TokLine;
+  T.Column = TokColumn;
+  return T;
+}
+
+bool LexerImpl::skipWhitespaceAndComments() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      unsigned OpenLine = Line, OpenColumn = Column;
+      advance();
+      advance();
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos >= Source.size()) {
+        Diags.emplace_back(OpenLine, OpenColumn, "unterminated block comment",
+                           "/*");
+        return false;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    break;
+  }
+  return Pos < Source.size();
+}
+
+std::vector<Token> LexerImpl::run() {
+  std::vector<Token> Tokens;
+  while (skipWhitespaceAndComments()) {
+    TokLine = Line;
+    TokColumn = Column;
+    char C = peek();
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Text;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        Text.push_back(peek());
+        advance();
+      }
+      Token T = makeToken(TokenKind::Number, Text);
+      T.Value = std::strtoll(Text.c_str(), nullptr, 10);
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        Text.push_back(peek());
+        advance();
+      }
+      auto It = keywordTable().find(Text);
+      Tokens.push_back(makeToken(
+          It == keywordTable().end() ? TokenKind::Identifier : It->second,
+          Text));
+      continue;
+    }
+
+    // Two-character operators first.
+    char Next = peek(1);
+    TokenKind Kind;
+    std::string Text(1, C);
+    if (C == '=' && Next == '=') {
+      Kind = TokenKind::EqEq;
+    } else if (C == '!' && Next == '=') {
+      Kind = TokenKind::NotEq;
+    } else if (C == '<' && Next == '=') {
+      Kind = TokenKind::LessEq;
+    } else if (C == '>' && Next == '=') {
+      Kind = TokenKind::GreaterEq;
+    } else if (C == '&' && Next == '&') {
+      Kind = TokenKind::AndAnd;
+    } else if (C == '|' && Next == '|') {
+      Kind = TokenKind::OrOr;
+    } else {
+      switch (C) {
+      case '(': Kind = TokenKind::LParen; break;
+      case ')': Kind = TokenKind::RParen; break;
+      case '{': Kind = TokenKind::LBrace; break;
+      case '}': Kind = TokenKind::RBrace; break;
+      case '[': Kind = TokenKind::LBracket; break;
+      case ']': Kind = TokenKind::RBracket; break;
+      case ',': Kind = TokenKind::Comma; break;
+      case ';': Kind = TokenKind::Semi; break;
+      case '=': Kind = TokenKind::Assign; break;
+      case '+': Kind = TokenKind::Plus; break;
+      case '-': Kind = TokenKind::Minus; break;
+      case '*': Kind = TokenKind::Star; break;
+      case '/': Kind = TokenKind::Slash; break;
+      case '%': Kind = TokenKind::Percent; break;
+      case '!': Kind = TokenKind::Not; break;
+      case '<': Kind = TokenKind::Less; break;
+      case '>': Kind = TokenKind::Greater; break;
+      default:
+        Diags.emplace_back(Line, Column,
+                           std::string("unexpected character '") + C + "'",
+                           std::string(1, C));
+        advance();
+        continue;
+      }
+      Tokens.push_back(makeToken(Kind, Text));
+      advance();
+      continue;
+    }
+    Text.push_back(Next);
+    Tokens.push_back(makeToken(Kind, Text));
+    advance();
+    advance();
+  }
+
+  TokLine = Line;
+  TokColumn = Column;
+  Tokens.push_back(makeToken(TokenKind::Eof, ""));
+  return Tokens;
+}
+
+} // namespace
+
+std::vector<Token> ccra::cc::lex(const std::string &Source,
+                                 std::vector<Diagnostic> &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

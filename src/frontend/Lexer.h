@@ -1,0 +1,32 @@
+//===- frontend/Lexer.h - C-subset lexer ------------------------*- C++ -*-===//
+///
+/// \file
+/// Turns C-subset source text into a token stream. The lexer is a single
+/// forward pass with no lookahead state, so tokenization is deterministic
+/// by construction. Unknown characters and unterminated block comments are
+/// reported as Diagnostics with line:column; lexing continues after an
+/// error so one pass surfaces every lexical problem in the file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_FRONTEND_LEXER_H
+#define CCRA_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostic.h"
+
+#include <string>
+#include <vector>
+
+namespace ccra {
+namespace cc {
+
+/// Lexes \p Source completely. The returned stream always ends with an Eof
+/// token. Lexical errors are appended to \p Diags.
+std::vector<Token> lex(const std::string &Source,
+                       std::vector<Diagnostic> &Diags);
+
+} // namespace cc
+} // namespace ccra
+
+#endif // CCRA_FRONTEND_LEXER_H

@@ -1,0 +1,33 @@
+//===- frontend/Parser.h - C-subset recursive-descent parser ----*- C++ -*-===//
+///
+/// \file
+/// Parses a token stream into a TranslationUnit. Standard recursive
+/// descent, one token of lookahead, precedence climbing for binary
+/// operators. On error the parser reports a Diagnostic at the offending
+/// token and stops — the subset is small enough that error recovery would
+/// cost more complexity than it saves in a corpus this size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_FRONTEND_PARSER_H
+#define CCRA_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Token.h"
+#include "support/Diagnostic.h"
+
+#include <memory>
+#include <vector>
+
+namespace ccra {
+namespace cc {
+
+/// Parses \p Tokens (which must end with Eof). Returns null and appends to
+/// \p Diags on the first syntax error.
+std::unique_ptr<TranslationUnit> parse(const std::vector<Token> &Tokens,
+                                       std::vector<Diagnostic> &Diags);
+
+} // namespace cc
+} // namespace ccra
+
+#endif // CCRA_FRONTEND_PARSER_H

@@ -1,0 +1,418 @@
+//===- frontend/Sema.cpp --------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <map>
+
+using namespace ccra;
+using namespace ccra::cc;
+
+namespace {
+
+/// Array-to-pointer decay: the type an expression has when its value is
+/// used (everywhere except as the target of its own declaration).
+Type decayed(Type Ty) {
+  return Ty.Kind == TypeKind::Array ? Type::makePtr() : Ty;
+}
+
+const char *typeName(Type Ty) {
+  switch (Ty.Kind) {
+  case TypeKind::Int:   return "int";
+  case TypeKind::Ptr:   return "int*";
+  case TypeKind::Array: return "int[]";
+  }
+  return "?";
+}
+
+class SemaImpl {
+public:
+  explicit SemaImpl(TranslationUnit &TU) : TU(TU) {}
+
+  SemaResult run();
+
+private:
+  void error(unsigned Line, unsigned Column, const std::string &Message,
+             const std::string &Near = "") {
+    Result.Diags.emplace_back(Line, Column, Message, Near);
+  }
+
+  int declareSymbol(Symbol Sym) {
+    Result.Symbols.push_back(std::move(Sym));
+    return static_cast<int>(Result.Symbols.size()) - 1;
+  }
+
+  void checkFunction(FunctionDecl &F, unsigned FnIndex);
+  void checkStmt(Stmt &S);
+  /// Type-checks \p E and annotates it. Returns the decayed type (errors
+  /// recover as int so one pass reports everything).
+  Type checkExpr(Expr &E);
+  Type checkAssign(Expr &E);
+  /// True when \p E may appear on the left of '='.
+  bool isLValue(const Expr &E) const;
+
+  int lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return -1;
+  }
+
+  TranslationUnit &TU;
+  SemaResult Result;
+
+  /// Function name -> index in TU.Functions (collected up front so calls
+  /// may reference any function in the file, giving mutual recursion
+  /// without prototypes).
+  std::map<std::string, unsigned> FunctionsByName;
+  std::map<std::string, int> GlobalsByName;
+  std::vector<std::map<std::string, int>> Scopes;
+
+  /// Next free byte in the current function's array frame.
+  unsigned FrameCursor = 0;
+  unsigned FrameLimit = 0;
+  unsigned LoopDepth = 0;
+};
+
+SemaResult SemaImpl::run() {
+  // Pass 1: globals get symbols and deterministic addresses; function
+  // names become callable everywhere.
+  unsigned GlobalCursor = GlobalBase;
+  for (GlobalDecl &G : TU.Globals) {
+    if (GlobalsByName.count(G.Name)) {
+      error(G.Line, G.Column, "redefinition of global '" + G.Name + "'",
+            G.Name);
+      continue;
+    }
+    Symbol Sym;
+    Sym.Name = G.Name;
+    Sym.Ty = G.Ty;
+    Sym.Sto = Symbol::Storage::Global;
+    Sym.Address = GlobalCursor;
+    GlobalCursor += 4 * (G.Ty.Kind == TypeKind::Array ? G.Ty.ArraySize : 1);
+    G.SymbolId = declareSymbol(std::move(Sym));
+    GlobalsByName[G.Name] = G.SymbolId;
+  }
+  for (unsigned Idx = 0; Idx < TU.Functions.size(); ++Idx) {
+    FunctionDecl &F = TU.Functions[Idx];
+    if (FunctionsByName.count(F.Name)) {
+      error(F.Line, F.Column, "redefinition of function '" + F.Name + "'",
+            F.Name);
+      continue;
+    }
+    if (GlobalsByName.count(F.Name)) {
+      error(F.Line, F.Column,
+            "'" + F.Name + "' is already declared as a global", F.Name);
+      continue;
+    }
+    FunctionsByName[F.Name] = Idx;
+  }
+
+  // Pass 2: bodies.
+  for (unsigned Idx = 0; Idx < TU.Functions.size(); ++Idx)
+    checkFunction(TU.Functions[Idx], Idx);
+  return std::move(Result);
+}
+
+void SemaImpl::checkFunction(FunctionDecl &F, unsigned FnIndex) {
+  Scopes.clear();
+  Scopes.emplace_back(); // parameter scope
+  FrameCursor = FrameBase + FnIndex * FrameStride;
+  FrameLimit = FrameCursor + FrameStride;
+  LoopDepth = 0;
+
+  for (unsigned PIdx = 0; PIdx < F.Params.size(); ++PIdx) {
+    ParamDecl &P = F.Params[PIdx];
+    if (Scopes.back().count(P.Name)) {
+      error(P.Line, P.Column, "duplicate parameter '" + P.Name + "'",
+            P.Name);
+      continue;
+    }
+    Symbol Sym;
+    Sym.Name = P.Name;
+    Sym.Ty = P.Ty;
+    Sym.Sto = Symbol::Storage::Param;
+    Sym.ParamIndex = PIdx;
+    P.SymbolId = declareSymbol(std::move(Sym));
+    Scopes.back()[P.Name] = P.SymbolId;
+  }
+  checkStmt(*F.Body);
+}
+
+void SemaImpl::checkStmt(Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Compound:
+    Scopes.emplace_back();
+    for (StmtPtr &Child : S.Body)
+      checkStmt(*Child);
+    Scopes.pop_back();
+    break;
+  case StmtKind::Decl: {
+    if (Scopes.back().count(S.DeclName)) {
+      error(S.Line, S.Column,
+            "redefinition of '" + S.DeclName + "' in the same scope",
+            S.DeclName);
+      break;
+    }
+    Symbol Sym;
+    Sym.Name = S.DeclName;
+    Sym.Ty = S.DeclTy;
+    Sym.Sto = Symbol::Storage::Local;
+    if (S.DeclTy.Kind == TypeKind::Array) {
+      unsigned Bytes = 4 * S.DeclTy.ArraySize;
+      if (FrameCursor + Bytes > FrameLimit) {
+        error(S.Line, S.Column,
+              "local arrays exceed the function's frame budget (" +
+                  std::to_string(FrameStride) + " bytes)",
+              S.DeclName);
+        break;
+      }
+      Sym.Address = FrameCursor;
+      FrameCursor += Bytes;
+    }
+    S.SymbolId = declareSymbol(std::move(Sym));
+    Scopes.back()[S.DeclName] = S.SymbolId;
+    if (S.Init) {
+      Type InitTy = checkExpr(*S.Init);
+      Type DeclTy = decayed(S.DeclTy);
+      if (InitTy.Kind != DeclTy.Kind)
+        error(S.Init->Line, S.Init->Column,
+              std::string("cannot initialize ") + typeName(DeclTy) +
+                  " with " + typeName(InitTy));
+    }
+    break;
+  }
+  case StmtKind::ExprStmt:
+    checkExpr(*S.E);
+    break;
+  case StmtKind::If: {
+    Type CondTy = checkExpr(*S.E);
+    if (!CondTy.isInt())
+      error(S.E->Line, S.E->Column, "if condition must be an int");
+    checkStmt(*S.Then);
+    if (S.Else)
+      checkStmt(*S.Else);
+    break;
+  }
+  case StmtKind::While: {
+    Type CondTy = checkExpr(*S.E);
+    if (!CondTy.isInt())
+      error(S.E->Line, S.E->Column, "while condition must be an int");
+    ++LoopDepth;
+    checkStmt(*S.LoopBody);
+    --LoopDepth;
+    break;
+  }
+  case StmtKind::For: {
+    Scopes.emplace_back(); // for-init declarations scope to the loop
+    if (S.ForInit)
+      checkStmt(*S.ForInit);
+    if (S.ForCond) {
+      Type CondTy = checkExpr(*S.ForCond);
+      if (!CondTy.isInt())
+        error(S.ForCond->Line, S.ForCond->Column,
+              "for condition must be an int");
+    }
+    if (S.ForStep)
+      checkExpr(*S.ForStep);
+    ++LoopDepth;
+    checkStmt(*S.LoopBody);
+    --LoopDepth;
+    Scopes.pop_back();
+    break;
+  }
+  case StmtKind::Return: {
+    Type Ty = checkExpr(*S.E);
+    if (!Ty.isInt())
+      error(S.E->Line, S.E->Column,
+            std::string("functions return int, not ") + typeName(Ty));
+    break;
+  }
+  case StmtKind::Break:
+    if (LoopDepth == 0)
+      error(S.Line, S.Column, "'break' outside of a loop", "break");
+    break;
+  case StmtKind::Continue:
+    if (LoopDepth == 0)
+      error(S.Line, S.Column, "'continue' outside of a loop", "continue");
+    break;
+  case StmtKind::Empty:
+    break;
+  }
+}
+
+bool SemaImpl::isLValue(const Expr &E) const {
+  switch (E.Kind) {
+  case ExprKind::VarRef:
+    // Arrays are not assignable; everything else named is.
+    return E.SymbolId < 0 ||
+           Result.Symbols[E.SymbolId].Ty.Kind != TypeKind::Array;
+  case ExprKind::Index:
+    return true;
+  case ExprKind::Unary:
+    return E.OpText == "*";
+  default:
+    return false;
+  }
+}
+
+Type SemaImpl::checkAssign(Expr &E) {
+  Type LhsTy = checkExpr(*E.Lhs);
+  Type RhsTy = checkExpr(*E.Rhs);
+  if (!isLValue(*E.Lhs)) {
+    error(E.Lhs->Line, E.Lhs->Column,
+          "left side of '=' is not assignable");
+  } else if (LhsTy.Kind != RhsTy.Kind) {
+    error(E.Line, E.Column, std::string("cannot assign ") +
+                                typeName(RhsTy) + " to " + typeName(LhsTy));
+  }
+  E.Ty = LhsTy;
+  return E.Ty;
+}
+
+Type SemaImpl::checkExpr(Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLiteral:
+    E.Ty = Type::makeInt();
+    return E.Ty;
+  case ExprKind::VarRef: {
+    int Id = lookup(E.Name);
+    if (Id < 0) {
+      auto GlobalIt = GlobalsByName.find(E.Name);
+      if (GlobalIt != GlobalsByName.end())
+        Id = GlobalIt->second;
+    }
+    if (Id < 0) {
+      if (FunctionsByName.count(E.Name))
+        error(E.Line, E.Column,
+              "function '" + E.Name + "' used as a variable", E.Name);
+      else
+        error(E.Line, E.Column, "use of undeclared identifier '" + E.Name +
+                                    "'",
+              E.Name);
+      E.Ty = Type::makeInt();
+      return E.Ty;
+    }
+    E.SymbolId = Id;
+    // The annotated type keeps the array-ness (the lowering needs it);
+    // the *returned* type decays so every use site sees int*.
+    E.Ty = Result.Symbols[Id].Ty;
+    return decayed(E.Ty);
+  }
+  case ExprKind::Unary: {
+    Type OperandTy = checkExpr(*E.Lhs);
+    if (E.OpText == "*") {
+      if (!OperandTy.isPointerLike()) {
+        error(E.Line, E.Column, "cannot dereference a non-pointer", "*");
+        E.Ty = Type::makeInt();
+        return E.Ty;
+      }
+      E.Ty = Type::makeInt();
+      return E.Ty;
+    }
+    if (!OperandTy.isInt())
+      error(E.Line, E.Column,
+            "operand of unary '" + E.OpText + "' must be an int", E.OpText);
+    E.Ty = Type::makeInt();
+    return E.Ty;
+  }
+  case ExprKind::Binary: {
+    Type LhsTy = checkExpr(*E.Lhs);
+    Type RhsTy = checkExpr(*E.Rhs);
+    const std::string &Op = E.OpText;
+    if (Op == "+" || Op == "-") {
+      if (LhsTy.isPointerLike() && RhsTy.isInt()) {
+        E.Ty = Type::makePtr();
+        return E.Ty; // pointer arithmetic, element-scaled by the lowering
+      }
+      if (Op == "+" && LhsTy.isInt() && RhsTy.isPointerLike()) {
+        E.Ty = Type::makePtr();
+        return E.Ty;
+      }
+      if (!LhsTy.isInt() || !RhsTy.isInt())
+        error(E.Line, E.Column,
+              std::string("invalid operands to '") + Op + "' (" +
+                  typeName(LhsTy) + " and " + typeName(RhsTy) + ")",
+              Op);
+      E.Ty = Type::makeInt();
+      return E.Ty;
+    }
+    if (Op == "==" || Op == "!=" || Op == "<" || Op == ">" || Op == "<=" ||
+        Op == ">=") {
+      if (LhsTy.Kind != RhsTy.Kind)
+        error(E.Line, E.Column,
+              std::string("comparison of ") + typeName(LhsTy) + " with " +
+                  typeName(RhsTy),
+              Op);
+      E.Ty = Type::makeInt();
+      return E.Ty;
+    }
+    // * / % && ||: int only.
+    if (!LhsTy.isInt() || !RhsTy.isInt())
+      error(E.Line, E.Column,
+            std::string("invalid operands to '") + Op + "' (" +
+                typeName(LhsTy) + " and " + typeName(RhsTy) + ")",
+            Op);
+    E.Ty = Type::makeInt();
+    return E.Ty;
+  }
+  case ExprKind::Assign:
+    return checkAssign(E);
+  case ExprKind::Index: {
+    Type BaseTy = checkExpr(*E.Lhs);
+    Type SubTy = checkExpr(*E.Rhs);
+    if (!BaseTy.isPointerLike())
+      error(E.Line, E.Column, "subscripted value is not a pointer or array",
+            "[");
+    if (!SubTy.isInt())
+      error(E.Rhs->Line, E.Rhs->Column, "array subscript must be an int");
+    E.Ty = Type::makeInt();
+    return E.Ty;
+  }
+  case ExprKind::Call: {
+    auto It = FunctionsByName.find(E.Name);
+    if (It == FunctionsByName.end()) {
+      if (lookup(E.Name) >= 0 || GlobalsByName.count(E.Name))
+        error(E.Line, E.Column, "'" + E.Name + "' is not a function",
+              E.Name);
+      else
+        error(E.Line, E.Column,
+              "call to undefined function '" + E.Name +
+                  "' (the subset has no extern declarations: define every "
+                  "callee in this file)",
+              E.Name);
+      for (ExprPtr &Arg : E.Args)
+        checkExpr(*Arg);
+      E.Ty = Type::makeInt();
+      return E.Ty;
+    }
+    const FunctionDecl &Callee = TU.Functions[It->second];
+    if (E.Args.size() != Callee.Params.size())
+      error(E.Line, E.Column,
+            "call to '" + E.Name + "' with " +
+                std::to_string(E.Args.size()) + " arguments; it takes " +
+                std::to_string(Callee.Params.size()),
+            E.Name);
+    for (size_t Idx = 0; Idx < E.Args.size(); ++Idx) {
+      Type ArgTy = checkExpr(*E.Args[Idx]);
+      if (Idx < Callee.Params.size() &&
+          ArgTy.Kind != Callee.Params[Idx].Ty.Kind)
+        error(E.Args[Idx]->Line, E.Args[Idx]->Column,
+              std::string("argument ") + std::to_string(Idx + 1) + " of '" +
+                  E.Name + "' expects " + typeName(Callee.Params[Idx].Ty) +
+                  ", got " + typeName(ArgTy));
+    }
+    E.Ty = Type::makeInt();
+    return E.Ty;
+  }
+  }
+  E.Ty = Type::makeInt();
+  return E.Ty;
+}
+
+} // namespace
+
+SemaResult ccra::cc::analyze(TranslationUnit &TU) {
+  return SemaImpl(TU).run();
+}

@@ -1,0 +1,63 @@
+//===- frontend/Sema.h - C-subset semantic analysis -------------*- C++ -*-===//
+///
+/// \file
+/// Sema resolves names, checks the minimal type system (int / int* /
+/// int[N] with array-to-pointer decay), and annotates the AST in place
+/// with types and symbol ids. It also assigns every memory-resident
+/// symbol (globals and local arrays) a deterministic synthetic byte
+/// address: the IR has no symbolic relocations, so the frontend
+/// materializes addresses with `loadimm` — globals are laid out in
+/// declaration order from GlobalBase, and each function's arrays from its
+/// own frame base (FrameBase + function index * FrameStride). The layout
+/// depends only on source order, which keeps compilation byte-identical
+/// across runs and machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_FRONTEND_SEMA_H
+#define CCRA_FRONTEND_SEMA_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostic.h"
+
+#include <string>
+#include <vector>
+
+namespace ccra {
+namespace cc {
+
+/// One resolved variable. SymbolId fields in the AST index into
+/// SemaResult::Symbols.
+struct Symbol {
+  enum class Storage : uint8_t { Global, Param, Local };
+
+  std::string Name;
+  Type Ty;
+  Storage Sto = Storage::Local;
+  /// Synthetic byte address for globals and local arrays (memory-resident
+  /// symbols); 0 for register-resident scalars.
+  unsigned Address = 0;
+  /// Position in the parameter list, for Storage::Param.
+  unsigned ParamIndex = 0;
+};
+
+struct SemaResult {
+  std::vector<Symbol> Symbols;
+  std::vector<Diagnostic> Diags;
+
+  bool ok() const { return Diags.empty(); }
+};
+
+/// Address-space layout constants (documented in DESIGN.md).
+constexpr unsigned GlobalBase = 0x1000;
+constexpr unsigned FrameBase = 0x100000;
+constexpr unsigned FrameStride = 0x10000;
+
+/// Checks \p TU, annotating it in place. All diagnostics (not just the
+/// first) are collected where recovery is safe.
+SemaResult analyze(TranslationUnit &TU);
+
+} // namespace cc
+} // namespace ccra
+
+#endif // CCRA_FRONTEND_SEMA_H

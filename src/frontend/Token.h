@@ -1,0 +1,80 @@
+//===- frontend/Token.h - C-subset tokens -----------------------*- C++ -*-===//
+///
+/// \file
+/// Tokens for the C-subset frontend. Every token carries its 1-based
+/// line:column so later stages (parser, sema) can report diagnostics that
+/// point at the offending token — the same support/Diagnostic.h currency
+/// the `.ccra` IR parser uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCRA_FRONTEND_TOKEN_H
+#define CCRA_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace ccra {
+namespace cc {
+
+enum class TokenKind : uint8_t {
+  // Literals and identifiers.
+  Identifier,
+  Number,
+  // Keywords.
+  KwInt,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // Punctuation and operators.
+  LParen,   // (
+  RParen,   // )
+  LBrace,   // {
+  RBrace,   // }
+  LBracket, // [
+  RBracket, // ]
+  Comma,    // ,
+  Semi,     // ;
+  Assign,   // =
+  Plus,     // +
+  Minus,    // -
+  Star,     // * (multiply or dereference)
+  Slash,    // /
+  Percent,  // %
+  Not,      // !
+  EqEq,     // ==
+  NotEq,    // !=
+  Less,     // <
+  Greater,  // >
+  LessEq,   // <=
+  GreaterEq, // >=
+  AndAnd,   // &&
+  OrOr,     // ||
+  Eof,
+};
+
+/// Human-readable spelling of a token kind ("'=='", "identifier", ...),
+/// used in "expected X" diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  /// The source spelling (identifier name, number text, operator).
+  std::string Text;
+  /// Numeric value for TokenKind::Number.
+  long long Value = 0;
+  /// 1-based source position of the token's first character.
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace cc
+} // namespace ccra
+
+#endif // CCRA_FRONTEND_TOKEN_H

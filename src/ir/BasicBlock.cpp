@@ -2,6 +2,7 @@
 
 #include "ir/BasicBlock.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace ccra;
@@ -44,6 +45,13 @@ void BasicBlock::removeOnePredecessor(const BasicBlock *Pred) {
       return;
     }
   assert(false && "predecessor not found");
+}
+
+void BasicBlock::sortPredecessorsByLayout() {
+  std::stable_sort(Preds.begin(), Preds.end(),
+                   [](const BasicBlock *A, const BasicBlock *B) {
+                     return A->getId() < B->getId();
+                   });
 }
 
 void BasicBlock::absorbSuccessor(BasicBlock &S) {

@@ -72,6 +72,13 @@ public:
   /// Function::mergeStraightLineBlocks.
   void absorbSuccessor(BasicBlock &S);
 
+  /// Internal: reorders the predecessor list into block-layout order (by
+  /// block id). Parsing printed IR produces preds in this order, so
+  /// normalizing makes print -> parse -> print the identity for modules
+  /// whose edges were built in an arbitrary lowering order. Called via
+  /// Function::normalizePredecessors.
+  void sortPredecessorsByLayout();
+
   /// Internal: used by Function when renumbering blocks.
   void setId(unsigned NewId) { Id = NewId; }
 

@@ -103,6 +103,11 @@ unsigned Function::mergeStraightLineBlocks() {
   return Merged;
 }
 
+void Function::normalizePredecessors() {
+  for (const auto &BB : Blocks)
+    BB->sortPredecessorsByLayout();
+}
+
 unsigned Function::countProgramInstructions() const {
   unsigned Count = 0;
   for (const auto &BB : Blocks)

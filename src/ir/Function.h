@@ -58,6 +58,13 @@ public:
   /// branches.
   unsigned eraseUnreachableBlocks();
 
+  /// Normalizes every block's predecessor order to block-layout order —
+  /// exactly what reparsing the printed form would produce. Frontends
+  /// whose output must round-trip byte-exactly call this after building
+  /// the CFG (edge insertion order is a lowering artifact; layout order
+  /// is canonical).
+  void normalizePredecessors();
+
   /// Merges straight-line block pairs: whenever a block ends in an
   /// unconditional br to a block whose only predecessor it is, the
   /// successor's instructions replace the br and the successor is erased

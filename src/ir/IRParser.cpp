@@ -35,8 +35,18 @@ public:
 private:
   // --- Lexical helpers (line oriented) -----------------------------------
   bool nextLine(std::string &Out);
-  void error(const std::string &Message) {
-    Errors.push_back("line " + std::to_string(LineNo) + ": " + Message);
+
+  /// Reports a diagnostic at the current line. When \p Near names the
+  /// offending token, its first occurrence in the raw (untrimmed) line
+  /// gives the 1-based column, so editors can jump straight to it.
+  void error(const std::string &Message, const std::string &Near = "") {
+    unsigned Column = 0;
+    if (!Near.empty()) {
+      size_t Pos = CurrentRaw.find(Near);
+      if (Pos != std::string::npos)
+        Column = static_cast<unsigned>(Pos) + 1;
+    }
+    Diags.emplace_back(LineNo, Column, Message, Near);
   }
 
   static std::string trim(const std::string &S) {
@@ -68,8 +78,10 @@ private:
 
   std::istringstream Input;
   unsigned LineNo = 0;
+  /// The raw text of the line currently being parsed (column lookups).
+  std::string CurrentRaw;
   std::unique_ptr<Module> M;
-  std::vector<std::string> Errors;
+  std::vector<Diagnostic> Diags;
 
   // Per-function state.
   std::map<std::string, BasicBlock *> BlocksByName;
@@ -89,6 +101,7 @@ bool Parser::nextLine(std::string &Out) {
   if (!std::getline(Input, Out))
     return false;
   ++LineNo;
+  CurrentRaw = Out;
   return true;
 }
 
@@ -117,27 +130,30 @@ ParseResult Parser::run() {
         break;
       continue;
     }
-    error("expected 'module' or 'func', got: " + Text);
+    error("expected 'module' or 'func', got: " + Text,
+          Text.substr(0, Text.find_first_of(" \t")));
     break;
   }
-  if (!SawModule && Errors.empty())
+  if (!SawModule && Diags.empty())
     error("no 'module' line found");
 
   ParseResult Result;
-  if (Errors.empty()) {
+  if (Diags.empty()) {
     // Resolve forward-referenced callees.
     for (const PendingCall &Pending : PendingCallees) {
       Function *Callee = M->getFunction(Pending.Name);
       if (!Callee) {
-        Errors.push_back("call to unknown function @" + Pending.Name);
+        Diags.emplace_back(0, 0,
+                           "call to unknown function @" + Pending.Name);
         break;
       }
       Pending.Block->instructions()[Pending.Index].Callee = Callee;
     }
   }
-  if (Errors.empty())
+  if (Diags.empty())
     Result.M = std::move(M);
-  Result.Errors = std::move(Errors);
+  Result.Diags = std::move(Diags);
+  Result.Errors = renderDiagnostics(Result.Diags);
   return Result;
 }
 
@@ -145,14 +161,15 @@ bool Parser::parseFunction(const std::string &Header) {
   // "func @name {" or "func @name (external)".
   std::string Rest = trim(Header.substr(5));
   if (Rest.empty() || Rest[0] != '@') {
-    error("function name must start with '@'");
+    error("function name must start with '@'",
+          Rest.substr(0, Rest.find_first_of(" \t")));
     return false;
   }
   size_t NameEnd = Rest.find_first_of(" \t");
   std::string Name = Rest.substr(1, NameEnd - 1);
   std::string Tail = NameEnd == std::string::npos ? "" : trim(Rest.substr(NameEnd));
   if (M->getFunction(Name)) {
-    error("duplicate function @" + Name);
+    error("duplicate function @" + Name, "@" + Name);
     return false;
   }
   Function *F = M->createFunction(Name);
@@ -162,7 +179,7 @@ bool Parser::parseFunction(const std::string &Header) {
   if (Tail == "(external)")
     return true;
   if (Tail != "{") {
-    error("expected '{' or '(external)' after function name");
+    error("expected '{' or '(external)' after function name", Tail);
     return false;
   }
   BlocksByName.clear();
@@ -172,7 +189,8 @@ bool Parser::parseFunction(const std::string &Header) {
 
 bool Parser::parseBody(Function &F) {
   // Two passes over the body text: labels first (so branches can refer to
-  // later blocks), then instructions. Collect the body lines up front.
+  // later blocks), then instructions. Collect the body lines up front —
+  // raw, so diagnostics can point at the offending token's real column.
   std::vector<std::pair<unsigned, std::string>> Body;
   std::string Line;
   bool Closed = false;
@@ -183,14 +201,15 @@ bool Parser::parseBody(Function &F) {
       break;
     }
     if (!Text.empty())
-      Body.push_back({LineNo, Text});
+      Body.push_back({LineNo, Line});
   }
   if (!Closed) {
     error("missing '}' at end of function @" + F.getName());
     return false;
   }
 
-  for (auto &[No, Text] : Body) {
+  for (auto &[No, Raw] : Body) {
+    std::string Text = trim(Raw);
     if (Text.rfind("; succs:", 0) == 0 || Text[0] == ';')
       continue;
     std::string Clean = stripComment(Text);
@@ -198,7 +217,8 @@ bool Parser::parseBody(Function &F) {
       std::string Label = Clean.substr(0, Clean.size() - 1);
       if (BlocksByName.count(Label)) {
         LineNo = No;
-        error("duplicate block label '" + Label + "'");
+        CurrentRaw = Raw;
+        error("duplicate block label '" + Label + "'", Label);
         return false;
       }
       BlocksByName[Label] = F.createBlock(Label);
@@ -210,8 +230,10 @@ bool Parser::parseBody(Function &F) {
   }
 
   BasicBlock *Current = nullptr;
-  for (auto &[No, Text] : Body) {
+  for (auto &[No, Raw] : Body) {
     LineNo = No;
+    CurrentRaw = Raw;
+    std::string Text = trim(Raw);
     if (Text.rfind("; succs:", 0) == 0) {
       if (!Current) {
         error("successor list before the first block label");
@@ -253,20 +275,20 @@ VirtReg Parser::parseReg(Function &F, std::string Token) {
   Token = trim(Token);
   if (Token.size() < 3 || Token[0] != '%' ||
       (Token[1] != 'i' && Token[1] != 'f')) {
-    error("bad register '" + Token + "'");
+    error("bad register '" + Token + "'", Token);
     return VirtReg();
   }
   RegBank Bank = Token[1] == 'i' ? RegBank::Int : RegBank::Float;
   char *End = nullptr;
   unsigned long Id = std::strtoul(Token.c_str() + 2, &End, 10);
   if (*End != '\0') {
-    error("bad register id in '" + Token + "'");
+    error("bad register id in '" + Token + "'", Token);
     return VirtReg();
   }
   (void)F;
   auto [It, Inserted] = BankOfVReg.insert({static_cast<unsigned>(Id), Bank});
   if (!Inserted && It->second != Bank) {
-    error("register %" + std::to_string(Id) + " used with two banks");
+    error("register %" + std::to_string(Id) + " used with two banks", Token);
     return VirtReg();
   }
   return VirtReg(static_cast<unsigned>(Id));
@@ -283,13 +305,13 @@ PhysReg Parser::parsePhysReg(std::string Token) {
     Bank = RegBank::Int;
     Digits = 1;
   } else {
-    error("bad physical register '" + Token + "'");
+    error("bad physical register '" + Token + "'", Token);
     return PhysReg();
   }
   char *End = nullptr;
   unsigned long Index = std::strtoul(Token.c_str() + Digits, &End, 10);
   if (*End != '\0') {
-    error("bad physical register '" + Token + "'");
+    error("bad physical register '" + Token + "'", Token);
     return PhysReg();
   }
   return PhysReg(Bank, static_cast<unsigned>(Index));
@@ -336,7 +358,7 @@ bool Parser::parseInstruction(Function &F, BasicBlock *BB,
 
   auto It = opcodeByName().find(OpName);
   if (It == opcodeByName().end()) {
-    error("unknown opcode '" + OpName + "'");
+    error("unknown opcode '" + OpName + "'", OpName);
     return false;
   }
   Instruction I(It->second);
@@ -357,7 +379,7 @@ bool Parser::parseInstruction(Function &F, BasicBlock *BB,
     size_t Paren = Operands.find('(');
     if (Operands.empty() || Operands[0] != '@' ||
         Paren == std::string::npos || Operands.back() != ')') {
-      error("malformed call '" + Operands + "'");
+      error("malformed call '" + Operands + "'", Operands);
       return false;
     }
     I.CalleeName = Operands.substr(1, Paren - 1);
@@ -373,7 +395,7 @@ bool Parser::parseInstruction(Function &F, BasicBlock *BB,
   }
   case Opcode::SpillLoad: {
     if (Operands.rfind("slot", 0) != 0) {
-      error("spill.load expects a slot operand");
+      error("spill.load expects a slot operand", Operands);
       return false;
     }
     I.SpillSlot = static_cast<unsigned>(
@@ -384,7 +406,7 @@ bool Parser::parseInstruction(Function &F, BasicBlock *BB,
   case Opcode::SpillStore: {
     auto Parts = splitCommaList(Operands);
     if (Parts.size() != 2 || Parts[1].rfind("slot", 0) != 0) {
-      error("spill.store expects '%reg, slotN'");
+      error("spill.store expects '%reg, slotN'", Operands);
       return false;
     }
     VirtReg R = parseReg(F, Parts[0]);
@@ -406,7 +428,7 @@ bool Parser::parseInstruction(Function &F, BasicBlock *BB,
   case Opcode::ShuffleMove: {
     auto Parts = splitCommaList(Operands);
     if (Parts.size() != 2) {
-      error("shuffle.move expects two physical registers");
+      error("shuffle.move expects two physical registers", Operands);
       return false;
     }
     I.Phys = parsePhysReg(Parts[0]);
@@ -441,7 +463,7 @@ bool Parser::parseSuccessors(Function &F, BasicBlock *BB,
   while (Stream >> Token) {
     size_t Paren = Token.find('(');
     if (Paren == std::string::npos || Token.back() != ')') {
-      error("malformed successor '" + Token + "'");
+      error("malformed successor '" + Token + "'", Token);
       return false;
     }
     std::string Target = Token.substr(0, Paren);
@@ -450,7 +472,7 @@ bool Parser::parseSuccessors(Function &F, BasicBlock *BB,
                     nullptr);
     auto It = BlocksByName.find(Target);
     if (It == BlocksByName.end()) {
-      error("successor references unknown block '" + Target + "'");
+      error("successor references unknown block '" + Target + "'", Target);
       return false;
     }
     BB->addSuccessor(It->second, Probability);

@@ -29,6 +29,7 @@
 #define CCRA_IR_IRPARSER_H
 
 #include "ir/Module.h"
+#include "support/Diagnostic.h"
 
 #include <memory>
 #include <string>
@@ -36,10 +37,14 @@
 
 namespace ccra {
 
-/// Result of a parse: the module on success, or null plus diagnostics
-/// ("line N: message") on failure.
+/// Result of a parse: the module on success, or null plus diagnostics on
+/// failure. Diags carries the structured line:column form (the same
+/// support/Diagnostic.h currency the C frontend reports in); Errors is the
+/// rendered one-line-per-diagnostic view ("line N:C: message") kept for
+/// callers that just print.
 struct ParseResult {
   std::unique_ptr<Module> M;
+  std::vector<Diagnostic> Diags;
   std::vector<std::string> Errors;
 
   bool ok() const { return M != nullptr; }

@@ -299,6 +299,16 @@ struct FailureSink {
   }
 };
 
+/// "source: examples/corpus_c/foo.c" from a corpus header, if present.
+/// Set by `ccra_cc --emit-corpus`; entries carrying it were lowered from C
+/// by the frontend, so a replay failure is reproducible from source.
+std::string sourceFromHeader(const std::vector<std::string> &HeaderLines) {
+  for (const std::string &Line : HeaderLines)
+    if (Line.rfind("source: ", 0) == 0)
+      return Line.substr(8);
+  return "";
+}
+
 int replayCorpus(const CliOptions &Cli) {
   std::vector<std::string> Errors;
   std::vector<CorpusEntry> Entries;
@@ -327,11 +337,14 @@ int replayCorpus(const CliOptions &Cli) {
   if (!Errors.empty())
     return 2;
 
-  unsigned Failures = 0, Legs = 0;
+  unsigned Failures = 0, Legs = 0, FromFrontend = 0;
   for (const CorpusEntry &Entry : Entries) {
     OracleOptions OO;
     OO.ParallelJobs = Cli.JobsLeg;
     configFromHeader(Entry.HeaderLines, OO.Config); // default when absent
+    std::string Source = sourceFromHeader(Entry.HeaderLines);
+    if (!Source.empty())
+      ++FromFrontend;
     OracleReport Report = runOracleLattice(*Entry.M, OO);
     Legs += Report.LegsRun;
     std::string CodecWhy;
@@ -344,11 +357,18 @@ int replayCorpus(const CliOptions &Cli) {
         std::cerr << "  " << Line << '\n';
       if (!CodecOk)
         std::cerr << "  codec: " << CodecWhy << '\n';
+      if (!Source.empty())
+        std::cerr << "  provenance: frontend (" << Source
+                  << "); reproduce with ccra_cc " << Source << '\n';
     } else if (!Cli.Quiet) {
-      std::cout << "ok replay " << Entry.Path << '\n';
+      std::cout << "ok replay " << Entry.Path;
+      if (!Source.empty())
+        std::cout << " (frontend: " << Source << ')';
+      std::cout << '\n';
     }
   }
-  std::cout << "ccra_fuzz replay: " << Entries.size() << " modules, " << Legs
+  std::cout << "ccra_fuzz replay: " << Entries.size() << " modules ("
+            << FromFrontend << " frontend-lowered), " << Legs
             << " lattice legs, " << Failures << " failures\n";
   return Failures ? 1 : 0;
 }

@@ -36,6 +36,20 @@ cmake -B build -S . "$@"
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
+echo "== C frontend smoke: compile, verify, round-trip the committed corpus =="
+# Every examples/corpus_c program must compile through the C frontend,
+# pass the IR verifier, and round-trip byte-exactly through the printer
+# and parser (--check-corpus exits non-zero otherwise). Then recompile
+# into a scratch dir and diff against the committed fuzz/corpus lowering:
+# frontend changes must regenerate cc-*.ccra in the same commit.
+./build/tools/ccra_cc --check-corpus examples/corpus_c/*.c
+rm -rf build/cc-corpus-check
+./build/tools/ccra_cc --emit-corpus=build/cc-corpus-check \
+      examples/corpus_c/*.c > /dev/null
+for f in build/cc-corpus-check/cc-*.ccra; do
+  diff -u "fuzz/corpus/$(basename "$f")" "$f"
+done
+
 echo "== ThreadSanitizer: tests labeled 'concurrency' (tests/CMakeLists.txt) =="
 cmake -B build-tsan -S . -DCCRA_TSAN=ON "$@"
 cmake --build build-tsan -j "$JOBS" --target test_parallel test_telemetry \
